@@ -1,0 +1,811 @@
+(* The evaluation harness: regenerates every figure and table of the
+   paper's §6 on the simulated testbed, plus the ablations listed in
+   DESIGN.md §4 and a set of Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe fig9 fig10-mid
+     dune exec bench/main.exe micro        # bechamel micro-benches
+
+   Set TANGO_BENCH_QUICK=1 for shorter measurement windows. *)
+
+open Tango_objects
+module Tpl = Tango_baselines.Two_phase_locking
+module Key_dist = Tango_workloads.Key_dist
+
+let quick = Sys.getenv_opt "TANGO_BENCH_QUICK" = Some "1"
+let scale v = if quick then v /. 4. else v
+let warmup_us = scale 100_000.
+let measure_us = scale 300_000.
+
+(* ------------------------------------------------------------------ *)
+(* Output helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Measurement scaffolding for hand-rolled windows                    *)
+(* ------------------------------------------------------------------ *)
+
+module M = struct
+  type t = {
+    mutable on : bool;
+    mutable ops : int;
+    mutable good : int;
+    lat : Sim.Stats.Series.t;
+  }
+
+  let create () = { on = false; ops = 0; good = 0; lat = Sim.Stats.Series.create () }
+
+  let note t ~started ok =
+    if t.on then begin
+      t.ops <- t.ops + 1;
+      if ok then t.good <- t.good + 1;
+      Sim.Stats.Series.add t.lat (Sim.Engine.now () -. started)
+    end
+
+  (* Spawn a closed-loop worker. *)
+  let worker t op =
+    Sim.Engine.spawn (fun () ->
+        let rec loop () =
+          let started = Sim.Engine.now () in
+          let ok = op () in
+          note t ~started ok;
+          loop ()
+        in
+        loop ())
+
+  (* Spawn an open-loop generator at [rate]/s with an outstanding cap. *)
+  let generator ?(max_outstanding = 256) t ~rate op =
+    Sim.Engine.spawn (fun () ->
+        let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+        let outstanding = ref 0 in
+        let rec gen () =
+          Sim.Engine.sleep (Sim.Rng.exponential rng ~mean:(1e6 /. rate));
+          if !outstanding < max_outstanding then begin
+            incr outstanding;
+            Sim.Engine.spawn (fun () ->
+                let started = Sim.Engine.now () in
+                let ok = op () in
+                decr outstanding;
+                note t ~started ok)
+          end;
+          gen ()
+        in
+        gen ())
+
+  (* Run the measurement window from the main fiber. *)
+  let window ?(warmup = warmup_us) ?(measure = measure_us) t =
+    Sim.Engine.sleep warmup;
+    t.on <- true;
+    Sim.Engine.sleep measure;
+    t.on <- false
+
+  let tput ?(measure = measure_us) t = float_of_int t.ops /. (measure /. 1e6)
+  let goodput ?(measure = measure_us) t = float_of_int t.good /. (measure /. 1e6)
+
+  let mean_ms t =
+    if Sim.Stats.Series.count t.lat = 0 then 0. else Sim.Stats.Series.mean t.lat /. 1e3
+
+  let p99_ms t =
+    if Sim.Stats.Series.count t.lat = 0 then 0. else Sim.Stats.Series.percentile t.lat 99. /. 1e3
+end
+
+let new_runtime ?batch_size cluster name =
+  Tango.Runtime.create ?batch_size (Corfu.Cluster.new_client cluster ~name)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: sequencer throughput vs number of clients                *)
+(* ------------------------------------------------------------------ *)
+
+let sequencer_rate ~clients ~batch =
+  Sim.Engine.run ~seed:(100 + clients + batch) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:2 () in
+      let seq = Corfu.Cluster.sequencer cluster in
+      let m = M.create () in
+      for i = 1 to clients do
+        let client = Corfu.Cluster.new_client cluster ~name:(Printf.sprintf "c%d" i) in
+        let host = Corfu.Client.host client in
+        (* a window of 2 outstanding requests per client, as a
+           pipelined sequencer client would run *)
+        for _ = 1 to 2 do
+          M.worker m (fun () ->
+              match
+                Sim.Net.call ~from:host
+                  (Corfu.Sequencer.increment_service seq)
+                  { Corfu.Sequencer.iepoch = 0; istreams = []; icount = batch }
+              with
+              | Corfu.Sequencer.Seq_ok _ -> true
+              | Corfu.Sequencer.Seq_sealed _ -> false)
+        done
+      done;
+      M.window m;
+      M.tput m *. float_of_int batch)
+
+let fig2 () =
+  section "Figure 2: sequencer throughput (Ks of requests/sec vs clients)";
+  row "%8s %14s" "clients" "Kreq/s";
+  List.iter
+    (fun clients -> row "%8d %14.0f" clients (sequencer_rate ~clients ~batch:1 /. 1e3))
+    [ 1; 2; 5; 10; 15; 20; 25; 30; 35; 40 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 Left: single view latency/throughput                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_left_point ~ratio ~window_size =
+  Sim.Engine.run ~seed:(int_of_float (ratio *. 100.) + window_size) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let rt = new_runtime cluster "app" in
+      let reg = Tango_register.attach rt ~oid:1 in
+      let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+      let m = M.create () in
+      for _ = 1 to window_size do
+        M.worker m (fun () ->
+            if Sim.Rng.bool rng ratio then Tango_register.write reg 1
+            else ignore (Tango_register.read reg);
+            true)
+      done;
+      M.window m;
+      (M.tput m, M.mean_ms m, M.p99_ms m))
+
+let fig8_left () =
+  section "Figure 8 (Left): single view — latency vs throughput per write ratio";
+  row "%12s %8s %10s %10s %10s" "write-ratio" "window" "Kops/s" "mean-ms" "p99-ms";
+  List.iter
+    (fun ratio ->
+      List.iter
+        (fun window_size ->
+          let tput, mean, p99 = fig8_left_point ~ratio ~window_size in
+          row "%12.1f %8d %10.1f %10.2f %10.2f" ratio window_size (tput /. 1e3) mean p99)
+        [ 8; 16; 32; 64; 128; 256 ])
+    [ 1.0; 0.9; 0.5; 0.1; 0.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 Middle: primary/backup                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_mid_point ~write_rate =
+  Sim.Engine.run ~seed:(int_of_float write_rate + 7) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let rt_w = new_runtime cluster "primary" in
+      let rt_r = new_runtime cluster "backup" in
+      let reg_w = Tango_register.attach rt_w ~oid:1 in
+      let reg_r = Tango_register.attach rt_r ~oid:1 in
+      let writes = M.create () in
+      let reads = M.create () in
+      if write_rate > 0. then
+        M.generator writes ~rate:write_rate (fun () ->
+            Tango_register.write reg_w 1;
+            true);
+      for _ = 1 to 64 do
+        M.worker reads (fun () ->
+            ignore (Tango_register.read reg_r);
+            true)
+      done;
+      Sim.Engine.sleep warmup_us;
+      reads.M.on <- true;
+      writes.M.on <- true;
+      Sim.Engine.sleep measure_us;
+      reads.M.on <- false;
+      writes.M.on <- false;
+      (M.tput reads, M.tput writes, M.mean_ms reads))
+
+let fig8_mid () =
+  section "Figure 8 (Middle): primary/backup — reads on one view, writes on the other";
+  row "%16s %12s %12s %14s" "target-writes/s" "Kreads/s" "Kwrites/s" "read-mean-ms";
+  List.iter
+    (fun rate ->
+      let reads, writes, lat = fig8_mid_point ~write_rate:rate in
+      row "%16.0f %12.1f %12.1f %14.2f" rate (reads /. 1e3) (writes /. 1e3) lat)
+    [ 0.; 5_000.; 10_000.; 20_000.; 30_000.; 40_000. ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 Right: elastic reads                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_right_point ~servers ~readers =
+  Sim.Engine.run ~seed:(servers + readers) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers () in
+      let rt_w = new_runtime cluster "writer" in
+      let reg_w = Tango_register.attach rt_w ~oid:1 in
+      let writes = M.create () in
+      M.generator writes ~rate:10_000. (fun () ->
+          Tango_register.write reg_w 1;
+          true);
+      let reads = M.create () in
+      for i = 1 to readers do
+        let rt = new_runtime cluster (Printf.sprintf "reader-%d" i) in
+        let reg = Tango_register.attach rt ~oid:1 in
+        M.generator ~max_outstanding:64 reads ~rate:10_000. (fun () ->
+            ignore (Tango_register.read reg);
+            true)
+      done;
+      M.window reads;
+      M.tput reads)
+
+let fig8_right () =
+  section "Figure 8 (Right): read elasticity — N readers at 10K reads/s, 10K writes/s";
+  row "%8s %16s %16s" "readers" "18-srv Kreads/s" "2-srv Kreads/s";
+  List.iter
+    (fun readers ->
+      let big = fig8_right_point ~servers:18 ~readers in
+      let small = fig8_right_point ~servers:2 ~readers in
+      row "%8d %16.1f %16.1f" readers (big /. 1e3) (small /. 1e3))
+    [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: transactions on a fully replicated TangoMap              *)
+(* ------------------------------------------------------------------ *)
+
+let map_tx rt map dist rng =
+  Tango.Runtime.begin_tx rt;
+  List.iter (fun k -> ignore (Tango_map.get map k)) (Key_dist.distinct_keys dist rng 3);
+  List.iter (fun k -> Tango_map.put map k "v") (Key_dist.distinct_keys dist rng 3);
+  match Tango.Runtime.end_tx rt with
+  | Tango.Runtime.Committed -> true
+  | Tango.Runtime.Aborted -> false
+
+let fig9_point ~nodes ~keys ~zipfian =
+  Sim.Engine.run ~seed:(nodes + keys + if zipfian then 1 else 0) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let dist = if zipfian then Key_dist.zipf ~n:keys () else Key_dist.uniform ~n:keys in
+      let m = M.create () in
+      for i = 1 to nodes do
+        let rt = new_runtime cluster (Printf.sprintf "node-%d" i) in
+        let map = Tango_map.attach rt ~oid:1 in
+        let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+        for _ = 1 to 32 do
+          M.worker m (fun () -> map_tx rt map dist rng)
+        done
+      done;
+      M.window m;
+      (M.tput m, M.goodput m))
+
+let fig9 () =
+  section "Figure 9: fully replicated TangoMap — 3R+3W transactions";
+  row "%8s %10s %10s %12s %12s" "dist" "keys" "nodes" "Ktx/s" "Kgoodput/s";
+  List.iter
+    (fun zipfian ->
+      List.iter
+        (fun keys ->
+          List.iter
+            (fun nodes ->
+              let tput, goodput = fig9_point ~nodes ~keys ~zipfian in
+              row "%8s %10d %10d %12.1f %12.1f"
+                (if zipfian then "zipf" else "uniform")
+                keys nodes (tput /. 1e3) (goodput /. 1e3))
+            [ 2; 3; 4; 6; 8 ])
+        [ 100; 10_000; 1_000_000 ])
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 Left: layered partitions scale                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_left_point ~servers ~clients =
+  Sim.Engine.run ~seed:(servers + clients) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers () in
+      let dist = Key_dist.uniform ~n:100_000 in
+      let m = M.create () in
+      for i = 1 to clients do
+        let rt = new_runtime cluster (Printf.sprintf "node-%d" i) in
+        let map = Tango_map.attach rt ~oid:i in
+        let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+        for _ = 1 to 24 do
+          M.worker m (fun () -> map_tx rt map dist rng)
+        done
+      done;
+      M.window m;
+      M.tput m)
+
+let fig10_left () =
+  section "Figure 10 (Left): one TangoMap per client — single-partition transactions";
+  row "%8s %16s %16s" "clients" "18-srv Ktx/s" "6-srv Ktx/s";
+  List.iter
+    (fun clients ->
+      let big = fig10_left_point ~servers:18 ~clients in
+      let small = fig10_left_point ~servers:6 ~clients in
+      row "%8d %16.1f %16.1f" clients (big /. 1e3) (small /. 1e3))
+    [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 Middle: cross-partition transactions, Tango vs 2PL       *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_mid_tango ~clients ~cross_pct =
+  Sim.Engine.run ~seed:(clients + cross_pct) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let dist = Key_dist.uniform ~n:100_000 in
+      let m = M.create () in
+      let runtimes = Array.init clients (fun i -> new_runtime cluster (Printf.sprintf "n%d" i)) in
+      let maps = Array.mapi (fun i rt -> Tango_map.attach rt ~oid:(i + 1)) runtimes in
+      Array.iteri
+        (fun i rt ->
+          let map = maps.(i) in
+          let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+          M.generator ~max_outstanding:64 m ~rate:12_000. (fun () ->
+              let cross = Sim.Rng.int rng 100 < cross_pct && clients > 1 in
+              Tango.Runtime.begin_tx rt;
+              List.iter (fun k -> ignore (Tango_map.get map k)) (Key_dist.distinct_keys dist rng 3);
+              List.iter
+                (fun k -> Tango_map.put map k "v")
+                (Key_dist.distinct_keys dist rng (if cross then 2 else 3));
+              if cross then begin
+                (* move a key to a remote partition: a remote write *)
+                let other = (i + 1 + Sim.Rng.int rng (clients - 1)) mod clients in
+                let other = if other = i then (i + 1) mod clients else other in
+                Tango_map.remote_put rt ~oid:(other + 1) (Key_dist.sample_key dist rng) "v"
+              end;
+              match Tango.Runtime.end_tx rt with
+              | Tango.Runtime.Committed -> true
+              | Tango.Runtime.Aborted -> false))
+        runtimes;
+      M.window m;
+      M.goodput m)
+
+let fig10_mid_2pl ~clients ~cross_pct =
+  Sim.Engine.run ~seed:(1000 + clients + cross_pct) (fun () ->
+      let net =
+        Sim.Net.create ~latency:Sim.Params.default.Sim.Params.net_latency_us ~bandwidth:125. ()
+      in
+      let t = Tpl.create ~net in
+      let nodes = Array.init clients (fun i -> Tpl.add_node t ~name:(Printf.sprintf "n%d" i)) in
+      let dist = Key_dist.uniform ~n:100_000 in
+      let m = M.create () in
+      Array.iteri
+        (fun i me ->
+          let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+          M.generator ~max_outstanding:64 m ~rate:12_000. (fun () ->
+              let cross = Sim.Rng.int rng 100 < cross_pct && clients > 1 in
+              let reads =
+                List.map
+                  (fun k ->
+                    let _, v = Tpl.read ~from:me me k in
+                    (me, k, v))
+                  (Key_dist.distinct_keys dist rng 3)
+              in
+              let local_writes =
+                List.map
+                  (fun k -> (me, k, "v"))
+                  (Key_dist.distinct_keys dist rng (if cross then 2 else 3))
+              in
+              let writes =
+                if cross then begin
+                  let other = (i + 1 + Sim.Rng.int rng (clients - 1)) mod clients in
+                  let other = if other = i then (i + 1) mod clients else other in
+                  (nodes.(other), Key_dist.sample_key dist rng, "v") :: local_writes
+                end
+                else local_writes
+              in
+              Tpl.execute t ~from:me ~reads ~writes))
+        nodes;
+      M.window m;
+      M.goodput m)
+
+let fig10_mid () =
+  section "Figure 10 (Middle): % cross-partition transactions — Tango vs 2PL";
+  row "%8s %14s %14s" "cross-%" "Tango Ktx/s" "2PL Ktx/s";
+  List.iter
+    (fun pct ->
+      let tango = fig10_mid_tango ~clients:18 ~cross_pct:pct in
+      let tpl = fig10_mid_2pl ~clients:18 ~cross_pct:pct in
+      row "%8d %14.1f %14.1f" pct (tango /. 1e3) (tpl /. 1e3))
+    [ 0; 1; 2; 4; 8; 16; 32; 64; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 Right: transactions on a shared object                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_right_point ~common_pct =
+  Sim.Engine.run ~seed:(2000 + common_pct) (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let clients = 4 in
+      let dist = Key_dist.uniform ~n:100_000 in
+      let common_oid = 100 in
+      let m = M.create () in
+      for i = 1 to clients do
+        let rt = new_runtime cluster (Printf.sprintf "n%d" i) in
+        let priv = Tango_map.attach rt ~oid:i in
+        (* the shared object is marked: its commit records need
+           decision records for clients lacking the private read sets *)
+        let common = Tango_map.attach rt ~oid:common_oid ~needs_decision:true in
+        let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+        for _ = 1 to 12 do
+          M.worker m (fun () ->
+              let shared = Sim.Rng.int rng 100 < common_pct in
+              Tango.Runtime.begin_tx rt;
+              List.iter (fun k -> ignore (Tango_map.get priv k)) (Key_dist.distinct_keys dist rng 2);
+              List.iter (fun k -> Tango_map.put priv k "v") (Key_dist.distinct_keys dist rng 2);
+              if shared then begin
+                ignore (Tango_map.get common (Key_dist.sample_key dist rng));
+                Tango_map.put common (Key_dist.sample_key dist rng) "v"
+              end;
+              match Tango.Runtime.end_tx rt with
+              | Tango.Runtime.Committed -> true
+              | Tango.Runtime.Aborted -> false)
+        done
+      done;
+      M.window m;
+      (M.tput m, M.goodput m))
+
+let fig10_right () =
+  section "Figure 10 (Right): 4 clients, private + shared TangoMap";
+  row "%9s %12s %14s" "common-%" "Ktx/s" "Kgoodput/s";
+  List.iter
+    (fun pct ->
+      let tput, goodput = fig10_right_point ~common_pct:pct in
+      row "%9d %12.1f %14.1f" pct (tput /. 1e3) (goodput /. 1e3))
+    [ 0; 1; 2; 4; 8; 16; 32; 64; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.3 tables: TangoZK and TangoBK                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tbl_zk_independent ~clients =
+  Sim.Engine.run ~seed:31 (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let m = M.create () in
+      for i = 1 to clients do
+        let rt = new_runtime cluster (Printf.sprintf "zk-%d" i) in
+        let zk = Tango_zk.attach rt ~oid:i in
+        (match Tango_zk.create zk "/data" "" with Ok _ | Error _ -> ());
+        for f = 0 to 9 do
+          match Tango_zk.create zk (Printf.sprintf "/data/f%d" f) "x" with
+          | Ok _ | Error _ -> ()
+        done;
+        for w = 0 to 11 do
+          (* each worker owns one file: independent-namespace traffic
+             should be conflict-free, as in the paper *)
+          let f = Printf.sprintf "/data/f%d" (w mod 10) in
+          ignore f;
+          let f = Printf.sprintf "/data/w%d" w in
+          (match Tango_zk.create zk f "x" with Ok _ | Error _ -> ());
+          M.worker m (fun () ->
+              match Tango_zk.set_data zk f "y" with Ok () -> true | Error _ -> false)
+        done
+      done;
+      M.window m;
+      M.goodput m)
+
+let tbl_zk_moves ~clients =
+  Sim.Engine.run ~seed:32 (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let m = M.create () in
+      let zks =
+        Array.init clients (fun i ->
+            let rt = new_runtime cluster (Printf.sprintf "zk-%d" i) in
+            Tango_zk.attach rt ~oid:(i + 1))
+      in
+      Array.iteri
+        (fun i zk ->
+          let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+          let dst_oid = ((i + 1) mod clients) + 1 in
+          let counter = ref 0 in
+          for _ = 1 to 4 do
+            M.worker m (fun () ->
+                (* create a fresh file locally, then move it atomically
+                   to the neighbouring namespace *)
+                incr counter;
+                let path = Printf.sprintf "/m%d-%d-%d" i !counter (Sim.Rng.int rng 1_000_000) in
+                match Tango_zk.create zk path "payload" with
+                | Error _ -> false
+                | Ok p -> Tango_zk.move zk ~dst_oid p)
+          done)
+        zks;
+      M.window m;
+      M.goodput m)
+
+let tbl_zk () =
+  section "Section 6.3: TangoZK (ops within namespaces; moves across namespaces)";
+  let independent = tbl_zk_independent ~clients:18 in
+  row "%-44s %10.1f Ktx/s" "18 clients, independent namespaces:" (independent /. 1e3);
+  let moves = tbl_zk_moves ~clients:18 in
+  row "%-44s %10.1f Ktx/s" "18 clients, cross-namespace atomic moves:" (moves /. 1e3)
+
+let tbl_bk () =
+  section "Section 6.3: TangoBK ledger append throughput (4KB entries)";
+  let rate =
+    Sim.Engine.run ~seed:33 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:18 () in
+        let m = M.create () in
+        let payload = Bytes.make 3000 'x' in
+        for i = 1 to 18 do
+          let rt = new_runtime ~batch_size:1 cluster (Printf.sprintf "bk-%d" i) in
+          let bk = Tango_bk.attach rt ~oid:i in
+          let ledger = Tango_bk.create_ledger bk in
+          for _ = 1 to 12 do
+            M.worker m (fun () ->
+                match Tango_bk.add_entry bk ~ledger payload with Ok _ -> true | Error _ -> false)
+          done
+        done;
+        M.window m;
+        M.goodput m)
+  in
+  row "18 clients, one ledger each: %.1f Kwrites/s" (rate /. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_k () =
+  section "Ablation: backpointer redundancy K vs stream rebuild cost";
+  row "%4s %10s %14s %16s" "K" "entries" "sync reads" "reads/entry";
+  List.iter
+    (fun k ->
+      let n = 512 in
+      let reads =
+        Sim.Engine.run ~seed:(40 + k) (fun () ->
+            let params = { Sim.Params.default with Sim.Params.backpointer_k = k } in
+            let cluster = Corfu.Cluster.create ~params ~servers:4 () in
+            let w = Corfu.Cluster.new_client cluster ~name:"writer" in
+            for i = 0 to n - 1 do
+              ignore (Corfu.Client.append w ~streams:[ 1 ] (Bytes.of_string (string_of_int i)))
+            done;
+            let r = Corfu.Cluster.new_client cluster ~name:"reader" in
+            let s = Corfu.Stream.attach r 1 in
+            ignore (Corfu.Stream.sync s);
+            Corfu.Stream.sync_reads s)
+      in
+      row "%4d %10d %14d %16.3f" k n reads (float_of_int reads /. float_of_int n))
+    [ 4; 8; 16 ]
+
+let ablation_decision () =
+  section "Ablation: decision records — remote-write vs local-write transaction latency";
+  let latency remote =
+    Sim.Engine.run ~seed:51 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:18 () in
+        let rt = new_runtime cluster "producer" in
+        let src = Tango_map.attach rt ~oid:1 in
+        let _local_dst = Tango_map.attach rt ~oid:2 in
+        let rt2 = new_runtime cluster "consumer" in
+        let _remote_dst = Tango_map.attach rt2 ~oid:3 in
+        Tango_map.put src "k" "v";
+        let m = M.create () in
+        for _ = 1 to 4 do
+          M.worker m (fun () ->
+              Tango.Runtime.begin_tx rt;
+              ignore (Tango_map.get src "k");
+              let dst_oid = if remote then 3 else 2 in
+              Tango_map.remote_put rt ~oid:dst_oid "k" "v";
+              match Tango.Runtime.end_tx rt with
+              | Tango.Runtime.Committed -> true
+              | Tango.Runtime.Aborted -> false)
+        done;
+        M.window m;
+        M.mean_ms m)
+  in
+  row "local-write transaction:  %.2f ms" (latency false);
+  row "remote-write transaction: %.2f ms (adds the decision-record phase)" (latency true);
+  (* collaborative remote-read transactions (§4.1 D, future work) *)
+  let collab_latency =
+    Sim.Engine.run ~seed:52 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:18 () in
+        let rt_a = new_runtime cluster "reader-host" in
+        let rt_b = new_runtime cluster "value-host" in
+        let src = Tango_map.attach rt_a ~oid:1 in
+        let m2 = Tango_map.attach rt_b ~oid:2 in
+        Tango_map.serve_reads m2;
+        Tango.Runtime.connect_peer rt_a ~oid:2 (Tango.Runtime.remote_read_service rt_b);
+        Tango_map.put m2 "k" "v";
+        Tango_map.put src "local" "x";
+        (* keep the value host playing, as a live replica would *)
+        Sim.Engine.spawn (fun () ->
+            let rec live () =
+              ignore (Tango_map.get m2 "k");
+              Sim.Engine.sleep 200.;
+              live ()
+            in
+            live ());
+        let m = M.create () in
+        for _ = 1 to 4 do
+          M.worker m (fun () ->
+              Tango.Runtime.begin_tx rt_a;
+              ignore (Tango_map.get src "local");
+              ignore (Tango_map.get_remote rt_a ~oid:2 "k");
+              Tango_map.put src "out" "y";
+              match Tango.Runtime.end_tx rt_a with
+              | Tango.Runtime.Committed -> true
+              | Tango.Runtime.Aborted -> false)
+        done;
+        M.window m;
+        M.mean_ms m)
+  in
+  row "collaborative remote-read transaction: %.2f ms (partial + final decision records)"
+    collab_latency
+
+let ablation_versioning () =
+  section "Ablation: fine-grained (per-key) vs coarse (per-object) versioning — abort rate";
+  let abort_rate fine =
+    Sim.Engine.run ~seed:61 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:18 () in
+        let dist = Key_dist.uniform ~n:10_000 in
+        let m = M.create () in
+        for i = 1 to 4 do
+          let rt = new_runtime cluster (Printf.sprintf "n%d" i) in
+          let map = Tango_map.attach rt ~oid:1 in
+          let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+          for _ = 1 to 8 do
+            M.worker m (fun () ->
+                Tango.Runtime.begin_tx rt;
+                if fine then begin
+                  List.iter
+                    (fun k -> ignore (Tango_map.get map k))
+                    (Key_dist.distinct_keys dist rng 3);
+                  List.iter (fun k -> Tango_map.put map k "v") (Key_dist.distinct_keys dist rng 3)
+                end
+                else begin
+                  (* coarse: read/write the whole object's version *)
+                  Tango.Runtime.query_helper rt ~oid:1 ();
+                  List.iter
+                    (fun k -> Tango_map.coarse_put map k "v")
+                    (Key_dist.distinct_keys dist rng 3)
+                end;
+                match Tango.Runtime.end_tx rt with
+                | Tango.Runtime.Committed -> true
+                | Tango.Runtime.Aborted -> false)
+          done
+        done;
+        M.window m;
+        let total = float_of_int m.M.ops in
+        if total = 0. then 0. else 100. *. float_of_int (m.M.ops - m.M.good) /. total)
+  in
+  row "per-key versioning abort rate:    %5.1f %%" (abort_rate true);
+  row "per-object versioning abort rate: %5.1f %%" (abort_rate false)
+
+let ablation_seqbatch () =
+  section "Ablation: sequencer batching (Fig. 2 with batch 1 vs 4)";
+  row "%8s %14s %14s" "clients" "batch-1 Kreq/s" "batch-4 Kreq/s";
+  List.iter
+    (fun clients ->
+      let b1 = sequencer_rate ~clients ~batch:1 in
+      let b4 = sequencer_rate ~clients ~batch:4 in
+      row "%8d %14.0f %14.0f" clients (b1 /. 1e3) (b4 /. 1e3))
+    [ 10; 20; 40 ]
+
+let ablation_seqckpt () =
+  section "Ablation: sequencer checkpoints — failover rebuild scan length";
+  row "%10s %14s %18s" "log size" "full scan" "with checkpoints";
+  List.iter
+    (fun n ->
+      let scan scribe =
+        Sim.Engine.run ~seed:(70 + n + if scribe then 1 else 0) (fun () ->
+            let cluster = Corfu.Cluster.create ~servers:4 () in
+            if scribe then Corfu.Cluster.start_checkpoint_scribe cluster ~interval_us:30_000.;
+            let c = Corfu.Cluster.new_client cluster ~name:"writer" in
+            for i = 0 to n - 1 do
+              ignore (Corfu.Client.append c ~streams:[ 1 + (i mod 4) ] (Bytes.of_string "x"));
+              Sim.Engine.sleep 400.
+            done;
+            ignore (Corfu.Cluster.replace_sequencer cluster);
+            Corfu.Cluster.last_rebuild_scan cluster)
+      in
+      row "%10d %14d %18d" n (scan false) (scan true))
+    [ 200; 500; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the hot code path of each experiment    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let payload =
+    Tango.Record.encode_payload
+      [
+        Tango.Record.Commit
+          {
+            Tango.Record.c_reads = [ (1, Some "k00000001", 42); (1, Some "k00000002", 43) ];
+            c_writes =
+              [ { Tango.Record.u_oid = 1; u_key = Some "k00000003"; u_data = Bytes.make 64 'x' } ];
+            c_needs_decision = false;
+          };
+      ]
+  in
+  let headers =
+    Corfu.Stream_header.encode_block ~k:4 ~current:100_000
+      [ { Corfu.Stream_header.stream = 7; backptrs = [ 99_999; 99_990; 99_900; 99_000 ] } ]
+  in
+  let zipf = Tango_workloads.Zipf.create ~n:1_000_000 () in
+  let zipf_rng = Sim.Rng.create 1 in
+  let tests =
+    [
+      (* fig2: the sequencer's per-request work, end to end *)
+      Test.make ~name:"fig2/sequencer-rpc-sim"
+        (Staged.stage (fun () ->
+             Sim.Engine.run (fun () ->
+                 let cluster = Corfu.Cluster.create ~servers:2 () in
+                 let c = Corfu.Cluster.new_client cluster ~name:"c" in
+                 ignore (Corfu.Client.check c))));
+      (* fig8: one append + one linearizable read, end to end *)
+      Test.make ~name:"fig8/register-write-read-sim"
+        (Staged.stage (fun () ->
+             Sim.Engine.run (fun () ->
+                 let cluster = Corfu.Cluster.create ~servers:2 () in
+                 let rt = new_runtime cluster "app" in
+                 let reg = Tango_register.attach rt ~oid:1 in
+                 Tango_register.write reg 1;
+                 ignore (Tango_register.read reg))));
+      (* fig9/fig10: commit-record decode, the per-tx byte work *)
+      Test.make ~name:"fig9/record-roundtrip"
+        (Staged.stage (fun () -> ignore (Tango.Record.decode_payload payload)));
+      (* §5 streams: header decode *)
+      Test.make ~name:"fig10/stream-header-roundtrip"
+        (Staged.stage (fun () ->
+             ignore (Corfu.Stream_header.decode_block ~k:4 ~current:100_000 headers)));
+      (* fig9 workload generation *)
+      Test.make ~name:"fig9/zipf-sample"
+        (Staged.stage (fun () -> ignore (Tango_workloads.Zipf.sample zipf zipf_rng)));
+      (* tbl-zk: one full zk create transaction in a mini-cluster *)
+      Test.make ~name:"tbl-zk/create-tx-sim"
+        (Staged.stage (fun () ->
+             Sim.Engine.run (fun () ->
+                 let cluster = Corfu.Cluster.create ~servers:2 () in
+                 let zk = Tango_zk.attach (new_runtime cluster "z") ~oid:1 in
+                 ignore (Tango_zk.create zk "/a" "x"))));
+    ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    Benchmark.all (Benchmark.cfg ~limit:500 ~quota ()) [ clock ] test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      clock results
+  in
+  section "Bechamel micro-benchmarks (ns per run)";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> row "%-36s %12.0f ns/run" name est
+          | Some _ | None -> row "%-36s %12s" name "n/a")
+        a)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig2", fig2);
+    ("fig8-left", fig8_left);
+    ("fig8-mid", fig8_mid);
+    ("fig8-right", fig8_right);
+    ("fig9", fig9);
+    ("fig10-left", fig10_left);
+    ("fig10-mid", fig10_mid);
+    ("fig10-right", fig10_right);
+    ("tbl-zk", tbl_zk);
+    ("tbl-bk", tbl_bk);
+    ("ablation-k", ablation_k);
+    ("ablation-decision", ablation_decision);
+    ("ablation-versioning", ablation_versioning);
+    ("ablation-seqbatch", ablation_seqbatch);
+    ("ablation-seqckpt", ablation_seqckpt);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] -> assert false
+  | _ :: [] ->
+      Printf.printf "Tango evaluation harness (quick=%b)\n%!" quick;
+      List.iter (fun (_, f) -> f ()) experiments
+  | _ :: [ "micro" ] -> micro ()
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None when name = "micro" -> micro ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s micro\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 1)
+        names

@@ -1,0 +1,185 @@
+(* tangoctl: operational demos against a simulated Tango deployment.
+
+     dune exec bin/tangoctl.exe -- cluster-info --servers 18
+     dune exec bin/tangoctl.exe -- failover
+     dune exec bin/tangoctl.exe -- gc
+     dune exec bin/tangoctl.exe -- soak --clients 4 --ops 200 *)
+
+open Cmdliner
+open Tango_objects
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* cluster-info                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_info servers =
+  Sim.Engine.run (fun () ->
+      let cluster = Corfu.Cluster.create ~servers () in
+      let proj = Corfu.Auxiliary.latest (Corfu.Cluster.auxiliary cluster) in
+      say "CORFU deployment:";
+      say "  storage servers : %d" (Corfu.Projection.num_servers proj);
+      say "  replica sets    : %d (chain length %d)" (Corfu.Projection.num_sets proj)
+        (Corfu.Projection.num_servers proj / Corfu.Projection.num_sets proj);
+      say "  epoch           : %d" proj.Corfu.Projection.epoch;
+      say "  sequencer       : %s" (Corfu.Sequencer.name proj.Corfu.Projection.sequencer);
+      say "";
+      say "offset -> (replica set, local offset) mapping samples:";
+      List.iter
+        (fun off ->
+          let set = off mod Corfu.Projection.num_sets proj in
+          say "  global %6d -> set %d, local %d" off set
+            (Corfu.Projection.local_offset proj off))
+        [ 0; 1; 17; 1_000_000 ];
+      say "";
+      let p = Corfu.Cluster.params cluster in
+      say "calibration (see DESIGN.md §1):";
+      say "  entry size          : %d B" p.Sim.Params.entry_bytes;
+      say "  sequencer service   : %.2f µs  (cap ~%.0fK req/s)" p.Sim.Params.sequencer_service_us
+        (1e3 /. p.Sim.Params.sequencer_service_us);
+      say "  storage 4KB write   : %.1f µs  (~%.1fK appends/s/set)" p.Sim.Params.storage_write_us
+        (1e3 /. p.Sim.Params.storage_write_us);
+      say "  storage 4KB read    : %.1f µs" p.Sim.Params.storage_read_us;
+      say "  commit batch        : %d records/entry" p.Sim.Params.commit_batch;
+      say "  backpointers (K)    : %d" p.Sim.Params.backpointer_k);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* failover                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let failover () =
+  Sim.Engine.run (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app") in
+      let reg = Tango_register.attach rt ~oid:1 in
+      say "writing under load while the sequencer fails over...";
+      let completed = ref 0 in
+      Sim.Engine.spawn (fun () ->
+          for i = 1 to 200 do
+            Tango_register.write reg i;
+            incr completed
+          done);
+      Sim.Engine.sleep 10_000.;
+      let before = Sim.Engine.now () in
+      let epoch = Corfu.Cluster.replace_sequencer cluster in
+      let took = Sim.Engine.now () -. before in
+      say "sequencer replaced: epoch %d, reconfiguration took %.2f ms (paper: ~10 ms)" epoch
+        (took /. 1e3);
+      Sim.Engine.sleep 3_000_000.;
+      say "writes completed through the failover: %d/200" !completed;
+      let observer = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"observer") in
+      let reg2 = Tango_register.attach observer ~oid:1 in
+      say "replayed final value on a fresh view: %d (expected 200)" (Tango_register.read reg2));
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* gc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gc () =
+  Sim.Engine.run (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:4 () in
+      let rt = Tango.Runtime.create ~batch_size:1 (Corfu.Cluster.new_client cluster ~name:"app") in
+      let dir = Tango.Directory.attach rt in
+      let oid = Tango.Directory.declare dir "big-map" in
+      let map = Tango_map.attach rt ~oid in
+      say "writing 200 updates...";
+      for i = 1 to 200 do
+        Tango_map.put map (Printf.sprintf "k%d" (i mod 20)) (string_of_int i)
+      done;
+      ignore (Tango_map.size map);
+      let tail = Corfu.Client.check (Tango.Runtime.client rt) in
+      say "log tail: %d entries" tail;
+      say "checkpointing the map and forgetting its history...";
+      let info = Tango.Runtime.checkpoint rt ~oid in
+      Tango.Directory.forget dir ~oid ~below:(info.Tango.Runtime.ckpt_base + 1);
+      ignore (Tango.Runtime.checkpoint rt ~oid:Tango.Directory.oid);
+      Tango.Directory.forget dir ~oid:Tango.Directory.oid
+        ~below:(Tango.Record.pos ~offset:(tail - 1) ~slot:0);
+      let trimmed = Tango.Directory.collect dir in
+      say "trimmed the shared log below offset %d" trimmed;
+      let survivors =
+        Array.fold_left
+          (fun acc node -> acc + Corfu.Storage_node.written_count node)
+          0 (Corfu.Cluster.storage_nodes cluster)
+      in
+      say "entries still resident on storage nodes: %d" survivors;
+      say "a cold client must still recover full state from the checkpoint:";
+      let rt2 = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"cold") in
+      let map2 = Tango_map.attach rt2 ~oid in
+      say "  recovered %d keys" (Tango_map.size map2));
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* soak                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let soak clients ops seed =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+      let dist = Tango_workloads.Key_dist.zipf ~n:1_000 () in
+      let commits = ref 0 and aborts = ref 0 in
+      for i = 1 to clients do
+        let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:(Printf.sprintf "c%d" i)) in
+        let map = Tango_map.attach rt ~oid:1 in
+        let set = Tango_set.attach rt ~oid:2 in
+        let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+        Sim.Engine.spawn (fun () ->
+            for _ = 1 to ops do
+              Tango.Runtime.begin_tx rt;
+              let k = Tango_workloads.Key_dist.sample_key dist rng in
+              (match Tango_map.get map k with
+              | Some v ->
+                  Tango_map.put map k (v ^ "+");
+                  Tango_set.add set k
+              | None -> Tango_map.put map k "1");
+              match Tango.Runtime.end_tx rt with
+              | Tango.Runtime.Committed -> incr commits
+              | Tango.Runtime.Aborted -> incr aborts
+            done)
+      done;
+      Sim.Engine.sleep 60_000_000.;
+      say "soak: %d clients x %d ops -> %d commits, %d aborts (%.1f%% aborted)" clients ops
+        !commits !aborts
+        (100. *. float_of_int !aborts /. float_of_int (max 1 (!commits + !aborts)));
+      say "simulated time: %.1f s" (Sim.Engine.now () /. 1e6));
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* command line                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let servers_arg =
+  Arg.(value & opt int 18 & info [ "servers" ] ~docv:"N" ~doc:"Number of storage servers.")
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Number of client machines.")
+
+let ops_arg = Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Transactions per client.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let cluster_info_cmd =
+  Cmd.v
+    (Cmd.info "cluster-info" ~doc:"Describe a simulated CORFU deployment and its calibration.")
+    Term.(ret (const cluster_info $ servers_arg))
+
+let failover_cmd =
+  Cmd.v
+    (Cmd.info "failover" ~doc:"Replace the sequencer under write load (§5 reconfiguration).")
+    Term.(ret (const failover $ const ()))
+
+let gc_cmd =
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Checkpoint, forget and trim the shared log (§3.2 garbage collection).")
+    Term.(ret (const gc $ const ()))
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak" ~doc:"Run a mixed transactional workload and report commit/abort counts.")
+    Term.(ret (const soak $ clients_arg $ ops_arg $ seed_arg))
+
+let () =
+  let info = Cmd.info "tangoctl" ~doc:"Operational demos for the Tango reproduction." in
+  exit (Cmd.eval (Cmd.group info [ cluster_info_cmd; failover_cmd; gc_cmd; soak_cmd ]))

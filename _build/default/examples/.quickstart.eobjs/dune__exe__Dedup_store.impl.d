@@ -1,0 +1,1 @@
+examples/dedup_store.ml: Corfu Hashtbl List Printf Sim String Tango Tango_dedup Tango_objects

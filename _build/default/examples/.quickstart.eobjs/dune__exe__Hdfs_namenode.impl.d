@@ -1,0 +1,1 @@
+examples/hdfs_namenode.ml: Corfu List Option Printf Sim String Tango Tango_hdfs

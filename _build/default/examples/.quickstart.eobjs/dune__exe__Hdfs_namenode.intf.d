@@ -1,0 +1,1 @@
+examples/hdfs_namenode.mli:

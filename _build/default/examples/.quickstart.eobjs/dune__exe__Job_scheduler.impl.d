@@ -1,0 +1,1 @@
+examples/job_scheduler.ml: Corfu List Printf Sim String Tango Tango_counter Tango_list Tango_map Tango_objects

@@ -1,0 +1,1 @@
+examples/membership_service.ml: Bytes Corfu List Option Printf Sim String Tango Tango_bk Tango_map Tango_objects Tango_set

@@ -1,0 +1,1 @@
+examples/membership_service.mli:

@@ -1,0 +1,1 @@
+examples/namespace_shard.ml: Corfu List Printf Sim Tango Tango_objects Tango_zk

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Corfu List Printf Sim Tango Tango_objects Tango_queue

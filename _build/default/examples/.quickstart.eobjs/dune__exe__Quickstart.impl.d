@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corfu Option Printf Sim Tango Tango_map Tango_objects Tango_register

@@ -1,0 +1,1 @@
+examples/thin_client.ml: Corfu List Option Printf Sim Tango Tango_map Tango_objects

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Corfu List Option Printf Sim String Tango Tango_list Tango_map Tango_objects

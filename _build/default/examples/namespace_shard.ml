@@ -1,0 +1,86 @@
+(* Sharding a filesystem namespace across TangoZK instances (paper
+   §6.3 and Fig. 5d): each application server hosts one namespace
+   partition, yet files move between partitions atomically via
+   remote-write transactions — a capability ZooKeeper itself lacks.
+
+     dune exec examples/namespace_shard.exe *)
+
+open Tango_objects
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+let say fmt = Printf.printf ("   " ^^ fmt ^^ "\n%!")
+
+let show_tree zk root =
+  let rec walk path indent =
+    (match Tango_zk.get_data zk path with
+    | Some (data, _) when data <> "" -> say "%s%s  (%s)" indent path data
+    | Some _ -> say "%s%s" indent path
+    | None -> ());
+    match Tango_zk.get_children zk path with
+    | Ok kids ->
+        List.iter
+          (fun kid -> walk (if path = "/" then "/" ^ kid else path ^ "/" ^ kid) (indent ^ "  "))
+          kids
+    | Error _ -> ()
+  in
+  walk root ""
+
+let must = function Ok v -> v | Error _ -> failwith "zk error"
+
+let () =
+  Sim.Engine.run ~seed:23 (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+
+      step "Two namespace shards on different application servers";
+      let rt_a = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"shard-a-host") in
+      let rt_b = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"shard-b-host") in
+      let ns_a = Tango_zk.attach rt_a ~oid:1 in
+      let ns_b = Tango_zk.attach rt_b ~oid:2 in
+
+      step "Populate shard A with a project tree";
+      ignore (must (Tango_zk.create ns_a "/projects" ""));
+      ignore (must (Tango_zk.create ns_a "/projects/tango" "owner=sys"));
+      ignore (must (Tango_zk.create ns_a "/projects/tango/design.md" "v1"));
+      ignore (must (Tango_zk.create ns_a "/projects/tango/eval.md" "v2"));
+      say "shard A:";
+      show_tree ns_a "/projects";
+
+      step "Sequential znodes for a work queue on shard B";
+      ignore (must (Tango_zk.create ns_b "/queue" ""));
+      List.iter
+        (fun payload ->
+          let p = must (Tango_zk.create ns_b ~sequential:true "/queue/task-" payload) in
+          say "enqueued %s" p)
+        [ "build"; "test"; "ship" ];
+
+      step "Watches fire when the log delivers a change";
+      Tango_zk.watch_children ns_b "/queue" (fun _ -> say "<watch> /queue children changed");
+      ignore (must (Tango_zk.create ns_b ~sequential:true "/queue/task-" "profile"));
+      ignore (Tango_zk.exists ns_b "/queue");
+
+      step "Atomic multi-op (ZooKeeper's own transaction, one shard)";
+      (match
+         Tango_zk.multi ns_a
+           [
+             Tango_zk.Check ("/projects/tango", 0);
+             Tango_zk.Create_op ("/projects/tango/NOTICE", "relocating");
+             Tango_zk.Set_op ("/projects/tango", "owner=infra");
+           ]
+       with
+      | Ok () -> say "multi committed"
+      | Error _ -> say "multi failed");
+
+      step "Move the whole subtree to shard B — atomic across shards";
+      say "shard B does not host shard A's objects, and vice versa;";
+      say "the move rides on a remote-write transaction (§4.1).";
+      let moved = Tango_zk.move ns_a ~dst_oid:2 "/projects/tango" in
+      say "move committed: %b" moved;
+      say "shard A after:";
+      show_tree ns_a "/projects";
+      say "shard B after:";
+      show_tree ns_b "/projects";
+
+      step "No intermediate state was ever visible";
+      say "(the commit record occupies a single log position; every";
+      say " observer sees the subtree wholly in A or wholly in B)";
+      say "(simulated time: %.1f ms)" (Sim.Engine.now () /. 1e3))

@@ -1,0 +1,57 @@
+(* Quickstart: bring up a CORFU log, host Tango objects on two
+   application servers, and run a cross-object transaction.
+
+     dune exec examples/quickstart.exe *)
+
+open Tango_objects
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+let say fmt = Printf.printf ("   " ^^ fmt ^^ "\n%!")
+
+let () =
+  Sim.Engine.run ~seed:7 (fun () ->
+      step "Deploy an 18-node CORFU log (9 replica sets of 2) + sequencer";
+      let cluster = Corfu.Cluster.create ~servers:18 () in
+
+      step "Two application servers, each with a Tango runtime";
+      let rt1 = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app-server-1") in
+      let rt2 = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app-server-2") in
+
+      step "Name objects through the directory (OID 0)";
+      let dir1 = Tango.Directory.attach rt1 in
+      let dir2 = Tango.Directory.attach rt2 in
+      let reg_oid = Tango.Directory.declare dir1 "config-epoch" in
+      let map_oid = Tango.Directory.declare dir1 "user-table" in
+      say "declared: config-epoch -> OID %d, user-table -> OID %d" reg_oid map_oid;
+      say "server 2 resolves the same ids: %d, %d"
+        (Option.get (Tango.Directory.lookup dir2 "config-epoch"))
+        (Option.get (Tango.Directory.lookup dir2 "user-table"));
+
+      step "Host views on both servers";
+      let reg1 = Tango_register.attach rt1 ~oid:reg_oid in
+      let map1 = Tango_map.attach rt1 ~oid:map_oid in
+      let reg2 = Tango_register.attach rt2 ~oid:reg_oid in
+      let map2 = Tango_map.attach rt2 ~oid:map_oid in
+
+      step "Writes on server 1 are linearizable reads on server 2";
+      Tango_register.write reg1 42;
+      Tango_map.put map1 "alice" "admin";
+      say "server 2 reads register = %d, alice = %s" (Tango_register.read reg2)
+        (Option.value (Tango_map.get map2 "alice") ~default:"?");
+
+      step "A transaction across both objects (atomic on every view)";
+      Tango.Runtime.begin_tx rt2;
+      let epoch = Tango_register.read reg2 in
+      Tango_register.write reg2 (epoch + 1);
+      Tango_map.put map2 "alice" (Printf.sprintf "admin@epoch%d" (epoch + 1));
+      (match Tango.Runtime.end_tx rt2 with
+      | Tango.Runtime.Committed -> say "committed"
+      | Tango.Runtime.Aborted -> say "aborted");
+      say "server 1 sees register = %d, alice = %s" (Tango_register.read reg1)
+        (Option.value (Tango_map.get map1 "alice") ~default:"?");
+
+      step "Persistence: a brand-new server reconstructs state from the log";
+      let rt3 = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"late-joiner") in
+      let map3 = Tango_map.attach rt3 ~oid:map_oid in
+      say "late joiner sees alice = %s" (Option.value (Tango_map.get map3 "alice") ~default:"?");
+      say "(simulated time elapsed: %.1f ms)" (Sim.Engine.now () /. 1e3))

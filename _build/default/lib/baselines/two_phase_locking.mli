@@ -1,0 +1,42 @@
+(** The comparison baseline of Figure 10 (Middle): a conventional
+    distributed two-phase-locking protocol, Percolator-style but
+    serializable (§6.2).
+
+    State is sharded across item servers (one per application node);
+    a central timestamp server hands out transaction versions. A
+    transaction: (1) takes a timestamp, (2) locks its read set and
+    validates that versions haven't moved, (3) locks its write set,
+    collecting latest versions — any newer version is a write-write
+    conflict — then (4) commits everywhere, stamping items with the
+    transaction timestamp and unlocking. Any failure unlocks
+    everything; the caller retries with a fresh timestamp. Locks are
+    non-blocking (no deadlocks, as in Percolator). *)
+
+type t
+type node
+
+val create : net:Sim.Net.t -> t
+
+(** [add_node t ~name] registers an item server + client pair. *)
+val add_node : t -> name:string -> node
+
+val node_name : node -> string
+
+(** [read ~from target key] returns (value, version); missing items
+    read as ("", -1). One RPC unless [target == from]. *)
+val read : from:node -> node -> string -> string * int
+
+(** [execute t ~from ~reads ~writes] runs one 2PL attempt from node
+    [from]: takes a fresh timestamp, then locks/validates/commits.
+    [reads] carry the versions observed; [writes] are
+    (target, key, value). Returns [true] on commit. On [false] all
+    locks have been released; retry with fresh reads. *)
+val execute :
+  t ->
+  from:node ->
+  reads:(node * string * int) list ->
+  writes:(node * string * string) list ->
+  bool
+
+(** Local, non-RPC peek for tests. *)
+val peek : node -> string -> string option

@@ -1,0 +1,1 @@
+lib/core/batcher.ml: Corfu List Record Sim

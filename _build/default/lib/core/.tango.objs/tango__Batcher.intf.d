@@ -1,0 +1,1 @@
+lib/core/batcher.mli: Corfu Record

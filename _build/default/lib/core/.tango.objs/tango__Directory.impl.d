@@ -1,0 +1,1 @@
+lib/core/directory.ml: Buffer Bytes Hashtbl Int32 Int64 List Printf Record Runtime String

@@ -1,0 +1,1 @@
+lib/core/record.ml: Buffer Bytes Fmt Int32 Int64 List Printf String

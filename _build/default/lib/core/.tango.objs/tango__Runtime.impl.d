@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Batcher Corfu Fun Hashtbl List Option Queue Record Sim String

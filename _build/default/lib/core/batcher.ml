@@ -1,0 +1,54 @@
+type waiting = {
+  w_record : Record.t;
+  w_streams : Corfu.Types.stream_id list;
+  w_pos : int Sim.Ivar.t;
+}
+
+type t = {
+  client : Corfu.Client.t;
+  batch_size : int;
+  linger_us : float;
+  mutable forming : waiting list;  (* newest first *)
+  mutable generation : int;  (* bumped on every flush; guards linger timers *)
+  mutable entries : int;
+  mutable records : int;
+}
+
+let create ~client ~batch_size ?(linger_us = 30.) () =
+  if batch_size < 1 || batch_size > Record.slots_per_entry then
+    invalid_arg "Batcher.create: bad batch size";
+  { client; batch_size; linger_us; forming = []; generation = 0; entries = 0; records = 0 }
+
+let flush t =
+  match t.forming with
+  | [] -> ()
+  | batch ->
+      t.forming <- [];
+      t.generation <- t.generation + 1;
+      let batch = List.rev batch in
+      let streams =
+        List.sort_uniq compare (List.concat_map (fun w -> w.w_streams) batch)
+      in
+      let payload = Record.encode_payload (List.map (fun w -> w.w_record) batch) in
+      let off = Corfu.Client.append t.client ~streams payload in
+      t.entries <- t.entries + 1;
+      List.iteri (fun slot w -> Sim.Ivar.fill w.w_pos (Record.pos ~offset:off ~slot)) batch
+
+let submit t ~streams record =
+  if streams = [] then invalid_arg "Batcher.submit: no target streams";
+  let w = { w_record = record; w_streams = streams; w_pos = Sim.Ivar.create () } in
+  let was_empty = t.forming = [] in
+  t.forming <- w :: t.forming;
+  t.records <- t.records + 1;
+  if List.length t.forming >= t.batch_size then flush t
+  else if was_empty then begin
+    (* First record of a fresh batch arms the linger timer. *)
+    let generation = t.generation in
+    Sim.Engine.spawn (fun () ->
+        Sim.Engine.sleep t.linger_us;
+        if t.generation = generation then flush t)
+  end;
+  Sim.Ivar.read w.w_pos
+
+let entries_appended t = t.entries
+let records_submitted t = t.records

@@ -1,0 +1,28 @@
+(** Append batching: packs several Tango records into one log entry.
+
+    The paper's clients store a batch of 4 commit records per 4KB
+    entry (§6). The batcher fills a forming batch as fibers submit
+    records; the submission that completes a batch appends it, and a
+    linger timer bounds the latency of partial batches under light
+    load. Batches fly concurrently — ordering comes from the
+    sequencer, not from the batcher — so one client can keep many
+    appends in flight. *)
+
+type t
+
+(** [create ~client ~batch_size ?linger_us ()] builds a batcher
+    appending through [client]. [linger_us] (default 30) is how long a
+    partial batch may wait for company. *)
+val create : client:Corfu.Client.t -> batch_size:int -> ?linger_us:float -> unit -> t
+
+(** [submit t ~streams record] enqueues [record], destined for
+    [streams] (the multiappend target set), and blocks the calling
+    fiber until the enclosing entry is durable. Returns the record's
+    global position. *)
+val submit : t -> streams:Corfu.Types.stream_id list -> Record.t -> int
+
+(** Entries appended so far (for tests: measures batching ratio). *)
+val entries_appended : t -> int
+
+(** Records submitted so far. *)
+val records_submitted : t -> int

@@ -1,0 +1,130 @@
+let oid = 0
+
+type t = {
+  rt : Runtime.t;
+  bindings : (string, int) Hashtbl.t;
+  forgets : (int, int) Hashtbl.t;  (* oid -> forget position *)
+  mutable next_oid : int;
+}
+
+(* Update buffers: '\001' ^ name = declare; '\002' ^ oid ^ pos = forget. *)
+
+let encode_declare name =
+  let b = Buffer.create (1 + String.length name) in
+  Buffer.add_uint8 b 1;
+  Buffer.add_string b name;
+  Buffer.to_bytes b
+
+let encode_forget ~target_oid ~below =
+  let b = Buffer.create 17 in
+  Buffer.add_uint8 b 2;
+  Buffer.add_int64_be b (Int64.of_int target_oid);
+  Buffer.add_int64_be b (Int64.of_int below);
+  Buffer.to_bytes b
+
+let apply t ~pos:_ ~key:_ data =
+  match Bytes.get_uint8 data 0 with
+  | 1 ->
+      let name = Bytes.sub_string data 1 (Bytes.length data - 1) in
+      if not (Hashtbl.mem t.bindings name) then begin
+        Hashtbl.replace t.bindings name t.next_oid;
+        t.next_oid <- t.next_oid + 1
+      end
+  | 2 ->
+      let target = Int64.to_int (Bytes.get_int64_be data 1) in
+      let below = Int64.to_int (Bytes.get_int64_be data 9) in
+      let prev = match Hashtbl.find_opt t.forgets target with Some p -> p | None -> -1 in
+      if below > prev then Hashtbl.replace t.forgets target below
+  | tag -> invalid_arg (Printf.sprintf "Directory.apply: unknown tag %d" tag)
+
+let snapshot t =
+  let b = Buffer.create 256 in
+  Buffer.add_int32_be b (Int32.of_int t.next_oid);
+  Buffer.add_int32_be b (Int32.of_int (Hashtbl.length t.bindings));
+  Hashtbl.iter
+    (fun name o ->
+      Buffer.add_int32_be b (Int32.of_int (String.length name));
+      Buffer.add_string b name;
+      Buffer.add_int32_be b (Int32.of_int o))
+    t.bindings;
+  Buffer.add_int32_be b (Int32.of_int (Hashtbl.length t.forgets));
+  Hashtbl.iter
+    (fun o p ->
+      Buffer.add_int32_be b (Int32.of_int o);
+      Buffer.add_int64_be b (Int64.of_int p))
+    t.forgets;
+  Buffer.to_bytes b
+
+let load_snapshot t data =
+  Hashtbl.reset t.bindings;
+  Hashtbl.reset t.forgets;
+  let at = ref 0 in
+  let u32 () =
+    let v = Int32.to_int (Bytes.get_int32_be data !at) in
+    at := !at + 4;
+    v
+  in
+  let u64 () =
+    let v = Int64.to_int (Bytes.get_int64_be data !at) in
+    at := !at + 8;
+    v
+  in
+  t.next_oid <- u32 ();
+  let nbindings = u32 () in
+  for _ = 1 to nbindings do
+    let len = u32 () in
+    let name = Bytes.sub_string data !at len in
+    at := !at + len;
+    let o = u32 () in
+    Hashtbl.replace t.bindings name o
+  done;
+  let nforgets = u32 () in
+  for _ = 1 to nforgets do
+    let o = u32 () in
+    let p = u64 () in
+    Hashtbl.replace t.forgets o p
+  done
+
+let attach rt =
+  let t = { rt; bindings = Hashtbl.create 16; forgets = Hashtbl.create 16; next_oid = 1 } in
+  Runtime.register rt ~oid
+    {
+      Runtime.apply = (fun ~pos ~key data -> apply t ~pos ~key data);
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let lookup t name =
+  Runtime.query_helper t.rt ~oid ();
+  Hashtbl.find_opt t.bindings name
+
+let declare t name =
+  match lookup t name with
+  | Some o -> o
+  | None -> (
+      Runtime.update_helper t.rt ~oid ~key:name (encode_declare name);
+      match lookup t name with
+      | Some o -> o
+      | None -> failwith "Directory.declare: binding did not materialize")
+
+let names t =
+  Runtime.query_helper t.rt ~oid ();
+  Hashtbl.fold (fun name o acc -> (name, o) :: acc) t.bindings [] |> List.sort compare
+
+let forget t ~oid:target ~below =
+  Runtime.update_helper t.rt ~oid ~key:(string_of_int target)
+    (encode_forget ~target_oid:target ~below)
+
+let collect t =
+  Runtime.query_helper t.rt ~oid ();
+  let declared = Hashtbl.fold (fun _ o acc -> o :: acc) t.bindings [] in
+  let forget_pos_of o = match Hashtbl.find_opt t.forgets o with Some p -> p | None -> 0 in
+  let min_pos =
+    List.fold_left
+      (fun acc o -> min acc (forget_pos_of o))
+      (forget_pos_of oid) declared
+  in
+  let off = Record.pos_offset min_pos in
+  if off > 0 then Runtime.trim_below t.rt off;
+  off

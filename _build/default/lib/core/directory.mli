@@ -1,0 +1,42 @@
+(** The object directory (§3.2, Naming): a Tango object with the
+    hard-coded OID 0 that maps human-readable names to OIDs and tracks
+    per-object forget offsets for garbage collection.
+
+    OID allocation is deterministic: a [declare] appends the name, and
+    every replica assigns the next counter value when the record is
+    applied, so concurrent declarations of different names — or races
+    on the same name — converge without coordination.
+
+    GC (§3.2): an object that has checkpointed its state calls
+    {!forget} with the position below which its history is
+    reclaimable; {!collect} trims the shared log below the minimum
+    forget offset across all declared objects. *)
+
+type t
+
+(** The directory's own OID. *)
+val oid : int
+
+(** [attach runtime] registers the directory view on [runtime]. *)
+val attach : Runtime.t -> t
+
+(** [declare t name] returns the OID for [name], allocating one if
+    needed. Linearizable; safe against concurrent declarations. *)
+val declare : t -> string -> int
+
+(** [lookup t name] returns the OID bound to [name], if any
+    (linearizable). *)
+val lookup : t -> string -> int option
+
+(** [names t] lists (name, oid) bindings in the current view. *)
+val names : t -> (string * int) list
+
+(** [forget t ~oid ~below] records that [oid]'s history below global
+    position [below] may be reclaimed (the object must have a
+    checkpoint covering it). *)
+val forget : t -> oid:int -> below:int -> unit
+
+(** [collect t] trims the log below the minimum forget offset across
+    all declared objects and returns that offset. Objects that never
+    called [forget] pin the log (returns 0). *)
+val collect : t -> Corfu.Types.offset

@@ -1,0 +1,212 @@
+let slots_per_entry = 64
+
+let pos ~offset ~slot =
+  if slot < 0 || slot >= slots_per_entry then invalid_arg "Record.pos: slot out of range";
+  (offset * slots_per_entry) + slot
+
+let pos_offset p = p / slots_per_entry
+let pos_slot p = p mod slots_per_entry
+
+type update = { u_oid : int; u_key : string option; u_data : bytes }
+
+type commit = {
+  c_reads : (int * string option * int) list;
+  c_writes : update list;
+  c_needs_decision : bool;
+}
+
+type t =
+  | Update of update
+  | Commit of commit
+  | Decision of { d_target : int; d_committed : bool }
+  | Partial of { p_target : int; p_verdicts : (int * bool) list }
+  | Checkpoint of { k_oid : int; k_base : int; k_data : bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Wire format: fixed-width big-endian integers, length-prefixed      *)
+(* byte strings. One byte of record count, then length-prefixed       *)
+(* records so a reader can skip unknown slots.                        *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v = Buffer.add_uint8 b v
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let put_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_bytes b s =
+  put_u32 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let put_key b = function
+  | None -> put_u8 b 0
+  | Some k ->
+      put_u8 b 1;
+      put_u32 b (String.length k);
+      Buffer.add_string b k
+
+let put_update b { u_oid; u_key; u_data } =
+  put_u64 b u_oid;
+  put_key b u_key;
+  put_bytes b u_data
+
+let encode_one b = function
+  | Update u ->
+      put_u8 b 0;
+      put_update b u
+  | Commit { c_reads; c_writes; c_needs_decision } ->
+      put_u8 b 1;
+      put_u8 b (if c_needs_decision then 1 else 0);
+      put_u32 b (List.length c_reads);
+      List.iter
+        (fun (oid, key, version) ->
+          put_u64 b oid;
+          put_key b key;
+          put_u64 b version)
+        c_reads;
+      put_u32 b (List.length c_writes);
+      List.iter (put_update b) c_writes
+  | Decision { d_target; d_committed } ->
+      put_u8 b 2;
+      put_u64 b d_target;
+      put_u8 b (if d_committed then 1 else 0)
+  | Checkpoint { k_oid; k_base; k_data } ->
+      put_u8 b 3;
+      put_u64 b k_oid;
+      put_u64 b k_base;
+      put_bytes b k_data
+  | Partial { p_target; p_verdicts } ->
+      put_u8 b 4;
+      put_u64 b p_target;
+      put_u32 b (List.length p_verdicts);
+      List.iter
+        (fun (oid, ok) ->
+          put_u64 b oid;
+          put_u8 b (if ok then 1 else 0))
+        p_verdicts
+
+type cursor = { buf : bytes; mutable at : int }
+
+let need c n =
+  if c.at + n > Bytes.length c.buf then invalid_arg "Record.decode: truncated payload"
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.at in
+  c.at <- c.at + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.at) in
+  c.at <- c.at + 4;
+  v
+
+let get_u64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_be c.buf c.at) in
+  c.at <- c.at + 8;
+  v
+
+let get_bytes c =
+  let n = get_u32 c in
+  if n < 0 then invalid_arg "Record.decode: negative length";
+  need c n;
+  let v = Bytes.sub c.buf c.at n in
+  c.at <- c.at + n;
+  v
+
+let get_key c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 ->
+      let n = get_u32 c in
+      need c n;
+      let v = Bytes.sub_string c.buf c.at n in
+      c.at <- c.at + n;
+      Some v
+  | _ -> invalid_arg "Record.decode: bad key tag"
+
+let get_update c =
+  let u_oid = get_u64 c in
+  let u_key = get_key c in
+  let u_data = get_bytes c in
+  { u_oid; u_key; u_data }
+
+let decode_one c =
+  match get_u8 c with
+  | 0 -> Update (get_update c)
+  | 1 ->
+      let c_needs_decision = get_u8 c = 1 in
+      let nreads = get_u32 c in
+      let c_reads =
+        List.init nreads (fun _ ->
+            let oid = get_u64 c in
+            let key = get_key c in
+            let version = get_u64 c in
+            (oid, key, version))
+      in
+      let nwrites = get_u32 c in
+      let c_writes = List.init nwrites (fun _ -> get_update c) in
+      Commit { c_reads; c_writes; c_needs_decision }
+  | 2 ->
+      let d_target = get_u64 c in
+      let d_committed = get_u8 c = 1 in
+      Decision { d_target; d_committed }
+  | 3 ->
+      let k_oid = get_u64 c in
+      let k_base = get_u64 c in
+      let k_data = get_bytes c in
+      Checkpoint { k_oid; k_base; k_data }
+  | 4 ->
+      let p_target = get_u64 c in
+      let n = get_u32 c in
+      let p_verdicts =
+        List.init n (fun _ ->
+            let oid = get_u64 c in
+            let ok = get_u8 c = 1 in
+            (oid, ok))
+      in
+      Partial { p_target; p_verdicts }
+  | tag -> invalid_arg (Printf.sprintf "Record.decode: unknown tag %d" tag)
+
+let encode_payload records =
+  let n = List.length records in
+  if n = 0 || n > slots_per_entry then invalid_arg "Record.encode_payload: bad record count";
+  let b = Buffer.create 256 in
+  put_u8 b n;
+  List.iter
+    (fun r ->
+      let inner = Buffer.create 64 in
+      encode_one inner r;
+      put_u32 b (Buffer.length inner);
+      Buffer.add_buffer b inner)
+    records;
+  Buffer.to_bytes b
+
+let decode_payload buf =
+  let c = { buf; at = 0 } in
+  let n = get_u8 c in
+  List.init n (fun _ ->
+      let len = get_u32 c in
+      let stop = c.at + len in
+      let r = decode_one c in
+      if c.at <> stop then invalid_arg "Record.decode: record length mismatch";
+      r)
+
+let streams_of = function
+  | Update u -> [ u.u_oid ]
+  | Commit { c_writes; _ } -> List.sort_uniq compare (List.map (fun u -> u.u_oid) c_writes)
+  | Decision _ | Partial _ -> []
+  | Checkpoint { k_oid; _ } -> [ k_oid ]
+
+let pp ppf = function
+  | Update u -> Fmt.pf ppf "update(oid=%d key=%a)" u.u_oid Fmt.(option string) u.u_key
+  | Commit c ->
+      Fmt.pf ppf "commit(reads=%d writes=%d%s)" (List.length c.c_reads)
+        (List.length c.c_writes)
+        (if c.c_needs_decision then " +decision" else "")
+  | Decision d -> Fmt.pf ppf "decision(target=%d %b)" d.d_target d.d_committed
+  | Checkpoint k -> Fmt.pf ppf "checkpoint(oid=%d base=%d)" k.k_oid k.k_base
+  | Partial p ->
+      Fmt.pf ppf "partial(target=%d %a)" p.p_target
+        Fmt.(list ~sep:comma (pair ~sep:(any ":") int bool))
+        p.p_verdicts

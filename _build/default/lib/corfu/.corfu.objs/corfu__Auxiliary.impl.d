@@ -1,0 +1,1 @@
+lib/corfu/auxiliary.ml: Lazy Projection Sim

@@ -1,0 +1,1 @@
+lib/corfu/auxiliary.mli: Projection Sim

@@ -1,0 +1,1 @@
+lib/corfu/client.ml: Array Auxiliary Float Hashtbl List Projection Sequencer Sim Storage_node Stream_header Types

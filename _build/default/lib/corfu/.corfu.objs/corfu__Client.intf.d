@@ -1,0 +1,1 @@
+lib/corfu/client.mli: Auxiliary Projection Sim Types

@@ -1,0 +1,1 @@
+lib/corfu/cluster.ml: Array Auxiliary Client Hashtbl List Printf Projection Seq_checkpoint Sequencer Sim Storage_node Stream_header Types

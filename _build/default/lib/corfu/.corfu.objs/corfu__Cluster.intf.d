@@ -1,0 +1,1 @@
+lib/corfu/cluster.mli: Auxiliary Client Sequencer Sim Storage_node Types

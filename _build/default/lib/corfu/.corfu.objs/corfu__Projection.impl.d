@@ -1,0 +1,1 @@
+lib/corfu/projection.ml: Array Sequencer Storage_node Types

@@ -1,0 +1,1 @@
+lib/corfu/projection.mli: Sequencer Storage_node Types

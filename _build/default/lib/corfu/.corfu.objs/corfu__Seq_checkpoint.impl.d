@@ -1,0 +1,1 @@
+lib/corfu/seq_checkpoint.ml: Buffer Bytes Hashtbl Int32 Int64 List Stream_header Types

@@ -1,0 +1,1 @@
+lib/corfu/seq_checkpoint.mli: Hashtbl Types

@@ -1,0 +1,1 @@
+lib/corfu/sequencer.ml: Hashtbl Lazy List Seq_checkpoint Sim Types

@@ -1,0 +1,1 @@
+lib/corfu/sequencer.mli: Sim Types

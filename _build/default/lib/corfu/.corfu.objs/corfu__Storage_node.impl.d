@@ -1,0 +1,1 @@
+lib/corfu/storage_node.ml: Hashtbl Lazy Sim Types

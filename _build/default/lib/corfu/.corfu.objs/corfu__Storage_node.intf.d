@@ -1,0 +1,1 @@
+lib/corfu/storage_node.mli: Sim Types

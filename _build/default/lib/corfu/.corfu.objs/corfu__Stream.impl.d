@@ -1,0 +1,1 @@
+lib/corfu/stream.ml: Array Client Hashtbl List Sim Stream_header Types

@@ -1,0 +1,1 @@
+lib/corfu/stream.mli: Client Types

@@ -1,0 +1,1 @@
+lib/corfu/stream_header.ml: Bytes Int64 List Types

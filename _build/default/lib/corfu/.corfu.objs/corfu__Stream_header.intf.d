@@ -1,0 +1,1 @@
+lib/corfu/stream_header.mli: Types

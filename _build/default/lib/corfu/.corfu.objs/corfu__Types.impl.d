@@ -1,0 +1,1 @@
+lib/corfu/types.ml: Fmt

@@ -1,0 +1,34 @@
+type propose_result = Installed | Conflict of Projection.t
+
+type t = {
+  mutable views : Projection.t list;  (* newest first *)
+  latest_svc : (unit, Projection.t) Sim.Net.service;
+  propose_svc : (Projection.t, propose_result) Sim.Net.service;
+}
+
+let newest t = match t.views with v :: _ -> v | [] -> assert false
+
+let handle_propose t (p : Projection.t) =
+  let current = newest t in
+  if p.Projection.epoch = current.Projection.epoch + 1 then begin
+    t.views <- p :: t.views;
+    Installed
+  end
+  else Conflict current
+
+let create ~net ~initial =
+  let aux_host = Sim.Net.add_host net "auxiliary" in
+  let rec t =
+    lazy
+      {
+        views = [ initial ];
+        latest_svc = Sim.Net.service aux_host ~name:"latest" (fun () -> newest (Lazy.force t));
+        propose_svc =
+          Sim.Net.service aux_host ~name:"propose" (fun p -> handle_propose (Lazy.force t) p);
+      }
+  in
+  Lazy.force t
+
+let latest_service t = t.latest_svc
+let propose_service t = t.propose_svc
+let latest t = newest t

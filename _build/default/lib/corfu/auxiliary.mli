@@ -1,0 +1,24 @@
+(** The auxiliary: a tiny, reliable projection store.
+
+    CORFU keeps the sequence of projections in an external consensus
+    service consulted only during reconfiguration. We model it as a
+    single always-up host exposing a write-once-per-epoch register:
+    [propose] installs a projection if and only if its epoch is
+    exactly one past the latest, otherwise the caller learns the
+    winning view and retries. This serializes concurrent
+    reconfigurations without modelling a full Paxos group, which the
+    paper also treats as a given. *)
+
+type t
+
+type propose_result = Installed | Conflict of Projection.t
+
+val create : net:Sim.Net.t -> initial:Projection.t -> t
+
+(** Returns the highest-epoch installed projection. *)
+val latest_service : t -> (unit, Projection.t) Sim.Net.service
+
+val propose_service : t -> (Projection.t, propose_result) Sim.Net.service
+
+(** Direct (non-RPC) accessor for tests and bootstrap. *)
+val latest : t -> Projection.t

@@ -1,0 +1,359 @@
+type read_outcome = Data of Types.entry | Junk | Trimmed | Unwritten
+type fill_outcome = Filled | Fill_completed of Types.entry | Fill_lost of Types.entry
+
+type t = {
+  client_host : Sim.Net.host;
+  aux : Auxiliary.t;
+  p : Sim.Params.t;
+  mutable proj : Projection.t;
+  rng : Sim.Rng.t;
+  cache : (Types.offset, Types.entry) Hashtbl.t;
+  inflight : (Types.offset, read_ivar) Hashtbl.t;
+  probe_tails : (Types.stream_id, Types.offset list) Hashtbl.t;
+      (* this client's own per-stream append history, used to build
+         backpointers when appending without the sequencer *)
+  mutable cache_floor : Types.offset;
+  mutable cache_high : Types.offset;  (* highest cached offset *)
+}
+
+and read_ivar = read_outcome Sim.Ivar.t
+
+(* The entry cache exists so playback touches the network once per
+   entry; consumed entries are rarely revisited (log-indexed views
+   re-read from storage on a miss). Cap residency and shed the oldest
+   half when the cap is hit. *)
+let max_cached_entries = 16_384
+
+let cache_insert t off entry =
+  if off >= t.cache_floor then begin
+    Hashtbl.replace t.cache off entry;
+    if off > t.cache_high then t.cache_high <- off;
+    if Hashtbl.length t.cache > max_cached_entries then begin
+      let keep_from = t.cache_high - (max_cached_entries / 2) in
+      Hashtbl.filter_map_inplace
+        (fun o e -> if o < keep_from then None else Some e)
+        t.cache
+    end
+  end
+
+let create ~host ~aux ~params =
+  {
+    client_host = host;
+    aux;
+    p = params;
+    proj = Auxiliary.latest aux;
+    rng = Sim.Rng.split (Sim.Engine.rng ());
+    cache = Hashtbl.create 4096;
+    inflight = Hashtbl.create 64;
+    probe_tails = Hashtbl.create 16;
+    cache_floor = 0;
+    cache_high = -1;
+  }
+
+let host t = t.client_host
+let params t = t.p
+let projection t = t.proj
+
+let refresh t =
+  t.proj <- Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+      (Auxiliary.latest_service t.aux) ();
+  Sim.Trace.f "corfu" "%s adopted projection epoch %d"
+    (Sim.Net.host_name t.client_host) t.proj.Projection.epoch
+
+(* ------------------------------------------------------------------ *)
+(* Chain replication, client-driven                                   *)
+(* ------------------------------------------------------------------ *)
+
+type chain_write = Chain_ok | Chain_lost of Types.cell | Chain_sealed
+
+(* Write [cell] through the chain for global offset [off], head first.
+   A mid-chain write-once conflict is benign: it means a concurrent
+   filler saw our data at the head and is completing the very same
+   write down the chain (or another filler raced us with junk). *)
+let write_chain t off cell =
+  let set = Projection.replica_set t.proj off in
+  let loff = Projection.local_offset t.proj off in
+  let req = { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell } in
+  let rec go i =
+    if i >= Array.length set then Chain_ok
+    else
+      let resp =
+        Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+          (Storage_node.write_service set.(i))
+          req
+      in
+      match resp with
+      | Types.Write_ok -> go (i + 1)
+      | Types.Already_written winner -> if i = 0 then Chain_lost winner else go (i + 1)
+      | Types.Sealed_at _ -> Chain_sealed
+      | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+  in
+  go 0
+
+(* Remember our own appends per stream so probing appends (below) can
+   chain onto them if the sequencer disappears. *)
+let note_own_append t ~streams off =
+  List.iter
+    (fun sid ->
+      let prev = match Hashtbl.find_opt t.probe_tails sid with Some l -> l | None -> [] in
+      let rec take n = function x :: r when n > 0 -> x :: take (n - 1) r | _ -> [] in
+      Hashtbl.replace t.probe_tails sid (take t.p.backpointer_k (off :: prev)))
+    streams
+
+let rec append t ~streams payload =
+  let resp =
+    Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+      (Sequencer.increment_service t.proj.Projection.sequencer)
+      { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = 1 }
+  in
+  match resp with
+  | Sequencer.Seq_sealed _ ->
+      refresh t;
+      append t ~streams payload
+  | Sequencer.Seq_ok { base = off; stream_tails } -> (
+      let headers =
+        Stream_header.encode_block ~k:t.p.backpointer_k ~current:off
+          (List.map
+             (fun (sid, ptrs) -> { Stream_header.stream = sid; backptrs = ptrs })
+             stream_tails)
+      in
+      let entry = { Types.headers; payload } in
+      match write_chain t off (Types.Data entry) with
+      | Chain_ok ->
+          (* Our own playback will want this entry next; save the
+             round trip. *)
+          cache_insert t off entry;
+          note_own_append t ~streams off;
+          off
+      | Chain_lost _ ->
+          (* Our offset was filled before we reached the head (we were
+             slow past the hole timeout). Grab a fresh offset. *)
+          append t ~streams payload
+      | Chain_sealed ->
+          refresh t;
+          append t ~streams payload)
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_replica t node off =
+  let loff = Projection.local_offset t.proj off in
+  Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes ~from:t.client_host
+    (Storage_node.read_service node)
+    { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff }
+
+let rec read t off =
+  let set = Projection.replica_set t.proj off in
+  let pick = Sim.Rng.int t.rng (Array.length set) in
+  match read_replica t set.(pick) off with
+  | Types.Read_data e -> Data e
+  | Types.Read_junk -> Junk
+  | Types.Read_trimmed -> Trimmed
+  | Types.Read_sealed _ ->
+      refresh t;
+      read t off
+  | Types.Read_unwritten -> (
+      (* The random replica may simply not have seen the write yet;
+         the chain tail is authoritative for committed entries. *)
+      let tail_idx = Array.length set - 1 in
+      if pick = tail_idx then Unwritten
+      else
+        match read_replica t set.(tail_idx) off with
+        | Types.Read_data e -> Data e
+        | Types.Read_junk -> Junk
+        | Types.Read_trimmed -> Trimmed
+        | Types.Read_unwritten -> Unwritten
+        | Types.Read_sealed _ ->
+            refresh t;
+            read t off)
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec peek_streams t sids =
+  let resp =
+    Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+      (Sequencer.peek_service t.proj.Projection.sequencer)
+      { Sequencer.pepoch = t.proj.Projection.epoch; pstreams = sids }
+  in
+  match resp with
+  | Sequencer.Seq_sealed _ ->
+      refresh t;
+      peek_streams t sids
+  | Sequencer.Seq_ok { base; stream_tails } -> (base, stream_tails)
+
+let check t = fst (peek_streams t [])
+
+let check_slow t =
+  let proj = t.proj in
+  let nsets = Projection.num_sets proj in
+  let locals =
+    Array.init nsets (fun set ->
+        (* The head is written first, so it carries the highest local
+           tail of the chain. *)
+        let head = proj.Projection.replica_sets.(set).(0) in
+        Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+          (Storage_node.tail_service head) ())
+  in
+  Projection.global_tail_from_locals proj locals
+
+(* Sequencer-less append (§2.2): find the tail with the slow check and
+   claim offsets by writing; the write-once property makes exactly one
+   winner per offset, so losers probe upward. Backpointers are built
+   from this client's own append history — poorer chains than the
+   sequencer's, which the stream layer's backward scan compensates. *)
+let append_probing t ~streams payload =
+  let probe_history sid =
+    match Hashtbl.find_opt t.probe_tails sid with Some l -> l | None -> []
+  in
+  let record_probe off = note_own_append t ~streams off in
+  let rec attempt guess =
+    let headers =
+      Stream_header.encode_block ~k:t.p.backpointer_k ~current:guess
+        (List.map
+           (fun sid ->
+             { Stream_header.stream = sid; backptrs = List.filter (fun o -> o < guess) (probe_history sid) })
+           streams)
+    in
+    let entry = { Types.headers; payload } in
+    match write_chain t guess (Types.Data entry) with
+    | Chain_ok ->
+        cache_insert t guess entry;
+        record_probe guess;
+        guess
+    | Chain_lost _ -> attempt (guess + 1)
+    | Chain_sealed ->
+        refresh t;
+        attempt guess
+  in
+  attempt (check_slow t)
+
+(* ------------------------------------------------------------------ *)
+(* Fill and trim                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec fill t off =
+  let set = Projection.replica_set t.proj off in
+  let loff = Projection.local_offset t.proj off in
+  let write_rest cell i0 =
+    let req = { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell } in
+    let rec go i sealed =
+      if i >= Array.length set then sealed
+      else
+        match
+          Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+            (Storage_node.write_service set.(i))
+            req
+        with
+        | Types.Write_ok | Types.Already_written _ -> go (i + 1) sealed
+        | Types.Sealed_at _ -> go (i + 1) true
+        | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+    in
+    go i0 false
+  in
+  let head_resp =
+    Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+      (Storage_node.write_service set.(0))
+      { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = Types.Junk }
+  in
+  Sim.Trace.f "corfu" "%s filling hole at %d" (Sim.Net.host_name t.client_host) off;
+  match head_resp with
+  | Types.Write_ok | Types.Already_written Types.Junk ->
+      if write_rest Types.Junk 1 then begin refresh t; fill t off end else Filled
+  | Types.Already_written (Types.Data e) ->
+      (* A torn append: complete the winner's data down the chain. *)
+      if write_rest (Types.Data e) 1 then begin refresh t; fill t off end else Fill_completed e
+  | Types.Already_written (Types.Trimmed | Types.Unwritten) -> Filled
+  | Types.Sealed_at _ ->
+      refresh t;
+      fill t off
+  | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+
+(* Resolve an offset that the sequencer has already allocated: poll
+   with backoff while a writer may be in flight, then patch the hole. *)
+let read_resolved t off =
+  let deadline = Sim.Engine.now () +. t.p.fill_timeout_us in
+  let rec poll backoff =
+    match read t off with
+    | (Data _ | Junk | Trimmed) as r -> r
+    | Unwritten ->
+        if Sim.Engine.now () >= deadline then begin
+          match fill t off with
+          | Filled -> Junk
+          | Fill_completed e | Fill_lost e -> Data e
+        end
+        else begin
+          Sim.Engine.sleep backoff;
+          poll (Float.min (backoff *. 2.) 1_000.)
+        end
+  in
+  poll 100.
+
+(* Coalesced fetch: one outstanding read per offset, shared by all
+   waiters; Data results are cached for the streaming layer. *)
+let read_shared t off =
+  match Hashtbl.find_opt t.cache off with
+  | Some e -> Data e
+  | None -> (
+      match Hashtbl.find_opt t.inflight off with
+      | Some iv -> Sim.Ivar.read iv
+      | None ->
+          let iv = Sim.Ivar.create () in
+          Hashtbl.replace t.inflight off iv;
+          let outcome = read_resolved t off in
+          (match outcome with
+          | Data e -> cache_insert t off e
+          | Junk | Trimmed | Unwritten -> ());
+          Hashtbl.remove t.inflight off;
+          Sim.Ivar.fill iv outcome;
+          outcome)
+
+let prefetch t off =
+  if not (Hashtbl.mem t.cache off) && not (Hashtbl.mem t.inflight off) then
+    Sim.Engine.spawn (fun () -> ignore (read_shared t off))
+
+let trim t off =
+  let set = Projection.replica_set t.proj off in
+  let loff = Projection.local_offset t.proj off in
+  Array.iter
+    (fun node ->
+      Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+        (Storage_node.trim_service node)
+        { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff })
+    set
+
+let cache_drop_below_impl t off =
+  if off > t.cache_floor then begin
+    t.cache_floor <- off;
+    Hashtbl.filter_map_inplace (fun o e -> if o < off then None else Some e) t.cache
+  end
+
+let prefix_trim t off =
+  let proj = t.proj in
+  let nsets = Projection.num_sets proj in
+  for set = 0 to nsets - 1 do
+    (* Local offsets l with l*nsets + set < off are reclaimable. *)
+    let watermark = if off <= set then 0 else ((off - set) + nsets - 1) / nsets in
+    if watermark > 0 then
+      Array.iter
+        (fun node ->
+          Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+            (Storage_node.prefix_trim_service node)
+            { Storage_node.repoch = proj.Projection.epoch; roffset = watermark })
+        proj.Projection.replica_sets.(set)
+  done;
+  cache_drop_below_impl t off
+
+(* ------------------------------------------------------------------ *)
+(* Entry cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cached t off = Hashtbl.find_opt t.cache off
+
+let cache_put t off e = cache_insert t off e
+
+let cache_drop_below t off = cache_drop_below_impl t off
+
+let cache_size t = Hashtbl.length t.cache

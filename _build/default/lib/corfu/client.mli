@@ -1,0 +1,104 @@
+(** The CORFU client library: append / read / check / trim / fill over
+    the clustered log (paper §2.2), with client-driven chain
+    replication and epoch handling.
+
+    Each client caches a projection; any RPC answered with a sealed
+    error refreshes the cache from the auxiliary and retries. Appends
+    obtain an offset from the sequencer, then write the replica chain
+    head-to-tail, so a torn append leaves a prefix of the chain
+    written and is repaired by the first {!fill} (which completes data
+    it finds at the head instead of junking it). *)
+
+type t
+
+(** What a resolved log position holds. [Completed] distinguishes a
+    fill that found and repaired a torn append. *)
+type read_outcome = Data of Types.entry | Junk | Trimmed | Unwritten
+
+type fill_outcome = Filled | Fill_completed of Types.entry | Fill_lost of Types.entry
+
+val create : host:Sim.Net.host -> aux:Auxiliary.t -> params:Sim.Params.t -> t
+
+val host : t -> Sim.Net.host
+val params : t -> Sim.Params.t
+
+(** Current cached projection (refreshed on sealed errors). *)
+val projection : t -> Projection.t
+
+(** Force a refresh from the auxiliary. *)
+val refresh : t -> unit
+
+(** [append t ~streams payload] acquires the next offset, encodes
+    stream headers from the sequencer's backpointer state, writes the
+    chain, and returns the offset. Appending to multiple streams is
+    the multiappend of §4: one physical entry on several streams.
+    Retries transparently on seal; a lost write-once race (our offset
+    got filled) also retries with a fresh offset. *)
+val append : t -> streams:Types.stream_id list -> bytes -> Types.offset
+
+(** [append_probing t ~streams payload] appends {e without the
+    sequencer} (§2.2: "the system can run without a sequencer, at much
+    reduced throughput, by having clients probe for the location of
+    the tail"): the slow check locates the tail, the write-once
+    property arbitrates races (losers probe upward). Backpointers come
+    from this client's own append history, so streams written by a
+    single client remain exactly walkable; entries whose headers have
+    shorter chains are found by the stream layer's backward scan.
+    Keeps the log correct while a failed sequencer is being
+    replaced. *)
+val append_probing : t -> streams:Types.stream_id list -> bytes -> Types.offset
+
+(** [read t off] reads from a uniformly random replica of the set and
+    falls back to the chain tail when that replica has not seen the
+    write yet. Never blocks on unwritten offsets — callers own the
+    retry/fill policy. *)
+val read : t -> Types.offset -> read_outcome
+
+(** [read_resolved t off] blocks until [off] is resolved: retries
+    unwritten offsets with backoff and, after the configured fill
+    timeout, patches the hole (paper: 100 ms default, §3.2). Returns
+    [Data] or [Junk] (or [Trimmed]). *)
+val read_resolved : t -> Types.offset -> read_outcome
+
+(** [read_shared t off] is {!read_resolved} with request coalescing
+    and caching: concurrent callers for the same offset share one
+    fetch, and [Data] results land in the entry cache. This is the
+    playback fetch path — streams prefetch through it so log reads
+    pipeline instead of paying one round trip per entry. *)
+val read_shared : t -> Types.offset -> read_outcome
+
+(** [prefetch t off] starts a background {!read_shared} for [off] if
+    neither cached nor already in flight. *)
+val prefetch : t -> Types.offset -> unit
+
+(** [check t] is the fast check: one sequencer round trip, returns the
+    tail (exclusive upper bound of allocated offsets). *)
+val check : t -> Types.offset
+
+(** [check_slow t] queries every storage node for its local tail and
+    inverts the mapping (§2.2). Works without a sequencer. *)
+val check_slow : t -> Types.offset
+
+(** [fill t off] patches a hole with junk through the chain; finding
+    data at the head completes the torn append instead. *)
+val fill : t -> Types.offset -> fill_outcome
+
+(** [trim t off] marks one offset reclaimable on every replica. *)
+val trim : t -> Types.offset -> unit
+
+(** [prefix_trim t off] reclaims every global offset below [off]. *)
+val prefix_trim : t -> Types.offset -> unit
+
+(** [peek_streams t sids] returns the global tail and, per stream, the
+    last K offsets the sequencer issued for it (most recent first). *)
+val peek_streams : t -> Types.stream_id list -> Types.offset * (Types.stream_id * Types.offset list) list
+
+(** {2 Entry cache}
+
+    The streaming layer fetches each entry once and caches it (§4.1);
+    the cache lives here so multiple streams on one client share it. *)
+
+val cached : t -> Types.offset -> Types.entry option
+val cache_put : t -> Types.offset -> Types.entry -> unit
+val cache_drop_below : t -> Types.offset -> unit
+val cache_size : t -> int

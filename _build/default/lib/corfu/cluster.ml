@@ -1,0 +1,174 @@
+type t = {
+  cluster_net : Sim.Net.t;
+  p : Sim.Params.t;
+  nodes : Storage_node.t array;
+  aux : Auxiliary.t;
+  reconfig_host : Sim.Net.host;
+  mutable sequencer_count : int;
+  mutable rebuild_scan : int;
+}
+
+let make_projection ~epoch ~chain_length nodes sequencer =
+  let nsets = Array.length nodes / chain_length in
+  let replica_sets =
+    Array.init nsets (fun set -> Array.init chain_length (fun i -> nodes.((set * chain_length) + i)))
+  in
+  Projection.v ~epoch ~replica_sets ~sequencer
+
+let create ?(params = Sim.Params.default) ?(chain_length = 2) ~servers () =
+  if servers <= 0 || servers mod chain_length <> 0 then
+    invalid_arg "Cluster.create: servers must be a positive multiple of the chain length";
+  let cluster_net =
+    Sim.Net.create ~latency:params.net_latency_us ~bandwidth:params.nic_bandwidth
+      ~jitter:params.net_jitter ()
+  in
+  let nodes =
+    Array.init servers (fun i ->
+        Storage_node.create ~net:cluster_net ~name:(Printf.sprintf "storage-%d" i) ~params ())
+  in
+  let sequencer = Sequencer.create ~net:cluster_net ~name:"sequencer-0" ~params () in
+  let initial = make_projection ~epoch:0 ~chain_length nodes sequencer in
+  let aux = Auxiliary.create ~net:cluster_net ~initial in
+  let reconfig_host = Sim.Net.add_host cluster_net "reconfig-agent" in
+  { cluster_net; p = params; nodes; aux; reconfig_host; sequencer_count = 1; rebuild_scan = 0 }
+
+let params t = t.p
+let net t = t.cluster_net
+let auxiliary t = t.aux
+let storage_nodes t = t.nodes
+let sequencer t = (Auxiliary.latest t.aux).Projection.sequencer
+
+let new_client t ~name =
+  let host = Sim.Net.add_host t.cluster_net name in
+  Client.create ~host ~aux:t.aux ~params:t.p
+
+let client_on t host = Client.create ~host ~aux:t.aux ~params:t.p
+
+(* Raw read used during reconfiguration, bypassing the client library
+   (which would chase the not-yet-installed projection). *)
+let raw_read t proj ~epoch off =
+  let set = Projection.replica_set proj off in
+  let loff = Projection.local_offset proj off in
+  let head = set.(0) in
+  Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes ~from:t.reconfig_host
+    (Storage_node.read_service head)
+    { Storage_node.repoch = epoch; roffset = loff }
+
+let last_rebuild_scan t = t.rebuild_scan
+
+(* Raw chain write used by the checkpoint scribe (the snapshot's offset
+   comes pre-reserved from the sequencer dump, so the normal append
+   path does not apply). *)
+let raw_write t proj ~epoch off entry =
+  let set = Projection.replica_set proj off in
+  let loff = Projection.local_offset proj off in
+  let req = { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Data entry } in
+  Array.for_all
+    (fun node ->
+      match
+        Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.reconfig_host
+          (Storage_node.write_service node) req
+      with
+      | Types.Write_ok | Types.Already_written _ -> true
+      | Types.Sealed_at _ | Types.Out_of_space -> false)
+    set
+
+let start_checkpoint_scribe t ~interval_us =
+  Sim.Engine.spawn (fun () ->
+      let rec tick () =
+        Sim.Engine.sleep interval_us;
+        let proj = Auxiliary.latest t.aux in
+        let epoch = proj.Projection.epoch in
+        (match
+           Sim.Net.call ~from:t.reconfig_host
+             (Sequencer.dump_service proj.Projection.sequencer)
+             epoch
+         with
+        | None -> () (* sealed: a reconfiguration is in flight *)
+        | Some { Sequencer.dump_offset; dump_state_ptrs; dump_streams } ->
+            let snapshot =
+              { Seq_checkpoint.snap_tail = dump_offset; snap_streams = dump_streams }
+            in
+            let headers =
+              Stream_header.encode_block ~k:t.p.backpointer_k ~current:dump_offset
+                [ { Stream_header.stream = Seq_checkpoint.stream_id; backptrs = dump_state_ptrs } ]
+            in
+            let entry = { Types.headers; payload = Seq_checkpoint.encode snapshot } in
+            ignore (raw_write t proj ~epoch dump_offset entry));
+        tick ()
+      in
+      tick ())
+
+let replace_sequencer t =
+  let old_proj = Auxiliary.latest t.aux in
+  let epoch = old_proj.Projection.epoch + 1 in
+  (* 1. Seal the old sequencer so no stale backpointers escape. *)
+  Sim.Net.call ~from:t.reconfig_host (Sequencer.seal_service old_proj.Projection.sequencer) epoch;
+  (* 2. Seal storage nodes, collecting local tails. *)
+  let nsets = Projection.num_sets old_proj in
+  let locals =
+    Array.init nsets (fun set ->
+        let chain = old_proj.Projection.replica_sets.(set) in
+        let tails =
+          Array.map
+            (fun node ->
+              Sim.Net.call ~from:t.reconfig_host (Storage_node.seal_service node) epoch)
+            chain
+        in
+        (* The head holds the chain's highest local tail. *)
+        tails.(0))
+  in
+  let tail = Projection.global_tail_from_locals old_proj locals in
+  (* 3. Rebuild per-stream backpointer state by scanning backward,
+     stopping at the most recent sequencer checkpoint if one exists
+     (§5's proposed optimization, via the scribe). *)
+  let k = t.p.backpointer_k in
+  let streams : (Types.stream_id, Types.offset list) Hashtbl.t = Hashtbl.create 64 in
+  let scanned = ref 0 in
+  let note_headers off (e : Types.entry) =
+    List.iter
+      (fun (h : Stream_header.t) ->
+        let prev = match Hashtbl.find_opt streams h.stream with Some l -> l | None -> [] in
+        if List.length prev < k then Hashtbl.replace streams h.stream (prev @ [ off ]))
+      (Stream_header.decode_block ~k ~current:off e.Types.headers)
+  in
+  let rec scan off =
+    if off >= 0 then begin
+      incr scanned;
+      match raw_read t old_proj ~epoch off with
+      | Types.Read_data e ->
+          if Seq_checkpoint.is_snapshot ~k ~current:off e then begin
+            let snapshot = Seq_checkpoint.decode e.Types.payload in
+            List.iter
+              (fun (sid, offs) -> Hashtbl.replace streams sid offs)
+              (Seq_checkpoint.merge ~above:streams snapshot ~k)
+          end
+          else begin
+            note_headers off e;
+            scan (off - 1)
+          end
+      | Types.Read_unwritten | Types.Read_junk | Types.Read_trimmed | Types.Read_sealed _ ->
+          scan (off - 1)
+    end
+  in
+  scan (tail - 1);
+  t.rebuild_scan <- !scanned;
+  Sim.Trace.f "reconfig" "epoch %d: tail %d rebuilt after scanning %d entries" epoch tail
+    !scanned;
+  (* 4. Fresh sequencer seeded with the reconstructed state. *)
+  let name = Printf.sprintf "sequencer-%d" t.sequencer_count in
+  t.sequencer_count <- t.sequencer_count + 1;
+  let initial_streams = Hashtbl.fold (fun sid offs acc -> (sid, offs) :: acc) streams [] in
+  let sequencer =
+    Sequencer.create ~net:t.cluster_net ~name ~params:t.p ~initial_tail:tail ~initial_streams ()
+  in
+  (* 5. Install the new view. A single reconfiguration agent runs at a
+     time in the simulation, so a conflict is a bug. *)
+  let chain_length = Array.length old_proj.Projection.replica_sets.(0) in
+  let proj = make_projection ~epoch ~chain_length t.nodes sequencer in
+  (match
+     Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj
+   with
+  | Auxiliary.Installed -> ()
+  | Auxiliary.Conflict _ -> failwith "Cluster.replace_sequencer: concurrent reconfiguration");
+  epoch

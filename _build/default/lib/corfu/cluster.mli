@@ -1,0 +1,47 @@
+(** Deployment helper: builds a complete CORFU instance inside the
+    simulation — storage nodes grouped into replica chains, a
+    sequencer, the auxiliary — and hands out clients.
+
+    The default geometry follows the paper's testbed: chains of
+    length 2 ("9×2 configuration", §6), so [servers] must be a
+    multiple of the chain length. *)
+
+type t
+
+(** [create ?params ?chain_length ~servers ()] brings up the log.
+    @raise Invalid_argument if [servers] is not a positive multiple of
+    [chain_length] (default 2). *)
+val create : ?params:Sim.Params.t -> ?chain_length:int -> servers:int -> unit -> t
+
+val params : t -> Sim.Params.t
+val net : t -> Sim.Net.t
+val auxiliary : t -> Auxiliary.t
+val storage_nodes : t -> Storage_node.t array
+val sequencer : t -> Sequencer.t
+
+(** [new_client t ~name] registers a fresh application-server host and
+    returns a log client bound to it. *)
+val new_client : t -> name:string -> Client.t
+
+(** [client_on t host] binds a log client to an existing host (so an
+    application server and its log client share NIC and CPU). *)
+val client_on : t -> Sim.Net.host -> Client.t
+
+(** [replace_sequencer t] runs the §5 reconfiguration: seal the old
+    sequencer and every storage node at the next epoch, rebuild the
+    tail and per-stream backpointer state by scanning the log
+    backward — stopping early at the most recent sequencer checkpoint
+    when the scribe is running — and install a fresh sequencer in a
+    new projection. Returns the new epoch. Clients discover the change
+    through sealed errors and retry transparently. *)
+val replace_sequencer : t -> Types.epoch
+
+(** [start_checkpoint_scribe t ~interval_us] runs the §5 optimization:
+    a background task that periodically snapshots the sequencer's
+    backpointer state into the log on a reserved stream
+    ({!Seq_checkpoint}), bounding the rebuild scan to roughly the
+    append volume of one interval. *)
+val start_checkpoint_scribe : t -> interval_us:float -> unit
+
+(** Entries read by the most recent {!replace_sequencer} rebuild. *)
+val last_rebuild_scan : t -> int

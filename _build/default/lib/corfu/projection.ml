@@ -1,0 +1,35 @@
+type t = {
+  epoch : Types.epoch;
+  replica_sets : Storage_node.t array array;
+  sequencer : Sequencer.t;
+}
+
+let v ~epoch ~replica_sets ~sequencer =
+  let nsets = Array.length replica_sets in
+  if nsets = 0 then invalid_arg "Projection: need at least one replica set";
+  let width = Array.length replica_sets.(0) in
+  if width = 0 then invalid_arg "Projection: empty replica set";
+  Array.iter
+    (fun set ->
+      if Array.length set <> width then invalid_arg "Projection: ragged replica sets")
+    replica_sets;
+  { epoch; replica_sets; sequencer }
+
+let num_sets t = Array.length t.replica_sets
+let num_servers t = Array.fold_left (fun acc set -> acc + Array.length set) 0 t.replica_sets
+let replica_set t off = t.replica_sets.(off mod num_sets t)
+let local_offset t off = off / num_sets t
+let global_offset t ~set ~local = (local * num_sets t) + set
+
+let global_tail_from_locals t locals =
+  if Array.length locals <> num_sets t then
+    invalid_arg "Projection.global_tail_from_locals: arity mismatch";
+  let highest = ref (-1) in
+  Array.iteri
+    (fun set local ->
+      if local >= 0 then begin
+        let g = global_offset t ~set ~local in
+        if g > !highest then highest := g
+      end)
+    locals;
+  !highest + 1

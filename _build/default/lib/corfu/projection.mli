@@ -1,0 +1,37 @@
+(** Projections: epoch-numbered membership views of the log.
+
+    A projection names the replica sets and — unlike the original
+    CORFU — includes the sequencer as a first-class member (paper §5,
+    Failure Handling), because conflicting backpointer state from two
+    live sequencers would corrupt streams. Global offsets map onto
+    (replica set, local offset) with the simple deterministic function
+    from §2.2: offset [o] lives at local offset [o / nsets] on set
+    [o mod nsets]. *)
+
+type t = {
+  epoch : Types.epoch;
+  replica_sets : Storage_node.t array array;  (** [sets.(i)] is chain i, head first *)
+  sequencer : Sequencer.t;
+}
+
+(** [v ~epoch ~replica_sets ~sequencer] validates shape: at least one
+    non-empty set, all sets the same size. *)
+val v : epoch:Types.epoch -> replica_sets:Storage_node.t array array -> sequencer:Sequencer.t -> t
+
+val num_sets : t -> int
+val num_servers : t -> int
+
+(** [replica_set t off] is the chain storing global offset [off]. *)
+val replica_set : t -> Types.offset -> Storage_node.t array
+
+(** [local_offset t off] is [off]'s address within its chain. *)
+val local_offset : t -> Types.offset -> Types.offset
+
+(** [global_offset t ~set ~local] inverts the mapping. *)
+val global_offset : t -> set:int -> local:Types.offset -> Types.offset
+
+(** [global_tail_from_locals t locals] inverts the mapping over the
+    per-set local tails (the slow check, §2.2): the global tail is one
+    past the highest written global offset. [locals.(i)] is the local
+    tail of set [i], -1 when empty. *)
+val global_tail_from_locals : t -> Types.offset array -> Types.offset

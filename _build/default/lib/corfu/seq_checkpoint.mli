@@ -1,0 +1,38 @@
+(** Sequencer state checkpoints (§5, Failure Handling — the paper's
+    proposed optimization): the sequencer's soft state (tail +
+    per-stream last-K offsets) is periodically snapshotted into the
+    shared log on a reserved stream, so a replacement sequencer
+    rebuilds by scanning only back to the latest snapshot instead of
+    the whole log.
+
+    The snapshot's log offset is {e reserved in the same sequencer
+    operation that dumps the state} ({!Sequencer.dump_service}), so
+    the state is complete for every offset below it — scanning the
+    suffix above the snapshot entry and merging yields exact state. *)
+
+(** The reserved stream id (top of the 31-bit space). *)
+val stream_id : Types.stream_id
+
+type t = {
+  snap_tail : Types.offset;  (** tail at snapshot = the snapshot's own offset *)
+  snap_streams : (Types.stream_id * Types.offset list) list;
+}
+
+val encode : t -> bytes
+
+(** @raise Invalid_argument on malformed input. *)
+val decode : bytes -> t
+
+(** [is_snapshot ~k ~current entry] tests an entry's headers for the
+    reserved stream. *)
+val is_snapshot : k:int -> current:Types.offset -> Types.entry -> bool
+
+(** [merge ~above snapshot ~k] combines per-stream offsets collected
+    from entries {e above} the snapshot (most recent first, possibly
+    fewer than K) with the snapshot's state, keeping the most recent K
+    per stream. *)
+val merge :
+  above:(Types.stream_id, Types.offset list) Hashtbl.t ->
+  t ->
+  k:int ->
+  (Types.stream_id * Types.offset list) list

@@ -1,0 +1,112 @@
+type increment_request = { iepoch : Types.epoch; istreams : Types.stream_id list; icount : int }
+type peek_request = { pepoch : Types.epoch; pstreams : Types.stream_id list }
+
+type allocation = {
+  base : Types.offset;
+  stream_tails : (Types.stream_id * Types.offset list) list;
+}
+
+type response = Seq_ok of allocation | Seq_sealed of Types.epoch
+
+type dump = {
+  dump_offset : Types.offset;
+  dump_state_ptrs : Types.offset list;
+  dump_streams : (Types.stream_id * Types.offset list) list;
+}
+
+type t = {
+  seq_name : string;
+  seq_host : Sim.Net.host;
+  counter_cpu : Sim.Resource.t;  (* the single hot loop handing out offsets *)
+  k : int;
+  mutable tail : Types.offset;
+  mutable epoch : Types.epoch;
+  streams : (Types.stream_id, Types.offset list) Hashtbl.t;
+  incr_svc : (increment_request, response) Sim.Net.service;
+  peek_svc : (peek_request, response) Sim.Net.service;
+  seal_svc : (Types.epoch, unit) Sim.Net.service;
+  dump_svc : (Types.epoch, dump option) Sim.Net.service;
+}
+
+let last_k t sid = match Hashtbl.find_opt t.streams sid with Some l -> l | None -> []
+
+let truncate k l =
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  take k l
+
+let record_issue t sid off = Hashtbl.replace t.streams sid (truncate t.k (off :: last_k t sid))
+
+let handle_increment t { iepoch; istreams; icount } =
+  if iepoch < t.epoch then Seq_sealed t.epoch
+  else begin
+    let base = t.tail in
+    let stream_tails = List.map (fun sid -> (sid, last_k t sid)) istreams in
+    t.tail <- t.tail + max 1 icount;
+    (* Batched allocations (icount > 1) are only used streamless, so
+       recording just [base] per stream is exact for the normal path. *)
+    List.iter (fun sid -> record_issue t sid base) istreams;
+    Seq_ok { base; stream_tails }
+  end
+
+let handle_dump t epoch =
+  if epoch < t.epoch then None
+  else begin
+    let dump_offset = t.tail in
+    let dump_state_ptrs = last_k t Seq_checkpoint.stream_id in
+    let dump_streams = Hashtbl.fold (fun sid offs acc -> (sid, offs) :: acc) t.streams [] in
+    t.tail <- t.tail + 1;
+    record_issue t Seq_checkpoint.stream_id dump_offset;
+    Some { dump_offset; dump_state_ptrs; dump_streams }
+  end
+
+let handle_peek t { pepoch; pstreams } =
+  if pepoch < t.epoch then Seq_sealed t.epoch
+  else
+    Seq_ok { base = t.tail; stream_tails = List.map (fun sid -> (sid, last_k t sid)) pstreams }
+
+let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_streams = []) () =
+  let seq_host = Sim.Net.add_host ~cores:32 net name in
+  let counter_cpu = Sim.Resource.create ~name:(name ^ ".counter") ~capacity:1 () in
+  let service_us = params.sequencer_service_us in
+  let rec t =
+    lazy
+      {
+        seq_name = name;
+        seq_host;
+        counter_cpu;
+        k = params.backpointer_k;
+        tail = initial_tail;
+        epoch = 0;
+        streams =
+          (let h = Hashtbl.create 256 in
+           List.iter (fun (sid, offs) -> Hashtbl.replace h sid offs) initial_streams;
+           h);
+        incr_svc =
+          Sim.Net.service seq_host ~name:"increment" (fun r ->
+              Sim.Resource.use counter_cpu service_us;
+              handle_increment (Lazy.force t) r);
+        peek_svc =
+          Sim.Net.service seq_host ~name:"peek" (fun r ->
+              Sim.Resource.use counter_cpu service_us;
+              handle_peek (Lazy.force t) r);
+        seal_svc =
+          Sim.Net.service seq_host ~name:"seal" (fun e ->
+              let t = Lazy.force t in
+              if e > t.epoch then t.epoch <- e);
+        dump_svc =
+          Sim.Net.service seq_host ~name:"dump" (fun e ->
+              Sim.Resource.use counter_cpu service_us;
+              handle_dump (Lazy.force t) e);
+      }
+  in
+  Lazy.force t
+
+let name t = t.seq_name
+let host t = t.seq_host
+let increment_service t = t.incr_svc
+let peek_service t = t.peek_svc
+let seal_service t = t.seal_svc
+let dump_service t = t.dump_svc
+let current_tail t = t.tail
+let sealed_epoch t = t.epoch
+let state_bytes t = Hashtbl.length t.streams * 8 * t.k

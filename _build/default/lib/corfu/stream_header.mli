@@ -1,0 +1,48 @@
+(** Stream headers: the on-entry metadata that turns the flat shared
+    log into a set of streams (paper §5).
+
+    Each entry carries one header per stream it belongs to. A header
+    holds a 31-bit stream id, a format bit, and backpointers to the
+    previous K entries of the same stream, in one of two wire formats:
+
+    - {e relative}: K 2-byte deltas from the current offset
+      (delta 0 = empty slot), used when every delta fits in 16 bits;
+    - {e absolute}: K/4 8-byte offsets (all-ones = empty slot), used
+      when some delta overflows 64K entries.
+
+    With K = 4 a header is 12 bytes either way. A block of headers is
+    a count byte followed by the fixed-size headers; the number of
+    headers an entry can hold bounds how many streams a single
+    multiappend — and therefore a single transaction — can touch. *)
+
+type t = {
+  stream : Types.stream_id;
+  backptrs : Types.offset list;  (** most recent first; length ≤ K *)
+}
+
+(** [header_size ~k] is the wire size of one header in bytes. *)
+val header_size : k:int -> int
+
+(** [block_size ~k ~streams] is the wire size of a block with
+    [streams] headers. *)
+val block_size : k:int -> streams:int -> int
+
+(** [encode_block ~k ~current headers] encodes headers for the entry
+    being written at offset [current]. Picks the relative format per
+    header when all its deltas fit, else the absolute format keeping
+    the K/4 most recent pointers.
+    @raise Invalid_argument on a stream id outside [0, 2^31) or a
+    backpointer not strictly below [current]. *)
+val encode_block : k:int -> current:Types.offset -> t list -> bytes
+
+(** [decode_block ~k ~current block] inverts {!encode_block}.
+    Relative-format headers need [current] to reconstruct offsets.
+    @raise Invalid_argument on a malformed block. *)
+val decode_block : k:int -> current:Types.offset -> bytes -> t list
+
+(** [find headers sid] returns the header for stream [sid], if any. *)
+val find : t list -> Types.stream_id -> t option
+
+(** [uses_absolute_format ~current header] reports which wire format
+    {!encode_block} will pick, for tests and diagnostics. *)
+val uses_absolute_format : current:Types.offset -> t -> bool

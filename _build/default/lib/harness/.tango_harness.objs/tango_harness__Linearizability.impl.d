@@ -1,0 +1,1 @@
+lib/harness/linearizability.ml: Array Hashtbl

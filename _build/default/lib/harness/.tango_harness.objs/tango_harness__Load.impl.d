@@ -1,0 +1,1 @@
+lib/harness/load.ml: Fmt Sim

@@ -1,0 +1,53 @@
+type op = Read of int | Write of int
+
+type event = { started : float; finished : float; op : op }
+
+(* Depth-first search over linearization orders: an operation may be
+   linearized next only if no other pending operation finished before
+   it started (that operation would really-precede it). Memoize on
+   (pending set, register value): two search states with the same
+   remaining operations and the same current value are equivalent. *)
+let check_register ?(initial = 0) history =
+  let events = Array.of_list history in
+  let n = Array.length events in
+  if n > 62 then invalid_arg "Linearizability.check_register: history too long";
+  Array.iter
+    (fun e ->
+      if e.finished < e.started then
+        invalid_arg "Linearizability.check_register: finished < started")
+    events;
+  if n = 0 then true
+  else begin
+    let all_done = (1 lsl n) - 1 in
+    let failed = Hashtbl.create 1024 in
+    (* really-precedes: e1 responded before e2 was invoked *)
+    let precedes i j = events.(i).finished < events.(j).started in
+    let rec search done_mask value =
+      if done_mask = all_done then true
+      else if Hashtbl.mem failed (done_mask, value) then false
+      else begin
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let candidate = !i in
+          incr i;
+          if done_mask land (1 lsl candidate) = 0 then begin
+            (* minimal among pending ops w.r.t. real-time order? *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if done_mask land (1 lsl j) = 0 && j <> candidate && precedes j candidate then
+                minimal := false
+            done;
+            if !minimal then
+              match events.(candidate).op with
+              | Write w -> if search (done_mask lor (1 lsl candidate)) w then ok := true
+              | Read r ->
+                  if r = value && search (done_mask lor (1 lsl candidate)) value then ok := true
+          end
+        done;
+        if not !ok then Hashtbl.replace failed (done_mask, value) ();
+        !ok
+      end
+    in
+    search 0 initial
+  end

@@ -1,0 +1,29 @@
+(** A linearizability checker for register histories (Wing & Gong
+    style search with memoization).
+
+    The paper's core single-object claim (§3.1) is that "a Tango
+    object with multiple views on different machines provides
+    linearizable semantics for invocations of its mutators and
+    accessors". This module checks that claim {e from observations}:
+    record each operation's invocation and response times (virtual
+    time in the simulator) plus its value, and ask whether some legal
+    sequential register execution explains the history while
+    respecting real-time order.
+
+    Exhaustive search is exponential in the worst case; fine for the
+    hundreds-of-ops histories the tests generate. *)
+
+type op = Read of int | Write of int
+
+type event = {
+  started : float;  (** invocation time *)
+  finished : float;  (** response time; must be >= [started] *)
+  op : op;
+}
+
+(** [check_register ?initial history] returns [true] iff the history
+    of a single register is linearizable. [initial] (default 0) is the
+    register's starting value.
+    @raise Invalid_argument on an event with [finished < started] or a
+    history longer than 62 events (the search uses a bitmask). *)
+val check_register : ?initial:int -> event list -> bool

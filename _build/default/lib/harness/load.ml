@@ -1,0 +1,93 @@
+type report = {
+  throughput : float;
+  goodput : float;
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p99_us : float;
+  samples : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%.0f ops/s (goodput %.0f), latency mean %.0f µs p50 %.0f µs p99 %.0f µs (%d samples)"
+    r.throughput r.goodput r.latency_mean_us r.latency_p50_us r.latency_p99_us r.samples
+
+type window = {
+  mutable measuring : bool;
+  latencies : Sim.Stats.Series.t;
+  mutable completed : int;
+  mutable succeeded : int;
+}
+
+let fresh_window () =
+  { measuring = false; latencies = Sim.Stats.Series.create (); completed = 0; succeeded = 0 }
+
+let record w ~started ok =
+  if w.measuring then begin
+    Sim.Stats.Series.add w.latencies (Sim.Engine.now () -. started);
+    w.completed <- w.completed + 1;
+    if ok then w.succeeded <- w.succeeded + 1
+  end
+
+let finish w ~measure_us =
+  let seconds = measure_us /. 1e6 in
+  let lat p = if Sim.Stats.Series.count w.latencies = 0 then 0. else Sim.Stats.Series.percentile w.latencies p in
+  {
+    throughput = float_of_int w.completed /. seconds;
+    goodput = float_of_int w.succeeded /. seconds;
+    latency_mean_us = Sim.Stats.Series.mean w.latencies;
+    latency_p50_us = lat 50.;
+    latency_p99_us = lat 99.;
+    samples = w.completed;
+  }
+
+let run_window w ~warmup_us ~measure_us =
+  Sim.Engine.sleep warmup_us;
+  w.measuring <- true;
+  Sim.Engine.sleep measure_us;
+  w.measuring <- false;
+  finish w ~measure_us
+
+let closed_loop ?(warmup_us = 200_000.) ?(measure_us = 1_000_000.) ~fibers op =
+  if fibers < 1 then invalid_arg "Load.closed_loop: need at least one fiber";
+  let w = fresh_window () in
+  for _ = 1 to fibers do
+    Sim.Engine.spawn (fun () ->
+        let rec loop () =
+          let started = Sim.Engine.now () in
+          let ok = op () in
+          record w ~started ok;
+          loop ()
+        in
+        loop ())
+  done;
+  run_window w ~warmup_us ~measure_us
+
+let open_loop ?(warmup_us = 200_000.) ?(measure_us = 1_000_000.) ?(max_outstanding = 10_000)
+    ~rate op =
+  if rate <= 0. then invalid_arg "Load.open_loop: rate must be positive";
+  let w = fresh_window () in
+  let outstanding = ref 0 in
+  let mean_gap = 1e6 /. rate in
+  Sim.Engine.spawn (fun () ->
+      let rng = Sim.Rng.split (Sim.Engine.rng ()) in
+      let rec generate () =
+        Sim.Engine.sleep (Sim.Rng.exponential rng ~mean:mean_gap);
+        if !outstanding < max_outstanding then begin
+          incr outstanding;
+          Sim.Engine.spawn (fun () ->
+              let started = Sim.Engine.now () in
+              let ok = op () in
+              decr outstanding;
+              record w ~started ok)
+        end;
+        generate ()
+      in
+      generate ());
+  run_window w ~warmup_us ~measure_us
+
+let measure_counter ?(warmup_us = 200_000.) ?(measure_us = 1_000_000.) get =
+  Sim.Engine.sleep warmup_us;
+  let before = get () in
+  Sim.Engine.sleep measure_us;
+  let after = get () in
+  float_of_int (after - before) /. (measure_us /. 1e6)

@@ -1,0 +1,43 @@
+(** Load generation and measurement for the evaluation harness.
+
+    Mirrors the paper's methodology (§6): closed loops with a window
+    of outstanding operations per client for the latency/throughput
+    curves, and open loops with a target rate for the
+    fixed-write-load experiments. Warmup is excluded from
+    measurement. *)
+
+type report = {
+  throughput : float;  (** completed ops per second *)
+  goodput : float;  (** successful (committed) ops per second *)
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p99_us : float;
+  samples : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [closed_loop ~fibers op] spawns [fibers] fibers repeatedly
+    invoking [op] (its [bool] result marks goodput) and measures for
+    [measure_us] (default 1 s) after [warmup_us] (default 200 ms).
+    Call from the simulation's main fiber. *)
+val closed_loop :
+  ?warmup_us:float -> ?measure_us:float -> fibers:int -> (unit -> bool) -> report
+
+(** [open_loop ~rate op] fires [op] at [rate] per second (Poisson
+    arrivals), each in its own fiber, capping in-flight ops at
+    [max_outstanding] (default 10_000; excess arrivals are dropped and
+    not counted). *)
+val open_loop :
+  ?warmup_us:float ->
+  ?measure_us:float ->
+  ?max_outstanding:int ->
+  rate:float ->
+  (unit -> bool) ->
+  report
+
+(** [measure_counter ~warmup_us ~measure_us get] samples a
+    monotonically increasing counter over the window and returns its
+    rate per second — for throughput that is counted inside the
+    system (e.g. records applied). *)
+val measure_counter : ?warmup_us:float -> ?measure_us:float -> (unit -> int) -> float

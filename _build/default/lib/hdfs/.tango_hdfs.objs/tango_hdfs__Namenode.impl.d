@@ -1,0 +1,1 @@
+lib/hdfs/namenode.ml: Buffer Bytes Hashtbl Int64 List Option Printf Set String Tango_bk Tango_objects Tango_zk

@@ -1,0 +1,1 @@
+lib/hdfs/namenode.mli: Tango

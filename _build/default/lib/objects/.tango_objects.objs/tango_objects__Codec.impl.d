@@ -1,0 +1,1 @@
+lib/objects/codec.ml: Buffer Bytes Int32 Int64 String

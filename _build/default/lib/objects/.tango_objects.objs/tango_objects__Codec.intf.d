@@ -1,0 +1,1 @@
+lib/objects/codec.mli: Buffer

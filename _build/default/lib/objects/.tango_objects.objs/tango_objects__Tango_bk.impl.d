@@ -1,0 +1,1 @@
+lib/objects/tango_bk.ml: Array Bytes Codec Corfu Hashtbl List Printf Sim String Tango

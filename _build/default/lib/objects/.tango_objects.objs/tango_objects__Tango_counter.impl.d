@@ -1,0 +1,1 @@
+lib/objects/tango_counter.ml: Codec Tango

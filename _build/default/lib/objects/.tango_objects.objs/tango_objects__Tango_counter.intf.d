@@ -1,0 +1,1 @@
+lib/objects/tango_counter.mli: Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_dedup.ml: Codec Hashtbl Option Printf Tango

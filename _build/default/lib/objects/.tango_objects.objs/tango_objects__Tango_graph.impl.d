@@ -1,0 +1,1 @@
+lib/objects/tango_graph.ml: Codec Hashtbl List Option Printf Set String Tango

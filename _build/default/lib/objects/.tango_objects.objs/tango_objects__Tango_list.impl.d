@@ -1,0 +1,1 @@
+lib/objects/tango_list.ml: Codec List Printf String Tango

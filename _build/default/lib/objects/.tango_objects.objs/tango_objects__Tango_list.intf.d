@@ -1,0 +1,1 @@
+lib/objects/tango_list.mli: Corfu Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_map.ml: Bytes Codec Hashtbl List Option Printf Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_map_index.ml: Hashtbl List Map Set String Tango Tango_map

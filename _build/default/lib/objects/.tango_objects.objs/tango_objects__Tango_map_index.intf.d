@@ -1,0 +1,1 @@
+lib/objects/tango_map_index.mli: Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_queue.ml: Codec Hashtbl Printf Tango

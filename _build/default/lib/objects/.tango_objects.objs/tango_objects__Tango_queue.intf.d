@@ -1,0 +1,1 @@
+lib/objects/tango_queue.mli: Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_register.ml: Codec Tango

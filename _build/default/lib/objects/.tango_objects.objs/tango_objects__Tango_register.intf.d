@@ -1,0 +1,1 @@
+lib/objects/tango_register.mli: Corfu Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_set.ml: Codec Printf Set String Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_zk.ml: Codec Corfu Hashtbl List Option Printf Set Sim String Tango

@@ -1,0 +1,1 @@
+lib/objects/tango_zk.mli: Tango

@@ -1,0 +1,26 @@
+(** Internal: the binary codec shared by the object library's update
+    records (big-endian fixed-width integers, length-prefixed
+    strings). Not a stable interface — objects define their wire
+    formats with it, and only those formats are contracts. *)
+
+(** [to_bytes build] runs [build] against a fresh buffer and returns
+    its contents. *)
+val to_bytes : (Buffer.t -> unit) -> bytes
+
+val put_u8 : Buffer.t -> int -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_int : Buffer.t -> int -> unit
+val put_string : Buffer.t -> string -> unit
+val put_opt_string : Buffer.t -> string option -> unit
+
+type cursor
+
+(** [reader b] starts a cursor at offset 0. Readers raise
+    [Invalid_argument] on out-of-bounds access. *)
+val reader : bytes -> cursor
+
+val get_u8 : cursor -> int
+val get_bool : cursor -> bool
+val get_int : cursor -> int
+val get_string : cursor -> string
+val get_opt_string : cursor -> string option

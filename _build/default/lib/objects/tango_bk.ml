@@ -1,0 +1,218 @@
+type error = No_ledger | Not_owner | Ledger_closed
+
+type ledger = {
+  owner : string;
+  mutable closed : bool;
+  mutable entry_positions : int array;  (* entry id -> log position *)
+  mutable entry_count : int;
+}
+
+type t = {
+  rt : Tango.Runtime.t;
+  boid : int;
+  me : string;
+  ledgers_tbl : (int, ledger) Hashtbl.t;
+  by_nonce : (string, int) Hashtbl.t;
+  mutable next_ledger : int;
+  mutable nonce_counter : int;
+}
+
+type update =
+  | Create_ledger_u of { nonce : string; owner : string }
+  | Add_entry_u of { ledger : int; writer : string; data : bytes }
+  | Close_ledger_u of { ledger : int }
+
+let encode = function
+  | Create_ledger_u { nonce; owner } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 1;
+          Codec.put_string b nonce;
+          Codec.put_string b owner)
+  | Add_entry_u { ledger; writer; data } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 2;
+          Codec.put_int b ledger;
+          Codec.put_string b writer;
+          Codec.put_string b (Bytes.to_string data))
+  | Close_ledger_u { ledger } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 3;
+          Codec.put_int b ledger)
+
+type decoded =
+  | D_create of string * string
+  | D_add of int * string * bytes
+  | D_close of int
+
+let decode data =
+  let c = Codec.reader data in
+  match Codec.get_u8 c with
+  | 1 ->
+      let nonce = Codec.get_string c in
+      let owner = Codec.get_string c in
+      D_create (nonce, owner)
+  | 2 ->
+      let ledger = Codec.get_int c in
+      let writer = Codec.get_string c in
+      let body = Bytes.of_string (Codec.get_string c) in
+      D_add (ledger, writer, body)
+  | 3 -> D_close (Codec.get_int c)
+  | tag -> invalid_arg (Printf.sprintf "Tango_bk: unknown update tag %d" tag)
+
+let push_entry l pos =
+  if l.entry_count = Array.length l.entry_positions then begin
+    let bigger = Array.make (max 16 (2 * l.entry_count)) 0 in
+    Array.blit l.entry_positions 0 bigger 0 l.entry_count;
+    l.entry_positions <- bigger
+  end;
+  l.entry_positions.(l.entry_count) <- pos;
+  l.entry_count <- l.entry_count + 1
+
+let apply t ~pos data =
+  match decode data with
+  | D_create (nonce, owner) ->
+      if not (Hashtbl.mem t.by_nonce nonce) then begin
+        let id = t.next_ledger in
+        t.next_ledger <- id + 1;
+        Hashtbl.replace t.by_nonce nonce id;
+        Hashtbl.replace t.ledgers_tbl id
+          { owner; closed = false; entry_positions = [||]; entry_count = 0 }
+      end
+  | D_add (ledger, writer, _body) -> (
+      match Hashtbl.find_opt t.ledgers_tbl ledger with
+      | Some l when (not l.closed) && String.equal l.owner writer ->
+          (* Log-as-index: remember where the body lives, not the body. *)
+          push_entry l pos
+      | Some _ | None -> () (* single-writer / closed enforcement *))
+  | D_close ledger -> (
+      match Hashtbl.find_opt t.ledgers_tbl ledger with
+      | Some l -> l.closed <- true
+      | None -> ())
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b t.next_ledger;
+      Codec.put_int b (Hashtbl.length t.by_nonce);
+      Hashtbl.iter
+        (fun nonce id ->
+          Codec.put_string b nonce;
+          Codec.put_int b id)
+        t.by_nonce;
+      Codec.put_int b (Hashtbl.length t.ledgers_tbl);
+      Hashtbl.iter
+        (fun id l ->
+          Codec.put_int b id;
+          Codec.put_string b l.owner;
+          Codec.put_bool b l.closed;
+          Codec.put_int b l.entry_count;
+          for i = 0 to l.entry_count - 1 do
+            Codec.put_int b l.entry_positions.(i)
+          done)
+        t.ledgers_tbl)
+
+let load_snapshot t data =
+  Hashtbl.reset t.ledgers_tbl;
+  Hashtbl.reset t.by_nonce;
+  let c = Codec.reader data in
+  t.next_ledger <- Codec.get_int c;
+  let nnonce = Codec.get_int c in
+  for _ = 1 to nnonce do
+    let nonce = Codec.get_string c in
+    let id = Codec.get_int c in
+    Hashtbl.replace t.by_nonce nonce id
+  done;
+  let nledgers = Codec.get_int c in
+  for _ = 1 to nledgers do
+    let id = Codec.get_int c in
+    let owner = Codec.get_string c in
+    let closed = Codec.get_bool c in
+    let n = Codec.get_int c in
+    let entry_positions = Array.init n (fun _ -> Codec.get_int c) in
+    Hashtbl.replace t.ledgers_tbl id { owner; closed; entry_positions; entry_count = n }
+  done
+
+let attach rt ~oid =
+  let me = Sim.Net.host_name (Corfu.Client.host (Tango.Runtime.client rt)) in
+  let t =
+    {
+      rt;
+      boid = oid;
+      me;
+      ledgers_tbl = Hashtbl.create 16;
+      by_nonce = Hashtbl.create 16;
+      next_ledger = 0;
+      nonce_counter = 0;
+    }
+  in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply = (fun ~pos ~key:_ data -> apply t ~pos data);
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.boid
+let sync t = Tango.Runtime.query_helper t.rt ~oid:t.boid ()
+
+let create_ledger t =
+  t.nonce_counter <- t.nonce_counter + 1;
+  let nonce = Printf.sprintf "%s#%d" t.me t.nonce_counter in
+  Tango.Runtime.update_helper t.rt ~oid:t.boid (encode (Create_ledger_u { nonce; owner = t.me }));
+  sync t;
+  match Hashtbl.find_opt t.by_nonce nonce with
+  | Some id -> id
+  | None -> failwith "Tango_bk.create_ledger: creation did not materialize"
+
+let with_ledger t ledger f =
+  sync t;
+  match Hashtbl.find_opt t.ledgers_tbl ledger with None -> Error No_ledger | Some l -> f l
+
+let add_entry t ~ledger data =
+  with_ledger t ledger (fun l ->
+      if not (String.equal l.owner t.me) then Error Not_owner
+      else if l.closed then Error Ledger_closed
+      else begin
+        Tango.Runtime.update_helper t.rt ~oid:t.boid ~key:(string_of_int ledger)
+          (encode (Add_entry_u { ledger; writer = t.me; data }));
+        sync t;
+        Ok (l.entry_count - 1)
+      end)
+
+let fetch_body t pos =
+  match decode (Tango.Runtime.fetch t.rt ~oid:t.boid pos) with
+  | D_add (_, _, body) -> body
+  | D_create _ | D_close _ -> assert false
+
+let read_entry t ~ledger i =
+  sync t;
+  match Hashtbl.find_opt t.ledgers_tbl ledger with
+  | Some l when i >= 0 && i < l.entry_count -> Some (fetch_body t l.entry_positions.(i))
+  | Some _ | None -> None
+
+let read_entries t ~ledger ~lo ~hi =
+  sync t;
+  match Hashtbl.find_opt t.ledgers_tbl ledger with
+  | None -> []
+  | Some l ->
+      let hi = min hi (l.entry_count - 1) in
+      let rec go i acc = if i < lo then acc else go (i - 1) (fetch_body t l.entry_positions.(i) :: acc) in
+      if hi < lo then [] else go hi []
+
+let last_entry_id t ~ledger = with_ledger t ledger (fun l -> Ok (l.entry_count - 1))
+
+let close_ledger t ~ledger =
+  with_ledger t ledger (fun _ ->
+      Tango.Runtime.update_helper t.rt ~oid:t.boid ~key:(string_of_int ledger)
+        (encode (Close_ledger_u { ledger }));
+      sync t;
+      match Hashtbl.find_opt t.ledgers_tbl ledger with
+      | Some l -> Ok (l.entry_count - 1)
+      | None -> Error No_ledger)
+
+let is_closed t ~ledger = with_ledger t ledger (fun l -> Ok l.closed)
+let writer_of t ~ledger = with_ledger t ledger (fun l -> Ok l.owner)
+
+let ledgers t =
+  sync t;
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.ledgers_tbl [] |> List.sort compare

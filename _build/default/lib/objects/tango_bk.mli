@@ -1,0 +1,51 @@
+(** TangoBK (paper §6.3): the BookKeeper single-writer ledger
+    abstraction in a few hundred lines over Tango.
+
+    Ledger writes translate directly into stream appends, so they run
+    at the speed of the underlying shared log; the view stores only
+    log positions (the log-as-index pattern of §3.1), and reads fetch
+    entry bodies with random reads. Single-writer enforcement rides on
+    metadata in each add: replicas deterministically drop appends from
+    anyone but the ledger's owner, or after the close record. *)
+
+type t
+
+type error = No_ledger | Not_owner | Ledger_closed
+
+(** [attach rt ~oid] hosts the ledger registry view. *)
+val attach : Tango.Runtime.t -> oid:int -> t
+
+val oid : t -> int
+
+(** [create_ledger t] allocates a fresh ledger owned by this client.
+    Safe against concurrent creations. *)
+val create_ledger : t -> int
+
+(** [add_entry t ~ledger data] appends one entry; returns its entry id
+    (dense, starting at 0).
+    @raise Invalid_argument via [Error] cases instead: returns
+    [Error Not_owner] on someone else's ledger, [Error Ledger_closed]
+    after close. *)
+val add_entry : t -> ledger:int -> bytes -> (int, error) result
+
+(** [read_entry t ~ledger i] fetches entry [i]'s body from the shared
+    log. *)
+val read_entry : t -> ledger:int -> int -> bytes option
+
+(** [read_entries t ~ledger ~lo ~hi] fetches entries [lo..hi]
+    inclusive, in order. *)
+val read_entries : t -> ledger:int -> lo:int -> hi:int -> bytes list
+
+(** [last_entry_id t ~ledger]: highest entry id, -1 when empty. *)
+val last_entry_id : t -> ledger:int -> (int, error) result
+
+(** [close_ledger t ~ledger] seals the ledger (idempotent) and returns
+    the last entry id. Any client may close — BookKeeper's recovery
+    path. *)
+val close_ledger : t -> ledger:int -> (int, error) result
+
+val is_closed : t -> ledger:int -> (bool, error) result
+val writer_of : t -> ledger:int -> (string, error) result
+
+(** All ledger ids, ascending. *)
+val ledgers : t -> int list

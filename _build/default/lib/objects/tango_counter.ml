@@ -1,0 +1,31 @@
+type t = { rt : Tango.Runtime.t; coid : int; mutable value : int }
+
+let encode v = Codec.to_bytes (fun b -> Codec.put_int b v)
+let decode data = Codec.get_int (Codec.reader data)
+
+let attach rt ~oid =
+  let t = { rt; coid = oid; value = 0 } in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply = (fun ~pos:_ ~key:_ data -> t.value <- t.value + decode data);
+      checkpoint = Some (fun () -> encode t.value);
+      load_checkpoint = Some (fun data -> t.value <- decode data);
+    };
+  t
+
+let oid t = t.coid
+let add t delta = Tango.Runtime.update_helper t.rt ~oid:t.coid (encode delta)
+let incr t = add t 1
+
+let get t =
+  Tango.Runtime.query_helper t.rt ~oid:t.coid ();
+  t.value
+
+let rec next_id t =
+  Tango.Runtime.begin_tx t.rt;
+  Tango.Runtime.query_helper t.rt ~oid:t.coid ();
+  let id = t.value in
+  Tango.Runtime.update_helper t.rt ~oid:t.coid (encode 1);
+  match Tango.Runtime.end_tx t.rt with
+  | Tango.Runtime.Committed -> id
+  | Tango.Runtime.Aborted -> next_id t

@@ -1,0 +1,22 @@
+(** TangoCounter: a shared counter whose updates are {e deltas}, so
+    concurrent increments from many clients never conflict — apply is
+    commutative addition. The paper's job-scheduler example uses one
+    for fresh job ids. *)
+
+type t
+
+val attach : Tango.Runtime.t -> oid:int -> t
+val oid : t -> int
+
+(** [add t delta]: blind increment (no read, no conflict). *)
+val add : t -> int -> unit
+
+val incr : t -> unit
+
+(** Linearizable value. *)
+val get : t -> int
+
+(** [next_id t] transactionally reserves and returns a fresh value:
+    reads the counter, bumps it, retrying on conflict. Unlike {!add},
+    concurrent callers are serialized. *)
+val next_id : t -> int

@@ -1,0 +1,159 @@
+type chunk = { location : int; mutable refs : int; size : int }
+
+type t = {
+  rt : Tango.Runtime.t;
+  doid : int;
+  chunks : (string, chunk) Hashtbl.t;
+  mutable next_location : int;
+  mutable logical : int;
+  mutable physical : int;
+}
+
+type update = Insert of string * int | Retain of string * int | Release_u of string
+
+let encode u =
+  Codec.to_bytes (fun b ->
+      match u with
+      | Insert (hash, size) ->
+          Codec.put_u8 b 1;
+          Codec.put_string b hash;
+          Codec.put_int b size
+      | Retain (hash, size) ->
+          Codec.put_u8 b 2;
+          Codec.put_string b hash;
+          Codec.put_int b size
+      | Release_u hash ->
+          Codec.put_u8 b 3;
+          Codec.put_string b hash)
+
+let decode data =
+  let c = Codec.reader data in
+  match Codec.get_u8 c with
+  | 1 ->
+      let hash = Codec.get_string c in
+      Insert (hash, Codec.get_int c)
+  | 2 ->
+      let hash = Codec.get_string c in
+      Retain (hash, Codec.get_int c)
+  | 3 -> Release_u (Codec.get_string c)
+  | tag -> invalid_arg (Printf.sprintf "Tango_dedup: unknown update tag %d" tag)
+
+let apply t u =
+  match u with
+  | Insert (hash, size) ->
+      (* Location allocation happens deterministically at apply time,
+         so racing inserts of the same hash converge: the first one
+         claims the location, the loser degrades to a retain. *)
+      t.logical <- t.logical + size;
+      (match Hashtbl.find_opt t.chunks hash with
+      | Some c -> c.refs <- c.refs + 1
+      | None ->
+          let location = t.next_location in
+          t.next_location <- location + 1;
+          t.physical <- t.physical + size;
+          Hashtbl.replace t.chunks hash { location; refs = 1; size })
+  | Retain (hash, size) -> (
+      t.logical <- t.logical + size;
+      match Hashtbl.find_opt t.chunks hash with
+      | Some c -> c.refs <- c.refs + 1
+      | None -> () (* released concurrently; deterministic no-op *))
+  | Release_u hash -> (
+      match Hashtbl.find_opt t.chunks hash with
+      | Some c ->
+          c.refs <- c.refs - 1;
+          if c.refs <= 0 then begin
+            t.physical <- t.physical - c.size;
+            Hashtbl.remove t.chunks hash
+          end
+      | None -> ())
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b t.next_location;
+      Codec.put_int b t.logical;
+      Codec.put_int b t.physical;
+      Codec.put_int b (Hashtbl.length t.chunks);
+      Hashtbl.iter
+        (fun hash c ->
+          Codec.put_string b hash;
+          Codec.put_int b c.location;
+          Codec.put_int b c.refs;
+          Codec.put_int b c.size)
+        t.chunks)
+
+let load_snapshot t data =
+  Hashtbl.reset t.chunks;
+  let c = Codec.reader data in
+  t.next_location <- Codec.get_int c;
+  t.logical <- Codec.get_int c;
+  t.physical <- Codec.get_int c;
+  let n = Codec.get_int c in
+  for _ = 1 to n do
+    let hash = Codec.get_string c in
+    let location = Codec.get_int c in
+    let refs = Codec.get_int c in
+    let size = Codec.get_int c in
+    Hashtbl.replace t.chunks hash { location; refs; size }
+  done
+
+let attach rt ~oid =
+  let t =
+    { rt; doid = oid; chunks = Hashtbl.create 256; next_location = 0; logical = 0; physical = 0 }
+  in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply = (fun ~pos:_ ~key:_ data -> apply t (decode data));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.doid
+let submit t ~key u = Tango.Runtime.update_helper t.rt ~oid:t.doid ~key (encode u)
+let read_key t key = Tango.Runtime.query_helper t.rt ~oid:t.doid ~key ()
+
+let rec store t ~hash ~bytes =
+  Tango.Runtime.begin_tx t.rt;
+  read_key t hash;
+  match Hashtbl.find_opt t.chunks hash with
+  | Some c -> (
+      submit t ~key:hash (Retain (hash, bytes));
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> (c.location, `Duplicate)
+      | Tango.Runtime.Aborted -> store t ~hash ~bytes)
+  | None -> (
+      submit t ~key:hash (Insert (hash, bytes));
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> (
+          read_key t hash;
+          match Hashtbl.find_opt t.chunks hash with
+          | Some c -> (c.location, `Fresh)
+          | None -> store t ~hash ~bytes)
+      | Tango.Runtime.Aborted -> store t ~hash ~bytes)
+
+let rec release t ~hash =
+  Tango.Runtime.begin_tx t.rt;
+  read_key t hash;
+  match Hashtbl.find_opt t.chunks hash with
+  | None ->
+      Tango.Runtime.abort_tx t.rt;
+      raise Not_found
+  | Some c -> (
+      let dying = c.refs = 1 in
+      let location = c.location in
+      submit t ~key:hash (Release_u hash);
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> if dying then Some location else None
+      | Tango.Runtime.Aborted -> release t ~hash)
+
+let lookup t ~hash =
+  read_key t hash;
+  Option.map (fun c -> (c.location, c.refs)) (Hashtbl.find_opt t.chunks hash)
+
+let chunk_count t =
+  Tango.Runtime.query_helper t.rt ~oid:t.doid ();
+  Hashtbl.length t.chunks
+
+let bytes_stored t =
+  Tango.Runtime.query_helper t.rt ~oid:t.doid ();
+  (t.logical, t.physical)

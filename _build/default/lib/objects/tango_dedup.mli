@@ -1,0 +1,35 @@
+(** TangoDedup: a replicated deduplication index — another of the
+    paper's motivating metadata structures (§1, citing ChunkStash).
+
+    Maps content hashes to storage locations with reference counts.
+    [store] either finds the chunk already present (bumping its
+    refcount and returning the existing location — the dedup hit) or
+    claims a fresh location; [release] drops a reference and reports
+    when the chunk became garbage. Both are transactions keyed by the
+    hash, so operations on different chunks commute. *)
+
+type t
+
+val attach : Tango.Runtime.t -> oid:int -> t
+val oid : t -> int
+
+(** [store t ~hash ~bytes] returns [(location, `Duplicate | `Fresh)].
+    Fresh locations are allocated densely. [bytes] is the chunk size,
+    tracked for the savings report. *)
+val store : t -> hash:string -> bytes:int -> int * [ `Duplicate | `Fresh ]
+
+(** [release t ~hash] decrements; [Some location] when the last
+    reference died and the location is reclaimable. [None] while
+    references remain.
+    @raise Not_found if the hash is unknown. *)
+val release : t -> hash:string -> int option
+
+(** [lookup t ~hash] returns [(location, refcount)] if present. *)
+val lookup : t -> hash:string -> (int * int) option
+
+(** Number of distinct chunks resident. *)
+val chunk_count : t -> int
+
+(** [(logical, physical)] bytes: what clients stored vs what is
+    actually resident — the deduplication savings. *)
+val bytes_stored : t -> int * int

@@ -1,0 +1,209 @@
+module S = Set.Make (String)
+
+type node = { node_label : string; mutable out : S.t; mutable into : S.t }
+
+type t = { rt : Tango.Runtime.t; goid : int; nodes : (string, node) Hashtbl.t }
+
+type update =
+  | Add_node of string * string
+  | Add_edge of string * string
+  | Remove_node of string
+  | Remove_edge of string * string
+
+let encode u =
+  Codec.to_bytes (fun b ->
+      match u with
+      | Add_node (id, label) ->
+          Codec.put_u8 b 1;
+          Codec.put_string b id;
+          Codec.put_string b label
+      | Add_edge (src, dst) ->
+          Codec.put_u8 b 2;
+          Codec.put_string b src;
+          Codec.put_string b dst
+      | Remove_node id ->
+          Codec.put_u8 b 3;
+          Codec.put_string b id
+      | Remove_edge (src, dst) ->
+          Codec.put_u8 b 4;
+          Codec.put_string b src;
+          Codec.put_string b dst)
+
+let decode data =
+  let c = Codec.reader data in
+  match Codec.get_u8 c with
+  | 1 ->
+      let id = Codec.get_string c in
+      let label = Codec.get_string c in
+      Add_node (id, label)
+  | 2 ->
+      let src = Codec.get_string c in
+      let dst = Codec.get_string c in
+      Add_edge (src, dst)
+  | 3 -> Remove_node (Codec.get_string c)
+  | 4 ->
+      let src = Codec.get_string c in
+      let dst = Codec.get_string c in
+      Remove_edge (src, dst)
+  | tag -> invalid_arg (Printf.sprintf "Tango_graph: unknown update tag %d" tag)
+
+let apply t u =
+  match u with
+  | Add_node (id, label) ->
+      if not (Hashtbl.mem t.nodes id) then
+        Hashtbl.replace t.nodes id { node_label = label; out = S.empty; into = S.empty }
+  | Add_edge (src, dst) -> (
+      match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
+      | Some s, Some d ->
+          s.out <- S.add dst s.out;
+          d.into <- S.add src d.into
+      | _ -> () (* endpoint vanished: the edge is dropped deterministically *))
+  | Remove_node id -> (
+      match Hashtbl.find_opt t.nodes id with
+      | None -> ()
+      | Some n ->
+          S.iter
+            (fun dst ->
+              match Hashtbl.find_opt t.nodes dst with
+              | Some d -> d.into <- S.remove id d.into
+              | None -> ())
+            n.out;
+          S.iter
+            (fun src ->
+              match Hashtbl.find_opt t.nodes src with
+              | Some s -> s.out <- S.remove id s.out
+              | None -> ())
+            n.into;
+          Hashtbl.remove t.nodes id)
+  | Remove_edge (src, dst) -> (
+      match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
+      | Some s, Some d ->
+          s.out <- S.remove dst s.out;
+          d.into <- S.remove src d.into
+      | _ -> ())
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b (Hashtbl.length t.nodes);
+      Hashtbl.iter
+        (fun id n ->
+          Codec.put_string b id;
+          Codec.put_string b n.node_label;
+          Codec.put_int b (S.cardinal n.out);
+          S.iter (Codec.put_string b) n.out)
+        t.nodes)
+
+let load_snapshot t data =
+  Hashtbl.reset t.nodes;
+  let c = Codec.reader data in
+  let n = Codec.get_int c in
+  let edges = ref [] in
+  for _ = 1 to n do
+    let id = Codec.get_string c in
+    let node_label = Codec.get_string c in
+    Hashtbl.replace t.nodes id { node_label; out = S.empty; into = S.empty };
+    let nout = Codec.get_int c in
+    for _ = 1 to nout do
+      edges := (id, Codec.get_string c) :: !edges
+    done
+  done;
+  List.iter (fun (src, dst) -> apply t (Add_edge (src, dst))) !edges
+
+let attach rt ~oid =
+  let t = { rt; goid = oid; nodes = Hashtbl.create 64 } in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply = (fun ~pos:_ ~key:_ data -> apply t (decode data));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.goid
+
+let submit t ~key u = Tango.Runtime.update_helper t.rt ~oid:t.goid ~key (encode u)
+let read_key t key = Tango.Runtime.query_helper t.rt ~oid:t.goid ~key ()
+let sync t = Tango.Runtime.query_helper t.rt ~oid:t.goid ()
+
+let add_node t id label = submit t ~key:id (Add_node (id, label))
+
+let rec add_edge t ~src ~dst =
+  Tango.Runtime.begin_tx t.rt;
+  read_key t src;
+  read_key t dst;
+  if Hashtbl.mem t.nodes src && Hashtbl.mem t.nodes dst then begin
+    submit t ~key:src (Add_edge (src, dst));
+    match Tango.Runtime.end_tx t.rt with
+    | Tango.Runtime.Committed -> true
+    | Tango.Runtime.Aborted -> add_edge t ~src ~dst
+  end
+  else begin
+    Tango.Runtime.abort_tx t.rt;
+    false
+  end
+
+let rec remove_node t id =
+  Tango.Runtime.begin_tx t.rt;
+  read_key t id;
+  match Hashtbl.find_opt t.nodes id with
+  | None ->
+      Tango.Runtime.abort_tx t.rt;
+      false
+  | Some _ -> (
+      submit t ~key:id (Remove_node id);
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> true
+      | Tango.Runtime.Aborted -> remove_node t id)
+
+let mem t id =
+  read_key t id;
+  Hashtbl.mem t.nodes id
+
+let label t id =
+  read_key t id;
+  Option.map (fun n -> n.node_label) (Hashtbl.find_opt t.nodes id)
+
+let successors t id =
+  read_key t id;
+  match Hashtbl.find_opt t.nodes id with Some n -> S.elements n.out | None -> []
+
+let predecessors t id =
+  read_key t id;
+  match Hashtbl.find_opt t.nodes id with Some n -> S.elements n.into | None -> []
+
+let closure t id step =
+  sync t;
+  let seen = Hashtbl.create 16 in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | id :: rest ->
+        let next =
+          match Hashtbl.find_opt t.nodes id with
+          | Some n ->
+              S.fold
+                (fun x acc ->
+                  if Hashtbl.mem seen x then acc
+                  else begin
+                    Hashtbl.replace seen x ();
+                    x :: acc
+                  end)
+                (step n) []
+          | None -> []
+        in
+        go (next @ rest)
+  in
+  go [ id ];
+  Hashtbl.remove seen id;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let ancestors t id = closure t id (fun n -> n.into)
+let descendants t id = closure t id (fun n -> n.out)
+
+let node_count t =
+  sync t;
+  Hashtbl.length t.nodes
+
+let edge_count t =
+  sync t;
+  Hashtbl.fold (fun _ n acc -> acc + S.cardinal n.out) t.nodes 0

@@ -1,0 +1,41 @@
+(** TangoGraph: a replicated directed graph — the "provenance graphs"
+    of the paper's motivating metadata examples (§1).
+
+    Nodes carry a label; edges are directed (src → dst). Mutators are
+    fine-grained (per-node keys), so transactions touching disjoint
+    regions of the graph commute. Reachability queries run on the
+    local view after a linearizable sync. *)
+
+type t
+
+val attach : Tango.Runtime.t -> oid:int -> t
+val oid : t -> int
+
+(** [add_node t id label]: idempotent node creation. *)
+val add_node : t -> string -> string -> unit
+
+(** [add_edge t ~src ~dst]: transactional — fails (returns [false])
+    only if either endpoint is missing; retried on OCC conflicts. *)
+val add_edge : t -> src:string -> dst:string -> bool
+
+(** [remove_node t id] deletes the node and every incident edge,
+    atomically. [false] if absent. *)
+val remove_node : t -> string -> bool
+
+val mem : t -> string -> bool
+val label : t -> string -> string option
+
+(** Direct successors / predecessors, sorted. *)
+val successors : t -> string -> string list
+
+val predecessors : t -> string -> string list
+
+(** [ancestors t id]: every node with a path {e to} [id] — the
+    provenance query. Sorted; excludes [id]. *)
+val ancestors : t -> string -> string list
+
+(** [descendants t id]: every node reachable {e from} [id]. *)
+val descendants : t -> string -> string list
+
+val node_count : t -> int
+val edge_count : t -> int

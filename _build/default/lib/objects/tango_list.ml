@@ -1,0 +1,80 @@
+type t = { rt : Tango.Runtime.t; loid : int; mutable items : string list (* reversed *) }
+
+let encode_add item =
+  Codec.to_bytes (fun b ->
+      Codec.put_u8 b 1;
+      Codec.put_string b item)
+
+let encode_remove item =
+  Codec.to_bytes (fun b ->
+      Codec.put_u8 b 2;
+      Codec.put_string b item)
+
+let remove_first item l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest when String.equal x item -> List.rev_append acc rest
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] l
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b (List.length t.items);
+      List.iter (Codec.put_string b) t.items)
+
+let load_snapshot t data =
+  let c = Codec.reader data in
+  let n = Codec.get_int c in
+  t.items <- List.init n (fun _ -> Codec.get_string c)
+
+let attach rt ~oid =
+  let t = { rt; loid = oid; items = [] } in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply =
+        (fun ~pos:_ ~key:_ data ->
+          let c = Codec.reader data in
+          match Codec.get_u8 c with
+          | 1 -> t.items <- Codec.get_string c :: t.items
+          | 2 -> t.items <- List.rev (remove_first (Codec.get_string c) (List.rev t.items))
+          | tag -> invalid_arg (Printf.sprintf "Tango_list: unknown op tag %d" tag));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.loid
+let add t item = Tango.Runtime.update_helper t.rt ~oid:t.loid (encode_add item)
+let remove t item = Tango.Runtime.update_helper t.rt ~oid:t.loid (encode_remove item)
+
+let sync t = Tango.Runtime.query_helper t.rt ~oid:t.loid ()
+
+let to_list t =
+  sync t;
+  List.rev t.items
+
+let to_list_at t ~upto =
+  Tango.Runtime.query_helper t.rt ~oid:t.loid ~upto ();
+  List.rev t.items
+
+let length t =
+  sync t;
+  List.length t.items
+
+let mem t item =
+  sync t;
+  List.exists (String.equal item) t.items
+
+let rec pop t =
+  Tango.Runtime.begin_tx t.rt;
+  sync t;
+  match List.rev t.items with
+  | [] ->
+      Tango.Runtime.abort_tx t.rt;
+      None
+  | head :: _ -> (
+      Tango.Runtime.update_helper t.rt ~oid:t.loid (encode_remove head);
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> Some head
+      | Tango.Runtime.Aborted -> pop t)

@@ -1,0 +1,26 @@
+(** TangoList: a replicated, append-ordered list (the paper's free
+    list / single-writer list examples, Figure 4). Coarse versioning:
+    a list is not statically divisible into sub-regions (§3.2), so any
+    transactional read conflicts with any concurrent mutation. *)
+
+type t
+
+val attach : Tango.Runtime.t -> oid:int -> t
+val oid : t -> int
+
+(** [add t item]: append to the tail. *)
+val add : t -> string -> unit
+
+(** [remove t item]: remove the first occurrence, if any. *)
+val remove : t -> string -> unit
+
+(** [pop t]: transactionally remove and return the head; [None] when
+    empty. Retries internally on conflict. *)
+val pop : t -> string option
+
+val to_list : t -> string list
+
+(** Historical read as of log offset [upto] (fresh views only). *)
+val to_list_at : t -> upto:Corfu.Types.offset -> string list
+val length : t -> int
+val mem : t -> string -> bool

@@ -1,0 +1,33 @@
+(** An alternate view over a {!Tango_map}'s stream (§3.1: "objects
+    with different in-memory data structures can share the same data
+    on the log... allowing applications to perform two types of
+    queries efficiently").
+
+    Where the map answers point lookups, this view keeps the same data
+    as (a) an ordered key index, answering prefix and range scans
+    ("list all files starting with the letter B"), and (b) an inverted
+    value→keys index. Attach it {e alongside} the map on the same
+    runtime, or standalone on another client — either way it consumes
+    the map's stream and is always consistent with it. *)
+
+type t
+
+(** [attach rt ~oid] hosts the index over map [oid]'s stream. If the
+    runtime already hosts the map, the index rides along as an extra
+    view; otherwise it becomes the stream's primary view. *)
+val attach : Tango.Runtime.t -> oid:int -> t
+
+val oid : t -> int
+
+(** [keys_with_prefix t p]: all current keys starting with [p], in
+    order. Linearizable. *)
+val keys_with_prefix : t -> string -> string list
+
+(** [key_range t ~lo ~hi]: keys with [lo <= k < hi], in order. *)
+val key_range : t -> lo:string -> hi:string -> string list
+
+(** [keys_with_value t v]: all keys currently bound to [v], in
+    order — the inverted index. *)
+val keys_with_value : t -> string -> string list
+
+val size : t -> int

@@ -1,0 +1,100 @@
+(* The view assigns each enqueued item a dense sequence number; a
+   dequeue names the sequence number it removes so replicas agree on
+   which item went to which consumer. *)
+
+type t = {
+  rt : Tango.Runtime.t;
+  qoid : int;
+  items : (int, string) Hashtbl.t;
+  mutable head : int;  (* next sequence number to dequeue *)
+  mutable tail : int;  (* next sequence number to assign *)
+}
+
+let encode_enqueue item =
+  Codec.to_bytes (fun b ->
+      Codec.put_u8 b 1;
+      Codec.put_string b item)
+
+let encode_dequeue seq =
+  Codec.to_bytes (fun b ->
+      Codec.put_u8 b 2;
+      Codec.put_int b seq)
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b t.head;
+      Codec.put_int b t.tail;
+      Codec.put_int b (Hashtbl.length t.items);
+      Hashtbl.iter
+        (fun seq item ->
+          Codec.put_int b seq;
+          Codec.put_string b item)
+        t.items)
+
+let load_snapshot t data =
+  Hashtbl.reset t.items;
+  let c = Codec.reader data in
+  t.head <- Codec.get_int c;
+  t.tail <- Codec.get_int c;
+  let n = Codec.get_int c in
+  for _ = 1 to n do
+    let seq = Codec.get_int c in
+    let item = Codec.get_string c in
+    Hashtbl.replace t.items seq item
+  done
+
+let attach rt ~oid =
+  let t = { rt; qoid = oid; items = Hashtbl.create 64; head = 0; tail = 0 } in
+  Tango.Runtime.register rt ~oid ~needs_decision:true
+    {
+      Tango.Runtime.apply =
+        (fun ~pos:_ ~key:_ data ->
+          let c = Codec.reader data in
+          match Codec.get_u8 c with
+          | 1 ->
+              Hashtbl.replace t.items t.tail (Codec.get_string c);
+              t.tail <- t.tail + 1
+          | 2 ->
+              let seq = Codec.get_int c in
+              Hashtbl.remove t.items seq;
+              if seq >= t.head then t.head <- seq + 1
+          | tag -> invalid_arg (Printf.sprintf "Tango_queue: unknown op tag %d" tag));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.qoid
+let enqueue t item = Tango.Runtime.update_helper t.rt ~oid:t.qoid (encode_enqueue item)
+let enqueue_remote rt ~oid item = Tango.Runtime.update_helper rt ~oid (encode_enqueue item)
+
+let sync t = Tango.Runtime.query_helper t.rt ~oid:t.qoid ()
+
+let peek t =
+  sync t;
+  if t.head >= t.tail then None else Hashtbl.find_opt t.items t.head
+
+let length t =
+  sync t;
+  Hashtbl.length t.items
+
+let rec dequeue t =
+  Tango.Runtime.begin_tx t.rt;
+  sync t;
+  if t.head >= t.tail then begin
+    Tango.Runtime.abort_tx t.rt;
+    None
+  end
+  else begin
+    let seq = t.head in
+    match Hashtbl.find_opt t.items seq with
+    | None ->
+        (* Head already consumed but not yet advanced locally. *)
+        Tango.Runtime.abort_tx t.rt;
+        dequeue t
+    | Some item -> (
+        Tango.Runtime.update_helper t.rt ~oid:t.qoid (encode_dequeue seq);
+        match Tango.Runtime.end_tx t.rt with
+        | Tango.Runtime.Committed -> Some item
+        | Tango.Runtime.Aborted -> dequeue t)
+  end

@@ -1,0 +1,31 @@
+(** TangoQueue: a replicated FIFO queue. Producers can enqueue with a
+    remote-write transaction without hosting the queue or seeing its
+    updates (§4.1 case B); consumers dequeue transactionally, so each
+    item is delivered exactly once across competing consumers. *)
+
+type t
+
+(** [attach rt ~oid] hosts a consumer-side view. [needs_decision] is
+    set: remote producers' commit records reach consumers that lack
+    the producers' read sets. *)
+val attach : Tango.Runtime.t -> oid:int -> t
+
+val oid : t -> int
+
+(** [enqueue t item]: add at the tail (blind append; buffered inside a
+    transaction). *)
+val enqueue : t -> string -> unit
+
+(** [enqueue_remote rt ~oid item]: producer-side enqueue that does not
+    require hosting the queue — usable standalone or inside the
+    producer's transactions. *)
+val enqueue_remote : Tango.Runtime.t -> oid:int -> string -> unit
+
+(** [dequeue t]: transactionally remove the head; [None] when empty.
+    Retries internally on conflicts with competing consumers. *)
+val dequeue : t -> string option
+
+(** [peek t]: linearizable head without removal. *)
+val peek : t -> string option
+
+val length : t -> int

@@ -1,0 +1,26 @@
+(** TangoRegister (paper Figure 3): a linearizable, highly available,
+    persistent integer register in a handful of lines over the
+    runtime. *)
+
+type t
+
+(** [attach rt ~oid] hosts a view of the register on [rt]. Initial
+    value 0. *)
+val attach : Tango.Runtime.t -> oid:int -> t
+
+val oid : t -> int
+
+(** [write t v]: linearizable write (durable on return). Inside a
+    transaction: buffered. *)
+val write : t -> int -> unit
+
+(** [read t]: linearizable read; inside a transaction, a versioned
+    snapshot read. *)
+val read : t -> int
+
+(** [read_at t ~upto]: historical read of the state as of global log
+    offset [upto] (§3.1, History). Use on a fresh view. *)
+val read_at : t -> upto:Corfu.Types.offset -> int
+
+(** Position of the last applied write, -1 if none. *)
+val last_update_pos : t -> int

@@ -1,0 +1,68 @@
+module S = Set.Make (String)
+
+type t = { rt : Tango.Runtime.t; soid : int; mutable set : S.t }
+
+let encode_op tag elt =
+  Codec.to_bytes (fun b ->
+      Codec.put_u8 b tag;
+      Codec.put_string b elt)
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b (S.cardinal t.set);
+      S.iter (Codec.put_string b) t.set)
+
+let load_snapshot t data =
+  let c = Codec.reader data in
+  let n = Codec.get_int c in
+  t.set <- S.empty;
+  for _ = 1 to n do
+    t.set <- S.add (Codec.get_string c) t.set
+  done
+
+let attach rt ~oid =
+  let t = { rt; soid = oid; set = S.empty } in
+  Tango.Runtime.register rt ~oid
+    {
+      Tango.Runtime.apply =
+        (fun ~pos:_ ~key:_ data ->
+          let c = Codec.reader data in
+          match Codec.get_u8 c with
+          | 1 -> t.set <- S.add (Codec.get_string c) t.set
+          | 2 -> t.set <- S.remove (Codec.get_string c) t.set
+          | tag -> invalid_arg (Printf.sprintf "Tango_set: unknown op tag %d" tag));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.soid
+let add t elt = Tango.Runtime.update_helper t.rt ~oid:t.soid ~key:elt (encode_op 1 elt)
+let remove t elt = Tango.Runtime.update_helper t.rt ~oid:t.soid ~key:elt (encode_op 2 elt)
+
+let sync_key t elt = Tango.Runtime.query_helper t.rt ~oid:t.soid ~key:elt ()
+let sync t = Tango.Runtime.query_helper t.rt ~oid:t.soid ()
+
+let mem t elt =
+  sync_key t elt;
+  S.mem elt t.set
+
+let cardinal t =
+  sync t;
+  S.cardinal t.set
+
+let min_elt t =
+  sync t;
+  S.min_elt_opt t.set
+
+let max_elt t =
+  sync t;
+  S.max_elt_opt t.set
+
+let range t ~lo ~hi =
+  sync t;
+  S.elements (S.filter (fun e -> String.compare e lo >= 0 && String.compare e hi < 0) t.set)
+
+let elements t =
+  sync t;
+  S.elements t.set

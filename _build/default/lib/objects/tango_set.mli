@@ -1,0 +1,28 @@
+(** TangoSet: a replicated ordered set (the TreeSet of the paper's
+    Collections bindings, §1). Ordered queries — min, max, ranges —
+    are what a plain ZooKeeper namespace cannot provide efficiently
+    (§2): a membership service can pull the oldest inserted name or
+    search by an index. *)
+
+type t
+
+val attach : Tango.Runtime.t -> oid:int -> t
+val oid : t -> int
+
+(** [add t elt] / [remove t elt]: per-element fine-grained
+    versioning — transactions on different elements commute. *)
+val add : t -> string -> unit
+
+val remove : t -> string -> unit
+val mem : t -> string -> bool
+val cardinal : t -> int
+
+(** Smallest / largest element (linearizable). *)
+val min_elt : t -> string option
+
+val max_elt : t -> string option
+
+(** [range t ~lo ~hi] lists elements with [lo <= e < hi] in order. *)
+val range : t -> lo:string -> hi:string -> string list
+
+val elements : t -> string list

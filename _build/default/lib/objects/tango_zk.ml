@@ -1,0 +1,522 @@
+type error = Node_exists | No_node | Not_empty | Bad_version
+
+type event =
+  | Node_created of string
+  | Node_deleted of string
+  | Node_data_changed of string
+  | Node_children_changed of string
+
+module Names = Set.Make (String)
+
+type znode = {
+  mutable data : string;
+  mutable version : int;
+  mutable children : Names.t;
+  mutable seq_counter : int;
+  ephemeral_owner : string option;
+}
+
+type t = {
+  rt : Tango.Runtime.t;
+  zoid : int;
+  nodes : (string, znode) Hashtbl.t;
+  data_watches : (string, (event -> unit) list ref) Hashtbl.t;
+  child_watches : (string, (event -> unit) list ref) Hashtbl.t;
+  mutable session_counter : int;
+}
+
+type session = { zk : t; sid : string }
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let validate_path path =
+  let n = String.length path in
+  if n = 0 || path.[0] <> '/' then invalid_arg "Tango_zk: path must start with '/'";
+  if n > 1 && path.[n - 1] = '/' then invalid_arg "Tango_zk: no trailing slash";
+  let rec no_double i =
+    if i >= n - 1 then ()
+    else if path.[i] = '/' && path.[i + 1] = '/' then invalid_arg "Tango_zk: empty path component"
+    else no_double (i + 1)
+  in
+  no_double 0
+
+let parent_of path =
+  match String.rindex path '/' with
+  | 0 -> "/"
+  | i -> String.sub path 0 i
+  | exception Not_found -> invalid_arg "Tango_zk: bad path"
+
+let name_of path =
+  let i = String.rindex path '/' in
+  String.sub path (i + 1) (String.length path - i - 1)
+
+let join parent name = if parent = "/" then "/" ^ name else parent ^ "/" ^ name
+
+(* ------------------------------------------------------------------ *)
+(* Update records                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type update =
+  | Create_node of { path : string; data : string; ephemeral_owner : string option }
+  | Add_child of { parent : string; name : string; used_seq : int option }
+  | Delete_node of { path : string }
+  | Remove_child of { parent : string; name : string }
+  | Set_node_data of { path : string; data : string }
+  | Close_session_u of { session : string }
+
+let encode = function
+  | Create_node { path; data; ephemeral_owner } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 1;
+          Codec.put_string b path;
+          Codec.put_string b data;
+          Codec.put_opt_string b ephemeral_owner)
+  | Add_child { parent; name; used_seq } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 2;
+          Codec.put_string b parent;
+          Codec.put_string b name;
+          Codec.put_bool b (used_seq <> None);
+          Codec.put_int b (Option.value used_seq ~default:0))
+  | Delete_node { path } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 3;
+          Codec.put_string b path)
+  | Remove_child { parent; name } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 4;
+          Codec.put_string b parent;
+          Codec.put_string b name)
+  | Set_node_data { path; data } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 5;
+          Codec.put_string b path;
+          Codec.put_string b data)
+  | Close_session_u { session } ->
+      Codec.to_bytes (fun b ->
+          Codec.put_u8 b 6;
+          Codec.put_string b session)
+
+let decode data =
+  let c = Codec.reader data in
+  match Codec.get_u8 c with
+  | 1 ->
+      let path = Codec.get_string c in
+      let d = Codec.get_string c in
+      let ephemeral_owner = Codec.get_opt_string c in
+      Create_node { path; data = d; ephemeral_owner }
+  | 2 ->
+      let parent = Codec.get_string c in
+      let name = Codec.get_string c in
+      let has_seq = Codec.get_bool c in
+      let seq = Codec.get_int c in
+      Add_child { parent; name; used_seq = (if has_seq then Some seq else None) }
+  | 3 -> Delete_node { path = Codec.get_string c }
+  | 4 ->
+      let parent = Codec.get_string c in
+      let name = Codec.get_string c in
+      Remove_child { parent; name }
+  | 5 ->
+      let path = Codec.get_string c in
+      let d = Codec.get_string c in
+      Set_node_data { path; data = d }
+  | 6 -> Close_session_u { session = Codec.get_string c }
+  | tag -> invalid_arg (Printf.sprintf "Tango_zk: unknown update tag %d" tag)
+
+(* ------------------------------------------------------------------ *)
+(* Watches                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fire tbl path event =
+  match Hashtbl.find_opt tbl path with
+  | None -> ()
+  | Some callbacks ->
+      let cbs = !callbacks in
+      callbacks := [];
+      List.iter (fun cb -> cb event) (List.rev cbs)
+
+let add_watch tbl path cb =
+  match Hashtbl.find_opt tbl path with
+  | Some callbacks -> callbacks := cb :: !callbacks
+  | None -> Hashtbl.replace tbl path (ref [ cb ])
+
+(* ------------------------------------------------------------------ *)
+(* The view                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_node ?ephemeral_owner data =
+  { data; version = 0; children = Names.empty; seq_counter = 0; ephemeral_owner }
+
+(* Blind creates from cross-namespace moves may land before their
+   ancestors exist here; materialize the spine deterministically. *)
+let rec ensure_node t path =
+  match Hashtbl.find_opt t.nodes path with
+  | Some z -> z
+  | None ->
+      let z = fresh_node "" in
+      Hashtbl.replace t.nodes path z;
+      if path <> "/" then begin
+        let parent = ensure_node t (parent_of path) in
+        parent.children <- Names.add (name_of path) parent.children
+      end;
+      z
+
+let remove_node t path =
+  match Hashtbl.find_opt t.nodes path with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.remove t.nodes path;
+      fire t.data_watches path (Node_deleted path)
+
+let apply_update t u =
+  match u with
+  | Create_node { path; data; ephemeral_owner } ->
+      (match Hashtbl.find_opt t.nodes path with
+      | Some existing ->
+          (* Blind create over an existing node: last writer wins on
+             data, children survive. *)
+          existing.data <- data;
+          existing.version <- existing.version + 1
+      | None ->
+          Hashtbl.replace t.nodes path (fresh_node ?ephemeral_owner data);
+          fire t.data_watches path (Node_created path));
+      ()
+  | Add_child { parent; name; used_seq } ->
+      let z = ensure_node t parent in
+      z.children <- Names.add name z.children;
+      (match used_seq with Some n -> z.seq_counter <- max z.seq_counter (n + 1) | None -> ());
+      fire t.child_watches parent (Node_children_changed parent)
+  | Delete_node { path } -> remove_node t path
+  | Remove_child { parent; name } -> (
+      match Hashtbl.find_opt t.nodes parent with
+      | None -> ()
+      | Some z ->
+          z.children <- Names.remove name z.children;
+          fire t.child_watches parent (Node_children_changed parent))
+  | Set_node_data { path; data } -> (
+      match Hashtbl.find_opt t.nodes path with
+      | None -> ()
+      | Some z ->
+          z.data <- data;
+          z.version <- z.version + 1;
+          fire t.data_watches path (Node_data_changed path))
+  | Close_session_u { session } ->
+      let doomed =
+        Hashtbl.fold
+          (fun path z acc -> if z.ephemeral_owner = Some session then path :: acc else acc)
+          t.nodes []
+      in
+      List.iter
+        (fun path ->
+          remove_node t path;
+          match Hashtbl.find_opt t.nodes (parent_of path) with
+          | Some parent ->
+              parent.children <- Names.remove (name_of path) parent.children;
+              fire t.child_watches (parent_of path) (Node_children_changed (parent_of path))
+          | None -> ())
+        doomed
+
+let snapshot t =
+  Codec.to_bytes (fun b ->
+      Codec.put_int b (Hashtbl.length t.nodes);
+      Hashtbl.iter
+        (fun path z ->
+          Codec.put_string b path;
+          Codec.put_string b z.data;
+          Codec.put_int b z.version;
+          Codec.put_int b z.seq_counter;
+          Codec.put_opt_string b z.ephemeral_owner;
+          Codec.put_int b (Names.cardinal z.children);
+          Names.iter (Codec.put_string b) z.children)
+        t.nodes)
+
+let load_snapshot t data =
+  Hashtbl.reset t.nodes;
+  let c = Codec.reader data in
+  let n = Codec.get_int c in
+  for _ = 1 to n do
+    let path = Codec.get_string c in
+    let data = Codec.get_string c in
+    let version = Codec.get_int c in
+    let seq_counter = Codec.get_int c in
+    let ephemeral_owner = Codec.get_opt_string c in
+    let nchildren = Codec.get_int c in
+    let children = ref Names.empty in
+    for _ = 1 to nchildren do
+      children := Names.add (Codec.get_string c) !children
+    done;
+    Hashtbl.replace t.nodes path
+      { data; version; children = !children; seq_counter; ephemeral_owner }
+  done
+
+let attach rt ~oid =
+  let t =
+    {
+      rt;
+      zoid = oid;
+      nodes = Hashtbl.create 256;
+      data_watches = Hashtbl.create 16;
+      child_watches = Hashtbl.create 16;
+      session_counter = 0;
+    }
+  in
+  Hashtbl.replace t.nodes "/" (fresh_node "");
+  Tango.Runtime.register rt ~oid ~needs_decision:true
+    {
+      Tango.Runtime.apply = (fun ~pos:_ ~key:_ data -> apply_update t (decode data));
+      checkpoint = Some (fun () -> snapshot t);
+      load_checkpoint = Some (fun data -> load_snapshot t data);
+    };
+  t
+
+let oid t = t.zoid
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create_session t =
+  t.session_counter <- t.session_counter + 1;
+  let host = Sim.Net.host_name (Corfu.Client.host (Tango.Runtime.client t.rt)) in
+  { zk = t; sid = Printf.sprintf "%s#%d" host t.session_counter }
+
+let session_id s = s.sid
+
+let close_session t s =
+  Tango.Runtime.update_helper t.rt ~oid:t.zoid (encode (Close_session_u { session = s.sid }))
+
+(* ------------------------------------------------------------------ *)
+(* Mutators (each a Tango transaction, retried on conflict)           *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ~key u = Tango.Runtime.update_helper t.rt ~oid:t.zoid ~key (encode u)
+let read_key t key = Tango.Runtime.query_helper t.rt ~oid:t.zoid ~key ()
+
+let rec create t ?ephemeral ?(sequential = false) path data =
+  validate_path path;
+  if path = "/" then Error Node_exists
+  else begin
+    let parent = parent_of path in
+    Tango.Runtime.begin_tx t.rt;
+    read_key t parent;
+    match Hashtbl.find_opt t.nodes parent with
+    | None ->
+        Tango.Runtime.abort_tx t.rt;
+        Error No_node
+    | Some pz -> (
+        let final_path =
+          if sequential then Printf.sprintf "%s%010d" path pz.seq_counter else path
+        in
+        read_key t final_path;
+        if Hashtbl.mem t.nodes final_path then begin
+          Tango.Runtime.abort_tx t.rt;
+          Error Node_exists
+        end
+        else begin
+          let owner = Option.map session_id ephemeral in
+          submit t ~key:final_path
+            (Create_node { path = final_path; data; ephemeral_owner = owner });
+          submit t ~key:parent
+            (Add_child
+               {
+                 parent;
+                 name = name_of final_path;
+                 used_seq = (if sequential then Some pz.seq_counter else None);
+               });
+          match Tango.Runtime.end_tx t.rt with
+          | Tango.Runtime.Committed -> Ok final_path
+          | Tango.Runtime.Aborted -> create t ?ephemeral ~sequential path data
+        end)
+  end
+
+let rec delete t ?version path =
+  validate_path path;
+  if path = "/" then Error Not_empty
+  else begin
+    Tango.Runtime.begin_tx t.rt;
+    read_key t path;
+    match Hashtbl.find_opt t.nodes path with
+    | None ->
+        Tango.Runtime.abort_tx t.rt;
+        Error No_node
+    | Some z ->
+        if not (Names.is_empty z.children) then begin
+          Tango.Runtime.abort_tx t.rt;
+          Error Not_empty
+        end
+        else if (match version with Some v -> v <> z.version | None -> false) then begin
+          Tango.Runtime.abort_tx t.rt;
+          Error Bad_version
+        end
+        else begin
+          let parent = parent_of path in
+          read_key t parent;
+          submit t ~key:path (Delete_node { path });
+          submit t ~key:parent (Remove_child { parent; name = name_of path });
+          match Tango.Runtime.end_tx t.rt with
+          | Tango.Runtime.Committed -> Ok ()
+          | Tango.Runtime.Aborted -> delete t ?version path
+        end
+  end
+
+let rec set_data t ?version path data =
+  validate_path path;
+  Tango.Runtime.begin_tx t.rt;
+  read_key t path;
+  match Hashtbl.find_opt t.nodes path with
+  | None ->
+      Tango.Runtime.abort_tx t.rt;
+      Error No_node
+  | Some z ->
+      if (match version with Some v -> v <> z.version | None -> false) then begin
+        Tango.Runtime.abort_tx t.rt;
+        Error Bad_version
+      end
+      else begin
+        submit t ~key:path (Set_node_data { path; data });
+        match Tango.Runtime.end_tx t.rt with
+        | Tango.Runtime.Committed -> Ok ()
+        | Tango.Runtime.Aborted -> set_data t ?version path data
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let get_data t path =
+  validate_path path;
+  read_key t path;
+  Option.map (fun z -> (z.data, z.version)) (Hashtbl.find_opt t.nodes path)
+
+let exists t path =
+  validate_path path;
+  read_key t path;
+  Hashtbl.mem t.nodes path
+
+let get_children t path =
+  validate_path path;
+  read_key t path;
+  match Hashtbl.find_opt t.nodes path with
+  | None -> Error No_node
+  | Some z -> Ok (Names.elements z.children)
+
+let node_count t =
+  Tango.Runtime.query_helper t.rt ~oid:t.zoid ();
+  Hashtbl.length t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Multi-ops                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type op = Check of string * int | Create_op of string * string | Delete_op of string | Set_op of string * string
+
+let rec multi t ops =
+  Tango.Runtime.begin_tx t.rt;
+  let bail e =
+    Tango.Runtime.abort_tx t.rt;
+    Error e
+  in
+  (* Validate against the snapshot while emitting buffered updates;
+     the whole batch commits or aborts as one record. *)
+  let rec step = function
+    | [] -> (
+        match Tango.Runtime.end_tx t.rt with
+        | Tango.Runtime.Committed -> Ok ()
+        | Tango.Runtime.Aborted -> multi t ops)
+    | Check (path, v) :: rest -> (
+        read_key t path;
+        match Hashtbl.find_opt t.nodes path with
+        | Some z when z.version = v -> step rest
+        | Some _ -> bail Bad_version
+        | None -> bail No_node)
+    | Create_op (path, data) :: rest -> (
+        let parent = parent_of path in
+        read_key t parent;
+        read_key t path;
+        if Hashtbl.mem t.nodes path then bail Node_exists
+        else if not (Hashtbl.mem t.nodes parent) then bail No_node
+        else begin
+          submit t ~key:path (Create_node { path; data; ephemeral_owner = None });
+          submit t ~key:parent (Add_child { parent; name = name_of path; used_seq = None });
+          step rest
+        end)
+    | Delete_op path :: rest -> (
+        read_key t path;
+        match Hashtbl.find_opt t.nodes path with
+        | None -> bail No_node
+        | Some z when not (Names.is_empty z.children) -> bail Not_empty
+        | Some _ ->
+            let parent = parent_of path in
+            read_key t parent;
+            submit t ~key:path (Delete_node { path });
+            submit t ~key:parent (Remove_child { parent; name = name_of path });
+            step rest)
+    | Set_op (path, data) :: rest ->
+        read_key t path;
+        if not (Hashtbl.mem t.nodes path) then bail No_node
+        else begin
+          submit t ~key:path (Set_node_data { path; data });
+          step rest
+        end
+  in
+  step ops
+
+(* ------------------------------------------------------------------ *)
+(* Cross-namespace move                                               *)
+(* ------------------------------------------------------------------ *)
+
+let subtree_paths t path =
+  let rec go path acc =
+    match Hashtbl.find_opt t.nodes path with
+    | None -> acc
+    | Some z -> Names.fold (fun name acc -> go (join path name) acc) z.children (path :: acc)
+  in
+  (* post-order: children before parents *)
+  go path []
+
+let rec move t ~dst_oid path =
+  validate_path path;
+  if path = "/" then false
+  else begin
+    Tango.Runtime.begin_tx t.rt;
+    read_key t path;
+    if not (Hashtbl.mem t.nodes path) then begin
+      Tango.Runtime.abort_tx t.rt;
+      false
+    end
+    else begin
+      let doomed = subtree_paths t path in
+      (* Blind creates on the destination namespace (§4.1 case B: the
+         destination need not be hosted here), children after parents. *)
+      List.iter
+        (fun p ->
+          read_key t p;
+          let z = Hashtbl.find t.nodes p in
+          Tango.Runtime.update_helper t.rt ~oid:dst_oid ~key:p
+            (encode (Create_node { path = p; data = z.data; ephemeral_owner = None }));
+          Tango.Runtime.update_helper t.rt ~oid:dst_oid ~key:(parent_of p)
+            (encode (Add_child { parent = parent_of p; name = name_of p; used_seq = None })))
+        (List.rev doomed);
+      (* Local deletes, children before parents. *)
+      List.iter (fun p -> submit t ~key:p (Delete_node { path = p })) doomed;
+      let parent = parent_of path in
+      submit t ~key:parent (Remove_child { parent; name = name_of path });
+      match Tango.Runtime.end_tx t.rt with
+      | Tango.Runtime.Committed -> true
+      | Tango.Runtime.Aborted -> move t ~dst_oid path
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Watches                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let watch_data t path cb =
+  validate_path path;
+  add_watch t.data_watches path cb
+
+let watch_children t path cb =
+  validate_path path;
+  add_watch t.child_watches path cb

@@ -1,0 +1,100 @@
+(** TangoZK (paper §6.3): the ZooKeeper interface re-implemented as a
+    Tango object — a hierarchical namespace of znodes with versioned
+    data, ephemeral and sequential nodes, one-shot watches, and atomic
+    multi-ops. The paper's version is under 1K lines against 13K for
+    the original; like it, this one adds a capability ZooKeeper lacks:
+    {e transactions across namespaces} — run several instances with
+    different OIDs and move files between them atomically with
+    remote-write transactions (§4.1).
+
+    Every mutator is a Tango transaction, so conditional semantics
+    (create-if-absent, version-checked writes) are enforced against
+    the shared log, not a local guess; conflicting operations retry
+    internally. *)
+
+type t
+
+type error =
+  | Node_exists
+  | No_node
+  | Not_empty  (** delete of a znode that still has children *)
+  | Bad_version
+
+type event =
+  | Node_created of string
+  | Node_deleted of string
+  | Node_data_changed of string
+  | Node_children_changed of string
+
+(** [attach rt ~oid] hosts a namespace view; the root ["/"] always
+    exists. *)
+val attach : Tango.Runtime.t -> oid:int -> t
+
+val oid : t -> int
+
+(** {2 Sessions}
+
+    Ephemeral znodes belong to a session and vanish when it closes. *)
+
+type session
+
+val create_session : t -> session
+val session_id : session -> string
+
+(** [close_session t s] removes every ephemeral node [s] owns. *)
+val close_session : t -> session -> unit
+
+(** {2 Znode operations} *)
+
+(** [create t path data] creates a znode. [ephemeral] ties its
+    lifetime to a session; [sequential] appends a monotonically
+    increasing zero-padded counter to the name (scoped to the
+    parent). Returns the actual path created. *)
+val create :
+  t -> ?ephemeral:session -> ?sequential:bool -> string -> string -> (string, error) result
+
+(** [delete t ?version path] deletes a childless znode; [version]
+    makes it conditional on the data version. *)
+val delete : t -> ?version:int -> string -> (unit, error) result
+
+(** [set_data t ?version path data]: versioned write. *)
+val set_data : t -> ?version:int -> string -> string -> (unit, error) result
+
+(** [get_data t path] returns (data, version). Linearizable. *)
+val get_data : t -> string -> (string * int) option
+
+val exists : t -> string -> bool
+val get_children : t -> string -> (string list, error) result
+
+(** Number of znodes in the namespace (including the root). *)
+val node_count : t -> int
+
+(** {2 Multi-ops}
+
+    ZooKeeper's [multi] executes a batch atomically; checks guard the
+    batch. This is the "limited form of transaction within a single
+    instance" the paper contrasts with Tango's general transactions. *)
+
+type op =
+  | Check of string * int  (** path must exist at this data version *)
+  | Create_op of string * string
+  | Delete_op of string
+  | Set_op of string * string
+
+val multi : t -> op list -> (unit, error) result
+
+(** {2 Cross-namespace moves (§4.1)}
+
+    [move t ~dst_oid path] atomically removes [path] from this
+    namespace and creates it (with its data) in the namespace of
+    [dst_oid], which need not be hosted here — the write travels as a
+    remote-write transaction and the destination applies it when the
+    commit record reaches its stream. Missing intermediate directories
+    are created on the destination. Returns [false] on conflict or if
+    [path] is absent. *)
+val move : t -> dst_oid:int -> string -> bool
+
+(** {2 Watches (one-shot, local to this client)} *)
+
+val watch_data : t -> string -> (event -> unit) -> unit
+val watch_children : t -> string -> (event -> unit) -> unit

@@ -1,0 +1,185 @@
+exception Deadlock
+exception Horizon_reached of float
+
+type 'a resumer = 'a -> unit
+
+(* Binary min-heap of events ordered by (time, seq). *)
+module Heap = struct
+  type entry = { time : float; seq : int; thunk : unit -> unit }
+
+  type t = { mutable arr : entry option array; mutable len : int }
+
+  let create () = { arr = Array.make 256 None; len = 0 }
+
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let get h i =
+    match h.arr.(i) with
+    | Some e -> e
+    | None -> assert false
+
+  let push h e =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) None in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- Some e;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && before (get h !i) (get h ((!i - 1) / 2)) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.arr.(!i) in
+      h.arr.(!i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = get h 0 in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      h.arr.(h.len) <- None;
+      let i = ref 0 in
+      let continue = ref (h.len > 1) in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before (get h l) (get h !smallest) then smallest := l;
+        if r < h.len && before (get h r) (get h !smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!i) in
+          h.arr.(!i) <- h.arr.(!smallest);
+          h.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type world = {
+  heap : Heap.t;
+  world_rng : Rng.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_fiber : int;
+  mutable current_fiber : int;
+  mutable failure : exn option;
+  mutable main_done : bool;
+}
+
+let current : world option ref = ref None
+
+let get_world () =
+  match !current with
+  | Some w -> w
+  | None -> invalid_arg "Sim.Engine: no simulation is running"
+
+let now () = (get_world ()).clock
+let rng () = (get_world ()).world_rng
+let fiber_id () = (get_world ()).current_fiber
+
+let push_event w ~after thunk =
+  let time = w.clock +. Float.max 0. after in
+  let seq = w.next_seq in
+  w.next_seq <- seq + 1;
+  Heap.push w.heap { Heap.time; seq; thunk }
+
+let schedule ~after thunk = push_event (get_world ()) ~after thunk
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let sleep dt = Effect.perform (Sleep dt)
+let yield () = Effect.perform (Sleep 0.)
+let suspend register = Effect.perform (Suspend register)
+
+let make_resumer w fid k =
+  let used = ref false in
+  fun v ->
+    if !used then invalid_arg "Sim.Engine: resumer called twice";
+    used := true;
+    push_event w ~after:0. (fun () ->
+        w.current_fiber <- fid;
+        Effect.Deep.continue k v)
+
+let start_fiber w fid f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          (* First failure wins; it aborts the whole run. *)
+          if w.failure = None then w.failure <- Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep dt ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  push_event w ~after:dt (fun () ->
+                      w.current_fiber <- fid;
+                      continue k ()))
+          | Suspend register ->
+              Some (fun (k : (a, unit) continuation) -> register (make_resumer w fid k))
+          | _ -> None);
+    }
+  in
+  w.current_fiber <- fid;
+  match_with f () handler
+
+let spawn ?(at = Float.neg_infinity) f =
+  let w = get_world () in
+  let fid = w.next_fiber in
+  w.next_fiber <- fid + 1;
+  let after = if at = Float.neg_infinity then 0. else at -. w.clock in
+  push_event w ~after (fun () -> start_fiber w fid f)
+
+let run ?(seed = 1) ?until main =
+  if !current <> None then invalid_arg "Sim.Engine.run: already running";
+  let w =
+    {
+      heap = Heap.create ();
+      world_rng = Rng.create seed;
+      clock = 0.;
+      next_seq = 0;
+      next_fiber = 0;
+      current_fiber = 0;
+      failure = None;
+      main_done = false;
+    }
+  in
+  current := Some w;
+  Fun.protect ~finally:(fun () -> current := None) @@ fun () ->
+  let result = ref None in
+  let fid = w.next_fiber in
+  w.next_fiber <- fid + 1;
+  push_event w ~after:0. (fun () ->
+      start_fiber w fid (fun () ->
+          let r = main () in
+          result := Some r;
+          w.main_done <- true));
+  let rec loop () =
+    if w.main_done || w.failure <> None then ()
+    else
+      match Heap.pop w.heap with
+      | None -> raise Deadlock
+      | Some { Heap.time; thunk; _ } -> (
+          match until with
+          | Some horizon when time > horizon -> raise (Horizon_reached horizon)
+          | Some _ | None ->
+              w.clock <- time;
+              thunk ();
+              loop ())
+  in
+  loop ();
+  (match w.failure with Some e -> raise e | None -> ());
+  match !result with
+  | Some r -> r
+  | None -> assert false

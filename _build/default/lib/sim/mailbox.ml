@@ -1,0 +1,16 @@
+type 'a t = { items : 'a Queue.t; waiters : ('a -> unit) Queue.t }
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+let send t v =
+  match Queue.take_opt t.waiters with
+  | Some waiter -> waiter v
+  | None -> Queue.add v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Engine.suspend (fun resume -> Queue.add resume t.waiters)
+
+let try_recv t = Queue.take_opt t.items
+let length t = Queue.length t.items

@@ -1,0 +1,19 @@
+(** Unbounded FIFO channels between fibers.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Messages are delivered in send order; blocked receivers are served
+    in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+
+(** [recv t] returns the next message, blocking if none is queued. *)
+val recv : 'a t -> 'a
+
+(** [try_recv t] returns the next message without blocking. *)
+val try_recv : 'a t -> 'a option
+
+(** [length t] is the number of queued (undelivered) messages. *)
+val length : 'a t -> int

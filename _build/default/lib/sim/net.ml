@@ -1,0 +1,68 @@
+type host = {
+  hname : string;
+  nic_in_r : Resource.t;
+  nic_out_r : Resource.t;
+  cpu : Resource.t;
+  fabric_latency : float;
+  fabric_jitter : float;
+  byte_time : float;
+}
+
+type t = { latency : float; jitter : float; byte_time : float }
+
+type ('req, 'resp) service = { shost : host; serve : 'req -> 'resp }
+
+let create ~latency ~bandwidth ?(jitter = 0.05) () =
+  if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
+  { latency; jitter; byte_time = 1. /. bandwidth }
+
+let add_host ?(cores = 8) t name =
+  {
+    hname = name;
+    nic_in_r = Resource.create ~name:(name ^ ".nic-in") ~capacity:1 ();
+    nic_out_r = Resource.create ~name:(name ^ ".nic-out") ~capacity:1 ();
+    cpu = Resource.create ~name:(name ^ ".cpu") ~capacity:cores ();
+    fabric_latency = t.latency;
+    fabric_jitter = t.jitter;
+    byte_time = t.byte_time;
+  }
+
+let host_name h = h.hname
+let host_cpu h = h.cpu
+let nic_in h = h.nic_in_r
+let nic_out h = h.nic_out_r
+
+let service shost ~name:_ serve = { shost; serve }
+
+let propagation h =
+  let base = h.fabric_latency in
+  if h.fabric_jitter = 0. then base
+  else base *. (1. +. Rng.float (Engine.rng ()) h.fabric_jitter)
+
+let transfer ~(src : host) ~(dst : host) ~bytes =
+  let wire_time = float_of_int bytes *. src.byte_time in
+  Resource.use src.nic_out_r wire_time;
+  Engine.sleep (propagation src);
+  Resource.use dst.nic_in_r wire_time
+
+let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
+  if from == svc.shost then svc.serve req
+  else begin
+    transfer ~src:from ~dst:svc.shost ~bytes:req_bytes;
+    let resp = svc.serve req in
+    transfer ~src:svc.shost ~dst:from ~bytes:resp_bytes;
+    resp
+  end
+
+let send ?(req_bytes = 64) ~from svc req =
+  if from == svc.shost then Engine.spawn (fun () -> svc.serve req)
+  else begin
+    let wire_time = float_of_int req_bytes *. from.byte_time in
+    Resource.use from.nic_out_r wire_time;
+    Engine.spawn (fun () ->
+        Engine.sleep (propagation from);
+        Resource.use svc.shost.nic_in_r wire_time;
+        svc.serve req)
+  end
+
+let one_way_delay t ~bytes = (2. *. float_of_int bytes *. t.byte_time) +. t.latency

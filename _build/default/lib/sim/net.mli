@@ -1,0 +1,51 @@
+(** Simulated datacenter network.
+
+    Hosts own full-duplex NICs modelled as {!Resource.t} pairs; every
+    message charges serialization time (bytes / bandwidth) on the
+    sender's outbound NIC and the receiver's inbound NIC, plus a
+    propagation latency with optional jitter. Services are typed
+    request/response endpoints; {!call} performs a blocking RPC with
+    both directions paying network costs. Handler code runs in the
+    calling fiber but charges its costs to the {e server's} resources,
+    so server saturation behaves correctly. *)
+
+type t
+type host
+
+(** [create ~latency ~bandwidth ?jitter ()] builds a network fabric.
+    [latency] is the one-way propagation delay in µs; [bandwidth] is
+    per-NIC-direction in bytes/µs; [jitter] (default 0.05) scales a
+    uniform multiplicative perturbation of the latency. *)
+val create : latency:float -> bandwidth:float -> ?jitter:float -> unit -> t
+
+(** [add_host t name] registers a machine with its own NIC pair and a
+    CPU station ([cores], default 8). *)
+val add_host : ?cores:int -> t -> string -> host
+
+val host_name : host -> string
+val host_cpu : host -> Resource.t
+val nic_in : host -> Resource.t
+val nic_out : host -> Resource.t
+
+type ('req, 'resp) service
+
+(** [service host ~name serve] exposes [serve] as an RPC endpoint on
+    [host]. [serve] should model its own server-side costs (CPU, SSD)
+    via {!Resource.use}. *)
+val service : host -> name:string -> ('req -> 'resp) -> ('req, 'resp) service
+
+(** [call ~from svc req] performs a blocking RPC. [req_bytes] and
+    [resp_bytes] (default 64) size the two messages. Calls between a
+    host and itself skip the network entirely. *)
+val call :
+  ?req_bytes:int -> ?resp_bytes:int -> from:host -> ('req, 'resp) service -> 'req -> 'resp
+
+(** [send ~from svc req] is a fire-and-forget cast: the caller pays
+    only its own serialization cost; delivery and handling happen in a
+    fresh fiber. *)
+val send : ?req_bytes:int -> from:host -> ('req, unit) service -> 'req -> unit
+
+(** [one_way_delay t ~bytes] is the modelled cost of moving [bytes]
+    one hop, excluding queueing: serialization at both ends plus mean
+    propagation latency. Useful for calibration printouts. *)
+val one_way_delay : t -> bytes:int -> float

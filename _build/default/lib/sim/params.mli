@@ -1,0 +1,35 @@
+(** Calibration constants for the simulated testbed.
+
+    The paper's cluster (§6): 36 8-core machines in two racks, gigabit
+    NICs, 18 CORFU storage nodes (9 replica sets × 2, Intel X25-V
+    SSDs), a 32-core sequencer machine, 4KB log entries, and a batch
+    of 4 commit records per entry. Each field below is the synthetic
+    stand-in for one measured property of that hardware; the
+    derivations are in DESIGN.md §1 and the comments in [params.ml].
+
+    All times are microseconds of virtual time. *)
+
+type t = {
+  net_latency_us : float;  (** one-way propagation delay *)
+  net_jitter : float;  (** multiplicative latency jitter bound *)
+  nic_bandwidth : float;  (** bytes/µs per NIC direction (125 = 1 Gbps) *)
+  entry_bytes : int;  (** fixed CORFU log-entry size *)
+  rpc_bytes : int;  (** size of small control messages *)
+  sequencer_service_us : float;  (** per-request time at the sequencer *)
+  storage_write_us : float;  (** SSD service time for a 4KB write *)
+  storage_read_us : float;  (** SSD service time for a 4KB read *)
+  storage_capacity : int;  (** parallel ops per storage node *)
+  client_dispatch_us : float;  (** Tango runtime cost to issue one op *)
+  apply_record_us : float;  (** cost to apply one update record to a view *)
+  commit_batch : int;  (** update/commit records packed per log entry *)
+  backpointer_k : int;  (** stream-header backpointers per stream *)
+  max_streams_per_entry : int;  (** multiappend fan-out limit *)
+  fill_timeout_us : float;  (** hole-filling timeout (paper: 100 ms) *)
+}
+
+(** The paper-calibrated testbed. *)
+val default : t
+
+(** [replica_sets_of_servers n] is [n/2]: the paper always mirrors
+    across racks in sets of two. *)
+val replica_sets_of_servers : int -> int

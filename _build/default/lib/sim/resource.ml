@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  capacity : int;
+  mutable in_use : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable busy_integral : float;
+  mutable last_update : float;
+}
+
+let create ~name ~capacity () =
+  if capacity < 1 then invalid_arg "Resource.create: capacity must be >= 1";
+  { name; capacity; in_use = 0; waiters = Queue.create (); busy_integral = 0.; last_update = 0. }
+
+let name t = t.name
+
+let account t =
+  let now = Engine.now () in
+  t.busy_integral <- t.busy_integral +. (float_of_int t.in_use *. (now -. t.last_update));
+  t.last_update <- now
+
+let acquire t =
+  if t.in_use < t.capacity && Queue.is_empty t.waiters then begin
+    account t;
+    t.in_use <- t.in_use + 1
+  end
+  else Engine.suspend (fun resume -> Queue.add (fun () -> resume ()) t.waiters)
+
+let release t =
+  if t.in_use = 0 then invalid_arg "Resource.release: not held";
+  match Queue.take_opt t.waiters with
+  | Some waiter ->
+      (* Hand the server straight to the next fiber in line; [in_use]
+         stays constant so no accounting boundary is needed. *)
+      waiter ()
+  | None ->
+      account t;
+      t.in_use <- t.in_use - 1
+
+let use t dt =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) (fun () -> Engine.sleep dt)
+
+let queue_length t = Queue.length t.waiters
+
+let busy_time t =
+  account t;
+  t.busy_integral

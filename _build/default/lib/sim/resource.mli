@@ -1,0 +1,36 @@
+(** Queueing stations: the cost model of the simulation.
+
+    A resource models a physical bottleneck — a NIC direction, an SSD,
+    a CPU — as [capacity] identical servers in front of a FIFO queue.
+    A fiber occupies one server for a service time; when all servers
+    are busy the fiber waits in line. Saturation curves in the
+    benchmarks emerge from these queues. *)
+
+type t
+
+(** [create ~name ~capacity ()] makes a station with [capacity]
+    parallel servers.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : name:string -> capacity:int -> unit -> t
+
+val name : t -> string
+
+(** [acquire t] takes one server, waiting in FIFO order if none is
+    free. *)
+val acquire : t -> unit
+
+(** [release t] frees one server, handing it to the longest-waiting
+    fiber if any.
+    @raise Invalid_argument if no server is held. *)
+val release : t -> unit
+
+(** [use t dt] = acquire, hold for [dt] microseconds, release. This is
+    the normal way to charge a cost to the resource. *)
+val use : t -> float -> unit
+
+(** [queue_length t] is the number of fibers currently waiting. *)
+val queue_length : t -> int
+
+(** [busy_time t] is the total server-busy integral (µs × servers)
+    accumulated so far, for utilization reporting. *)
+val busy_time : t -> float

@@ -1,0 +1,76 @@
+module Series = struct
+  type t = { mutable data : float array; mutable len : int; mutable sorted : bool }
+
+  let create () = { data = Array.make 1024 0.; len = 0; sorted = true }
+
+  let add t v =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.data 0 t.len in
+      Array.sort Float.compare live;
+      Array.blit live 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let mean t =
+    if t.len = 0 then 0.
+    else begin
+      let sum = ref 0. in
+      for i = 0 to t.len - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.len
+    end
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Series.percentile: empty series";
+    ensure_sorted t;
+    let rank = p /. 100. *. float_of_int (t.len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac)
+
+  let min t = percentile t 0.
+  let max t = percentile t 100.
+
+  let stddev t =
+    if t.len < 2 then 0.
+    else begin
+      let m = mean t in
+      let sum = ref 0. in
+      for i = 0 to t.len - 1 do
+        let d = t.data.(i) -. m in
+        sum := !sum +. (d *. d)
+      done;
+      sqrt (!sum /. float_of_int (t.len - 1))
+    end
+end
+
+module Meter = struct
+  type t = { mutable n : int; mutable since : float }
+
+  let create () = { n = 0; since = Engine.now () }
+  let mark t = t.n <- t.n + 1
+  let mark_n t n = t.n <- t.n + n
+  let count t = t.n
+
+  let reset t =
+    t.n <- 0;
+    t.since <- Engine.now ()
+
+  let rate t =
+    let elapsed_us = Engine.now () -. t.since in
+    if elapsed_us <= 0. then 0. else float_of_int t.n /. elapsed_us *. 1_000_000.
+end

@@ -1,0 +1,42 @@
+(** Measurement helpers for experiments.
+
+    {!Series} collects latency samples for percentile reporting;
+    {!Meter} counts events against the virtual clock for throughput
+    reporting. Both are cheap enough to leave enabled in every run. *)
+
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** [percentile t p] with [p] in [\[0,100\]]; 50.0 is the median.
+      @raise Invalid_argument if the series is empty. *)
+  val percentile : t -> float -> float
+
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+end
+
+module Meter : sig
+  type t
+
+  (** [create ()] starts counting at the current virtual time. *)
+  val create : unit -> t
+
+  (** [mark t] records one event; [mark_n t n] records [n]. *)
+  val mark : t -> unit
+
+  val mark_n : t -> int -> unit
+  val count : t -> int
+
+  (** [reset t] zeroes the count and restarts the window now. *)
+  val reset : t -> unit
+
+  (** [rate t] is events per {e second} (not µs) since the window
+      started. *)
+  val rate : t -> float
+end

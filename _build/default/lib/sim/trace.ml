@@ -1,0 +1,11 @@
+let state = ref (match Sys.getenv_opt "TANGO_TRACE" with Some ("1" | "true") -> true | _ -> false)
+
+let set_enabled b = state := b
+let enabled () = !state
+
+let f component fmt =
+  if !state then begin
+    Format.eprintf "[%12.1f] %-10s " (Engine.now ()) component;
+    Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) Format.err_formatter fmt
+  end
+  else Format.ifprintf Format.err_formatter fmt

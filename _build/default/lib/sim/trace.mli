@@ -1,0 +1,11 @@
+(** Lightweight simulation tracing.
+
+    Disabled by default; set the environment variable [TANGO_TRACE=1]
+    (or call {!set_enabled}) to print one line per event to stderr,
+    prefixed with the virtual timestamp. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [f "component" fmt ...] logs one formatted line when enabled. *)
+val f : string -> ('a, Format.formatter, unit) format -> 'a

@@ -1,0 +1,1 @@
+lib/workloads/key_dist.mli: Sim

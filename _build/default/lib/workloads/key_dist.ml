@@ -1,0 +1,31 @@
+type t = Uniform of int | Zipfian of Zipf.t
+
+let uniform ~n =
+  if n < 1 then invalid_arg "Key_dist.uniform: n must be positive";
+  Uniform n
+
+let zipf ?theta ~n () = Zipfian (Zipf.create ?theta ~n ())
+
+let population = function Uniform n -> n | Zipfian z -> Zipf.n z
+
+let sample t rng =
+  match t with Uniform n -> Sim.Rng.int rng n | Zipfian z -> Zipf.sample z rng
+
+let key_name i = Printf.sprintf "k%08d" i
+let sample_key t rng = key_name (sample t rng)
+
+let distinct_keys t rng count =
+  if count > population t then invalid_arg "Key_dist.distinct_keys: count exceeds population";
+  let seen = Hashtbl.create count in
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else begin
+      let i = sample t rng in
+      if Hashtbl.mem seen i then draw acc remaining
+      else begin
+        Hashtbl.replace seen i ();
+        draw (key_name i :: acc) (remaining - 1)
+      end
+    end
+  in
+  draw [] count

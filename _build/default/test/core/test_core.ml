@@ -1,0 +1,829 @@
+(* Tests for the Tango runtime: records, batching, replication,
+   transactions, checkpoints, GC, and the directory. *)
+
+open Tango
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_status =
+  Alcotest.testable
+    (fun ppf -> function
+      | Runtime.Committed -> Fmt.string ppf "committed"
+      | Runtime.Aborted -> Fmt.string ppf "aborted")
+    ( = )
+
+let with_cluster ?(seed = 5) ?(servers = 4) body =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers () in
+      body cluster)
+
+let runtime ?batch_size ?decision_timeout_us cluster name =
+  Runtime.create ?batch_size ?decision_timeout_us (Corfu.Cluster.new_client cluster ~name)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal integer register object, as in the paper's Figure 3.     *)
+(* ------------------------------------------------------------------ *)
+
+module Reg = struct
+  type t = { rt : Runtime.t; roid : int; mutable v : int; mutable last_pos : int }
+
+  let encode x =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 (Int64.of_int x);
+    b
+
+  let decode b = Int64.to_int (Bytes.get_int64_be b 0)
+
+  let attach rt ~oid =
+    let t = { rt; roid = oid; v = 0; last_pos = -1 } in
+    Runtime.register rt ~oid
+      {
+        Runtime.apply =
+          (fun ~pos ~key:_ data ->
+            t.v <- decode data;
+            t.last_pos <- pos);
+        checkpoint = Some (fun () -> encode t.v);
+        load_checkpoint = Some (fun data -> t.v <- decode data);
+      };
+    t
+
+  let write t x = Runtime.update_helper t.rt ~oid:t.roid (encode x)
+
+  let read t =
+    Runtime.query_helper t.rt ~oid:t.roid ();
+    t.v
+
+  let read_at t upto =
+    Runtime.query_helper t.rt ~oid:t.roid ~upto ();
+    t.v
+end
+
+(* A string map with per-key fine-grained versioning. *)
+module Map_obj = struct
+  type t = { rt : Runtime.t; moid : int; tbl : (string, string) Hashtbl.t }
+
+  let encode k v = Bytes.of_string (Printf.sprintf "%d:%s%s" (String.length k) k v)
+
+  let decode b =
+    let s = Bytes.to_string b in
+    let colon = String.index s ':' in
+    let klen = int_of_string (String.sub s 0 colon) in
+    let k = String.sub s (colon + 1) klen in
+    let v = String.sub s (colon + 1 + klen) (String.length s - colon - 1 - klen) in
+    (k, v)
+
+  let attach rt ~oid =
+    let t = { rt; moid = oid; tbl = Hashtbl.create 16 } in
+    Runtime.register rt ~oid
+      {
+        Runtime.apply =
+          (fun ~pos:_ ~key:_ data ->
+            let k, v = decode data in
+            if v = "" then Hashtbl.remove t.tbl k else Hashtbl.replace t.tbl k v);
+        checkpoint = None;
+        load_checkpoint = None;
+      };
+    t
+
+  let put t k v = Runtime.update_helper t.rt ~oid:t.moid ~key:k (encode k v)
+
+  let get t k =
+    Runtime.query_helper t.rt ~oid:t.moid ~key:k ();
+    Hashtbl.find_opt t.tbl k
+
+  let size t =
+    Runtime.query_helper t.rt ~oid:t.moid ();
+    Hashtbl.length t.tbl
+end
+
+(* ------------------------------------------------------------------ *)
+(* Record codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  [
+    Record.Update { Record.u_oid = 3; u_key = None; u_data = Bytes.of_string "abc" };
+    Record.Update { Record.u_oid = 4; u_key = Some "k1"; u_data = Bytes.empty };
+    Record.Commit
+      {
+        Record.c_reads = [ (1, None, 42); (2, Some "x", -1) ];
+        c_writes =
+          [
+            { Record.u_oid = 1; u_key = Some "y"; u_data = Bytes.of_string "v" };
+            { Record.u_oid = 7; u_key = None; u_data = Bytes.of_string "w" };
+          ];
+        c_needs_decision = true;
+      };
+    Record.Decision { d_target = 99; d_committed = false };
+    Record.Partial { p_target = 77; p_verdicts = [ (1, true); (2, false) ] };
+    Record.Checkpoint { k_oid = 5; k_base = 12; k_data = Bytes.of_string "snapshot" };
+  ]
+
+let test_record_roundtrip () =
+  let b = Record.encode_payload sample_records in
+  let back = Record.decode_payload b in
+  check_int "count" (List.length sample_records) (List.length back);
+  check_bool "equal" true (sample_records = back)
+
+let test_record_pos_math () =
+  let p = Record.pos ~offset:17 ~slot:3 in
+  check_int "offset" 17 (Record.pos_offset p);
+  check_int "slot" 3 (Record.pos_slot p);
+  check_bool "ordering" true
+    (Record.pos ~offset:1 ~slot:63 < Record.pos ~offset:2 ~slot:0)
+
+let test_record_streams_of () =
+  match sample_records with
+  | [ u1; _; commit; decision; partial; ckpt ] ->
+      Alcotest.(check (list int)) "update" [ 3 ] (Record.streams_of u1);
+      Alcotest.(check (list int)) "commit = write set" [ 1; 7 ] (Record.streams_of commit);
+      Alcotest.(check (list int)) "decision" [] (Record.streams_of decision);
+      Alcotest.(check (list int)) "partial" [] (Record.streams_of partial);
+      Alcotest.(check (list int)) "checkpoint" [ 5 ] (Record.streams_of ckpt)
+  | _ -> assert false
+
+let test_record_rejects_bad () =
+  (match Record.encode_payload [] with
+  | _ -> Alcotest.fail "empty payload must be rejected"
+  | exception Invalid_argument _ -> ());
+  let b = Record.encode_payload sample_records in
+  let truncated = Bytes.sub b 0 (Bytes.length b - 3) in
+  match Record.decode_payload truncated with
+  | _ -> Alcotest.fail "truncated payload must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let prop_record_roundtrip =
+  let gen_update =
+    QCheck.Gen.(
+      map3
+        (fun oid key data ->
+          { Record.u_oid = oid; u_key = key; u_data = Bytes.of_string data })
+        (int_range 0 1000)
+        (opt (string_size (1 -- 8)))
+        (string_size (0 -- 64)))
+  in
+  let gen_record =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun u -> Record.Update u) gen_update);
+          ( 3,
+            map3
+              (fun reads writes nd ->
+                Record.Commit { Record.c_reads = reads; c_writes = writes; c_needs_decision = nd })
+              (small_list (triple (int_range 0 100) (opt (string_size (1 -- 5))) (int_range (-1) 1000)))
+              (small_list gen_update) bool );
+          ( 1,
+            map2
+              (fun t c -> Record.Decision { d_target = t; d_committed = c })
+              (int_range 0 100_000) bool );
+          ( 1,
+            map2
+              (fun o d -> Record.Checkpoint { k_oid = o; k_base = 7; k_data = Bytes.of_string d })
+              (int_range 0 100) (string_size (0 -- 32)) );
+          ( 1,
+            map2
+              (fun t vs -> Record.Partial { p_target = t; p_verdicts = vs })
+              (int_range 0 100_000)
+              (small_list (pair (int_range 0 100) bool)) );
+        ])
+  in
+  QCheck.Test.make ~name:"record payload roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 20) gen_record))
+    (fun records -> Record.decode_payload (Record.encode_payload records) = records)
+
+(* ------------------------------------------------------------------ *)
+(* Batcher                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_batcher_fills_batches () =
+  with_cluster (fun cluster ->
+      let cl = Corfu.Cluster.new_client cluster ~name:"app" in
+      let b = Batcher.create ~client:cl ~batch_size:4 () in
+      let positions = ref [] in
+      for i = 0 to 7 do
+        Sim.Engine.spawn (fun () ->
+            let p =
+              Batcher.submit b ~streams:[ 1 ]
+                (Record.Update { Record.u_oid = 1; u_key = None; u_data = Reg.encode i })
+            in
+            positions := p :: !positions)
+      done;
+      Sim.Engine.sleep 10_000.;
+      check_int "all submitted" 8 (List.length !positions);
+      check_int "two entries" 2 (Batcher.entries_appended b);
+      check_int "records" 8 (Batcher.records_submitted b);
+      (* positions distinct *)
+      check_int "distinct positions" 8 (List.length (List.sort_uniq compare !positions)))
+
+let test_batcher_linger_flushes_partial () =
+  with_cluster (fun cluster ->
+      let cl = Corfu.Cluster.new_client cluster ~name:"app" in
+      let b = Batcher.create ~client:cl ~batch_size:4 ~linger_us:50. () in
+      let p =
+        Batcher.submit b ~streams:[ 1 ]
+          (Record.Update { Record.u_oid = 1; u_key = None; u_data = Reg.encode 1 })
+      in
+      check_int "slot 0 of entry 0" (Record.pos ~offset:0 ~slot:0) p;
+      check_int "one entry" 1 (Batcher.entries_appended b);
+      check_bool "waited for linger" true (Sim.Engine.now () >= 50.))
+
+(* ------------------------------------------------------------------ *)
+(* Replication basics (Figure 8 semantics)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_write_read () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app-0" in
+      let r = Reg.attach rt ~oid:1 in
+      check_int "initial" 0 (Reg.read r);
+      Reg.write r 42;
+      check_int "after write" 42 (Reg.read r))
+
+let test_two_views_linearizable () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      Reg.write r1 7;
+      (* A linearizable read on another view must see the completed
+         write immediately. *)
+      check_int "remote view" 7 (Reg.read r2);
+      Reg.write r2 9;
+      check_int "back again" 9 (Reg.read r1))
+
+let test_view_reconstruction () =
+  (* Persistence: a brand-new view replays history. *)
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      for i = 1 to 20 do
+        Reg.write r1 i
+      done;
+      let rt2 = runtime cluster "late-joiner" in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      check_int "replayed" 20 (Reg.read r2);
+      check_int "applied all" 20 (Runtime.applied_records rt2))
+
+let test_time_travel () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime ~batch_size:1 cluster "app-1" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      for i = 1 to 10 do
+        Reg.write r1 i
+      done;
+      (* A fresh view synced to a prefix sees the historical state.
+         With batch size 1, offsets 0..9 hold writes 1..10. *)
+      let rt2 = runtime ~batch_size:1 cluster "historian" in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      check_int "state as of offset 4" 4 (Reg.read_at r2 4);
+      check_int "state as of offset 7" 7 (Reg.read_at r2 7);
+      check_int "full state" 10 (Reg.read r2))
+
+let test_version_tracking () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      let m = Map_obj.attach rt ~oid:1 in
+      check_int "no version" (-1) (Runtime.version_of rt ~oid:1 ());
+      Map_obj.put m "a" "1";
+      ignore (Map_obj.get m "a");
+      let va = Runtime.version_of rt ~oid:1 ~key:"a" () in
+      check_bool "a versioned" true (va >= 0);
+      check_int "b untouched" (-1) (Runtime.version_of rt ~oid:1 ~key:"b" ());
+      Map_obj.put m "b" "2";
+      ignore (Map_obj.get m "b");
+      check_bool "object version advances" true (Runtime.version_of rt ~oid:1 () > va);
+      check_int "a unchanged" va (Runtime.version_of rt ~oid:1 ~key:"a" ()))
+
+let test_fetch_log_index () =
+  (* Views can store positions and fetch the payload lazily. *)
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      let r = Reg.attach rt ~oid:1 in
+      Reg.write r 1234;
+      check_int "applied" 1234 (Reg.read r);
+      let data = Runtime.fetch rt ~oid:1 r.Reg.last_pos in
+      check_int "fetched from log" 1234 (Reg.decode data))
+
+let test_batching_ratio () =
+  with_cluster (fun cluster ->
+      let rt = runtime ~batch_size:4 cluster "app" in
+      let r = Reg.attach rt ~oid:1 in
+      for w = 0 to 3 do
+        Sim.Engine.spawn (fun () ->
+            for i = 0 to 9 do
+              Reg.write r ((w * 100) + i)
+            done)
+      done;
+      Sim.Engine.sleep 100_000.;
+      let entries, records = Runtime.append_stats rt in
+      check_int "records" 40 records;
+      check_bool (Printf.sprintf "entries %d well under records" entries) true (entries <= 25))
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_tx_single_object_rmw () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      let r = Reg.attach rt ~oid:1 in
+      Reg.write r 10;
+      Runtime.begin_tx rt;
+      let v = Reg.read r in
+      Reg.write r (v + 5);
+      Alcotest.check check_status "commits" Runtime.Committed (Runtime.end_tx rt);
+      check_int "applied" 15 (Reg.read r))
+
+let test_tx_conflict_aborts () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      Reg.write r1 0;
+      ignore (Reg.read r2);
+      (* Both read, then both write: the later commit must abort. *)
+      Runtime.begin_tx rt1;
+      let a = Reg.read r1 in
+      Reg.write r1 (a + 1);
+      Runtime.begin_tx rt2;
+      let b = Reg.read r2 in
+      Reg.write r2 (b + 1);
+      let s1 = Runtime.end_tx rt1 in
+      let s2 = Runtime.end_tx rt2 in
+      Alcotest.check check_status "first wins" Runtime.Committed s1;
+      Alcotest.check check_status "second aborts" Runtime.Aborted s2;
+      check_int "exactly one increment" 1 (Reg.read r1);
+      check_int "views agree" 1 (Reg.read r2))
+
+let test_tx_fine_grained_keys_no_conflict () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let m1 = Map_obj.attach rt1 ~oid:1 in
+      let m2 = Map_obj.attach rt2 ~oid:1 in
+      Map_obj.put m1 "a" "0";
+      Map_obj.put m1 "b" "0";
+      ignore (Map_obj.size m2);
+      (* Touch disjoint keys concurrently: both must commit. *)
+      Runtime.begin_tx rt1;
+      ignore (Map_obj.get m1 "a");
+      Map_obj.put m1 "a" "1";
+      Runtime.begin_tx rt2;
+      ignore (Map_obj.get m2 "b");
+      Map_obj.put m2 "b" "2";
+      Alcotest.check check_status "tx1" Runtime.Committed (Runtime.end_tx rt1);
+      Alcotest.check check_status "tx2 (disjoint key)" Runtime.Committed (Runtime.end_tx rt2);
+      Alcotest.(check (option string)) "a" (Some "1") (Map_obj.get m1 "a");
+      Alcotest.(check (option string)) "b" (Some "2") (Map_obj.get m1 "b"))
+
+let test_tx_same_key_conflicts () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let m1 = Map_obj.attach rt1 ~oid:1 in
+      let m2 = Map_obj.attach rt2 ~oid:1 in
+      Map_obj.put m1 "k" "0";
+      ignore (Map_obj.get m2 "k");
+      Runtime.begin_tx rt1;
+      ignore (Map_obj.get m1 "k");
+      Map_obj.put m1 "k" "1";
+      Runtime.begin_tx rt2;
+      ignore (Map_obj.get m2 "k");
+      Map_obj.put m2 "k" "2";
+      let s1 = Runtime.end_tx rt1 in
+      let s2 = Runtime.end_tx rt2 in
+      Alcotest.check check_status "tx1" Runtime.Committed s1;
+      Alcotest.check check_status "tx2 conflicts" Runtime.Aborted s2)
+
+let test_tx_read_only () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      Reg.write r1 5;
+      Runtime.begin_tx rt1;
+      ignore (Reg.read r1);
+      Alcotest.check check_status "quiet read-only commits" Runtime.Committed (Runtime.end_tx rt1))
+
+let test_tx_read_only_aborts_on_change () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      Reg.write r1 5;
+      ignore (Reg.read r2);
+      Runtime.begin_tx rt2;
+      ignore (Reg.read r2);
+      (* Someone else changes the register before EndTX. *)
+      Reg.write r1 6;
+      Alcotest.check check_status "sees conflict at tail" Runtime.Aborted (Runtime.end_tx rt2);
+      (* Stale mode never goes to the log: it validates against the
+         local snapshot, which is self-consistent. *)
+      Runtime.begin_tx rt2;
+      ignore (Reg.read r2);
+      Reg.write r1 7;
+      Alcotest.check check_status "stale commit" Runtime.Committed (Runtime.end_tx ~stale:true rt2))
+
+let test_tx_write_only_fast () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      let r = Reg.attach rt ~oid:1 in
+      Runtime.begin_tx rt;
+      Reg.write r 1;
+      Reg.write r 2;
+      Alcotest.check check_status "write-only commits" Runtime.Committed (Runtime.end_tx rt);
+      check_int "both applied in order" 2 (Reg.read r))
+
+let test_tx_cross_object_atomicity () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime ~batch_size:1 cluster "app-1" in
+      let src = Map_obj.attach rt1 ~oid:1 in
+      let dst = Map_obj.attach rt1 ~oid:2 in
+      Map_obj.put src "item" "payload";
+      (* Move atomically. *)
+      Runtime.begin_tx rt1;
+      (match Map_obj.get src "item" with
+      | Some v ->
+          Map_obj.put src "item" "";
+          Map_obj.put dst "item" v
+      | None -> Alcotest.fail "item missing");
+      Alcotest.check check_status "move commits" Runtime.Committed (Runtime.end_tx rt1);
+      (* Another client hosting both must never observe the item in
+         neither or both maps: check every historical prefix. *)
+      let tail = Corfu.Client.check (Runtime.client rt1) in
+      for upto = 1 to tail do
+        let rt = runtime cluster (Printf.sprintf "observer-%d" upto) in
+        let s = Map_obj.attach rt ~oid:1 in
+        let d = Map_obj.attach rt ~oid:2 in
+        Runtime.query_helper rt ~oid:1 ~upto ();
+        Runtime.query_helper rt ~oid:2 ~upto ();
+        let in_src = Hashtbl.mem s.Map_obj.tbl "item" in
+        let in_dst = Hashtbl.mem d.Map_obj.tbl "item" in
+        check_bool
+          (Printf.sprintf "exactly one holds the item at prefix %d" upto)
+          true
+          (in_src <> in_dst || ((not in_src) && not in_dst && upto <= 1))
+      done)
+
+let test_tx_remote_write_producer_consumer () =
+  (* §4.1 case B/C: a producer appends into a queue it does not host;
+     the consumer hosts the queue but not the producer's read object,
+     so it relies on the decision record. *)
+  with_cluster (fun cluster ->
+      let producer = runtime cluster "producer" in
+      let consumer = runtime cluster "consumer" in
+      let src = Map_obj.attach producer ~oid:1 in
+      (* producer hosts map 1 *)
+      let sink = Map_obj.attach consumer ~oid:2 in
+      (* consumer hosts map 2 *)
+      Map_obj.put src "job" "run-me";
+      Runtime.begin_tx producer;
+      (match Map_obj.get src "job" with
+      | Some v ->
+          (* remote write to OID 2, which the producer does not host *)
+          Runtime.update_helper producer ~oid:2 ~key:"job" (Map_obj.encode "job" v)
+      | None -> Alcotest.fail "job missing");
+      Alcotest.check check_status "remote-write tx commits" Runtime.Committed
+        (Runtime.end_tx producer);
+      Alcotest.(check (option string)) "consumer sees the job" (Some "run-me")
+        (Map_obj.get sink "job"))
+
+let test_tx_remote_write_abort_respected () =
+  with_cluster (fun cluster ->
+      let p1 = runtime cluster "p1" in
+      let p2 = runtime cluster "p2" in
+      let consumer = runtime cluster "consumer" in
+      let src1 = Map_obj.attach p1 ~oid:1 in
+      let src2 = Map_obj.attach p2 ~oid:1 in
+      let sink = Map_obj.attach consumer ~oid:2 in
+      Map_obj.put src1 "job" "v0";
+      ignore (Map_obj.get src2 "job");
+      (* Two producers race on the same read key; the loser's remote
+         write must not reach the consumer. *)
+      Runtime.begin_tx p1;
+      ignore (Map_obj.get src1 "job");
+      Map_obj.put src1 "job" "v1";
+      Runtime.update_helper p1 ~oid:2 ~key:"out" (Map_obj.encode "out" "from-p1");
+      Runtime.begin_tx p2;
+      ignore (Map_obj.get src2 "job");
+      Map_obj.put src2 "job" "v2";
+      Runtime.update_helper p2 ~oid:2 ~key:"out" (Map_obj.encode "out" "from-p2");
+      let s1 = Runtime.end_tx p1 in
+      let s2 = Runtime.end_tx p2 in
+      Alcotest.check check_status "p1 commits" Runtime.Committed s1;
+      Alcotest.check check_status "p2 aborts" Runtime.Aborted s2;
+      Alcotest.(check (option string)) "consumer applies only the winner" (Some "from-p1")
+        (Map_obj.get sink "out"))
+
+let test_tx_remote_read_rejected () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      let _local = Map_obj.attach rt ~oid:1 in
+      Runtime.begin_tx rt;
+      (match Runtime.query_helper rt ~oid:99 () with
+      | () -> Alcotest.fail "remote read inside tx must be rejected"
+      | exception Invalid_argument _ -> ());
+      Runtime.abort_tx rt)
+
+let test_tx_nested_rejected () =
+  with_cluster (fun cluster ->
+      let rt = runtime cluster "app" in
+      Runtime.begin_tx rt;
+      (match Runtime.begin_tx rt with
+      | () -> Alcotest.fail "nested tx must be rejected"
+      | exception Runtime.Nested_transaction -> ());
+      Runtime.abort_tx rt;
+      match Runtime.end_tx rt with
+      | _ -> Alcotest.fail "end without begin must be rejected"
+      | exception Runtime.No_transaction -> ())
+
+let test_decision_watchdog_reconstructs () =
+  (* A generator crashes between the commit and decision records: the
+     consumer must reconstruct the outcome from the log after the
+     timeout (§4.1, Failure Handling). *)
+  with_cluster (fun cluster ->
+      let gen = runtime ~decision_timeout_us:20_000. cluster "doomed" in
+      let consumer = runtime ~decision_timeout_us:20_000. cluster "consumer" in
+      let src = Map_obj.attach gen ~oid:1 in
+      let sink = Map_obj.attach consumer ~oid:2 in
+      Map_obj.put src "k" "v";
+      ignore (Map_obj.get src "k");
+      (* Forge the crash: append the commit record directly, without
+         the follow-up decision, dodging the runtime's EndTX. *)
+      let commit =
+        Record.Commit
+          {
+            Record.c_reads = [ (1, Some "k", Runtime.version_of gen ~oid:1 ~key:"k" ()) ];
+            c_writes = [ { Record.u_oid = 2; u_key = Some "out"; u_data = Map_obj.encode "out" "ok" } ];
+            c_needs_decision = true;
+          }
+      in
+      ignore
+        (Corfu.Client.append (Runtime.client gen) ~streams:[ 2 ] (Record.encode_payload [ commit ]));
+      let started = Sim.Engine.now () in
+      Alcotest.(check (option string)) "reconstructed and applied" (Some "ok")
+        (Map_obj.get sink "out");
+      check_bool "waited for the timeout" true (Sim.Engine.now () -. started >= 20_000.))
+
+let prop_concurrent_counter_serializable =
+  (* N clients transactionally increment one register; committed
+     increments must be exactly the final value (lost-update freedom,
+     the paper's 2PL-equivalent isolation claim). *)
+  QCheck.Test.make ~name:"transactional increments are serializable" ~count:15
+    QCheck.(pair (int_range 2 4) (int_range 1 42))
+    (fun (nclients, seed) ->
+      Sim.Engine.run ~seed (fun () ->
+          let cluster = Corfu.Cluster.create ~servers:4 () in
+          let committed = ref 0 in
+          let views = ref [] in
+          for i = 1 to nclients do
+            let rt = runtime cluster (Printf.sprintf "app-%d" i) in
+            let r = Reg.attach rt ~oid:1 in
+            views := (rt, r) :: !views;
+            Sim.Engine.spawn (fun () ->
+                for _ = 1 to 5 do
+                  Runtime.begin_tx rt;
+                  let v = Reg.read r in
+                  Reg.write r (v + 1);
+                  match Runtime.end_tx rt with
+                  | Runtime.Committed -> incr committed
+                  | Runtime.Aborted -> ()
+                done)
+          done;
+          Sim.Engine.sleep 3_000_000.;
+          List.for_all (fun (_, r) -> Reg.read r = !committed) !views))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints, GC, directory                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_and_replay () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      for i = 1 to 5 do
+        Reg.write r1 i
+      done;
+      ignore (Reg.read r1);
+      let info = Runtime.checkpoint rt1 ~oid:1 in
+      check_bool "position returned" true (info.Runtime.ckpt_pos > 0);
+      check_bool "base below position" true (info.Runtime.ckpt_base < info.Runtime.ckpt_pos);
+      Reg.write r1 99;
+      let rt2 = runtime cluster "fresh" in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      check_int "replay through checkpoint" 99 (Reg.read r2))
+
+let test_directory_declare_and_race () =
+  with_cluster (fun cluster ->
+      let rt1 = runtime cluster "app-1" in
+      let rt2 = runtime cluster "app-2" in
+      let d1 = Directory.attach rt1 in
+      let d2 = Directory.attach rt2 in
+      let oid_a = Directory.declare d1 "free-list" in
+      let oid_b = Directory.declare d2 "alloc-table" in
+      check_bool "distinct oids" true (oid_a <> oid_b);
+      check_bool "not the directory" true (oid_a <> Directory.oid && oid_b <> Directory.oid);
+      (* Concurrent declaration of the same name converges. *)
+      let r1 = ref (-1) and r2 = ref (-2) in
+      Sim.Engine.spawn (fun () -> r1 := Directory.declare d1 "shared");
+      Sim.Engine.spawn (fun () -> r2 := Directory.declare d2 "shared");
+      Sim.Engine.sleep 1_000_000.;
+      check_int "same oid from both" !r1 !r2;
+      Alcotest.(check (option int)) "lookup" (Some !r1) (Directory.lookup d1 "shared");
+      check_int "bindings" 3 (List.length (Directory.names d1)))
+
+let test_directory_gc () =
+  with_cluster (fun cluster ->
+      let rt = runtime ~batch_size:1 cluster "app" in
+      let dir = Directory.attach rt in
+      let roid = Directory.declare dir "the-register" in
+      let r = Reg.attach rt ~oid:roid in
+      for i = 1 to 30 do
+        Reg.write r i
+      done;
+      ignore (Reg.read r);
+      let info = Runtime.checkpoint rt ~oid:roid in
+      let ckpt_pos = info.Runtime.ckpt_base + 1 in
+      (* Nothing can be trimmed until the object forgets. *)
+      check_int "pinned" 0 (Directory.collect dir);
+      Directory.forget dir ~oid:roid ~below:ckpt_pos;
+      (* The directory itself also pins; forget it too. *)
+      let dir_tail = Corfu.Client.check (Runtime.client rt) in
+      ignore (Runtime.checkpoint rt ~oid:Directory.oid);
+      Directory.forget dir ~oid:Directory.oid ~below:(Record.pos ~offset:dir_tail ~slot:0);
+      let trimmed = Directory.collect dir in
+      check_bool "log trimmed" true (trimmed > 0);
+      check_bool "trim below checkpoint" true (trimmed <= Record.pos_offset ckpt_pos);
+      (* A brand-new client must still reconstruct from the checkpoint. *)
+      let rt2 = runtime cluster "post-gc" in
+      let r2 = Reg.attach rt2 ~oid:roid in
+      check_int "state recovered from checkpoint" 30 (Reg.read r2))
+
+(* Map_obj with checkpoint support, for GC tests. *)
+module Ckpt_map = struct
+  include Map_obj
+
+  let snapshot t =
+    let b = Buffer.create 256 in
+    Buffer.add_int32_be b (Int32.of_int (Hashtbl.length t.Map_obj.tbl));
+    Hashtbl.iter
+      (fun k v ->
+        let kv = Map_obj.encode k v in
+        Buffer.add_int32_be b (Int32.of_int (Bytes.length kv));
+        Buffer.add_bytes b kv)
+      t.Map_obj.tbl;
+    Buffer.to_bytes b
+
+  let load t data =
+    Hashtbl.reset t.Map_obj.tbl;
+    let at = ref 4 in
+    for _ = 1 to Int32.to_int (Bytes.get_int32_be data 0) do
+      let len = Int32.to_int (Bytes.get_int32_be data !at) in
+      at := !at + 4;
+      let k, v = Map_obj.decode (Bytes.sub data !at len) in
+      at := !at + len;
+      Hashtbl.replace t.Map_obj.tbl k v
+    done
+
+  let attach rt ~oid =
+    let t =
+      { Map_obj.rt; moid = oid; tbl = Hashtbl.create 16 }
+    in
+    Runtime.register rt ~oid
+      {
+        Runtime.apply =
+          (fun ~pos:_ ~key:_ data ->
+            let k, v = Map_obj.decode data in
+            if v = "" then Hashtbl.remove t.Map_obj.tbl k else Hashtbl.replace t.Map_obj.tbl k v);
+        checkpoint = Some (fun () -> snapshot t);
+        load_checkpoint = Some (fun data -> load t data);
+      };
+    t
+end
+
+let test_gc_trim_gap_repair () =
+  (* Regression: a cold view can skip trimmed history yet still reach
+     the checkpoint's base version (because the base write itself
+     survives the trim), which used to make it skip the checkpoint
+     load and come up with a sliver of the state. *)
+  with_cluster (fun cluster ->
+      let rt = runtime ~batch_size:1 cluster "writer" in
+      let m = Ckpt_map.attach rt ~oid:1 in
+      for i = 1 to 40 do
+        Ckpt_map.put m (Printf.sprintf "k%d" (i mod 10)) (string_of_int i)
+      done;
+      check_int "ten keys live" 10 (Ckpt_map.size m);
+      let info = Runtime.checkpoint rt ~oid:1 in
+      Runtime.trim_below rt (Record.pos_offset (info.Runtime.ckpt_base + 1));
+      let rt2 = runtime cluster "cold" in
+      let m2 = Ckpt_map.attach rt2 ~oid:1 in
+      check_int "cold view repaired from checkpoint" 10 (Ckpt_map.size m2);
+      Alcotest.(check (option string)) "latest values" (Some "40") (Ckpt_map.get m2 "k0"))
+
+let prop_directory_unique_oids =
+  (* Concurrent declarations from several clients always yield unique,
+     globally agreed OIDs. *)
+  QCheck.Test.make ~name:"directory allocates unique agreed oids" ~count:10
+    QCheck.(pair (int_range 1 500) (int_range 2 4))
+    (fun (seed, nclients) ->
+      Sim.Engine.run ~seed (fun () ->
+          let cluster = Corfu.Cluster.create ~servers:4 () in
+          let dirs =
+            List.init nclients (fun i ->
+                Directory.attach (runtime cluster (Printf.sprintf "c%d" i)))
+          in
+          let results = Hashtbl.create 16 in
+          List.iteri
+            (fun i dir ->
+              Sim.Engine.spawn (fun () ->
+                  (* two private names and one contended name each *)
+                  List.iter
+                    (fun name ->
+                      let oid = Directory.declare dir name in
+                      Hashtbl.replace results (i, name) oid)
+                    [ Printf.sprintf "private-%d-a" i; Printf.sprintf "private-%d-b" i; "shared" ]))
+            dirs;
+          Sim.Engine.sleep 3_000_000.;
+          let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+          let by_name = Hashtbl.create 16 in
+          List.iter (fun ((_, name), oid) -> Hashtbl.add by_name name oid) bindings;
+          (* same name -> same oid everywhere *)
+          let shared_oids = List.sort_uniq compare (Hashtbl.find_all by_name "shared") in
+          let all_names =
+            List.sort_uniq compare (List.map (fun ((_, name), _) -> name) bindings)
+          in
+          let distinct_oids =
+            List.sort_uniq compare
+              (List.map (fun name -> List.hd (Hashtbl.find_all by_name name)) all_names)
+          in
+          List.length shared_oids = 1
+          && List.length distinct_oids = List.length all_names
+          && List.for_all
+               (fun dir -> Directory.lookup dir "shared" = Some (List.hd shared_oids))
+               dirs))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "tango-core"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "position math" `Quick test_record_pos_math;
+          Alcotest.test_case "streams_of" `Quick test_record_streams_of;
+          Alcotest.test_case "rejects bad payloads" `Quick test_record_rejects_bad;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "fills batches" `Quick test_batcher_fills_batches;
+          Alcotest.test_case "linger flushes partial" `Quick test_batcher_linger_flushes_partial;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "register write/read" `Quick test_register_write_read;
+          Alcotest.test_case "two views linearizable" `Quick test_two_views_linearizable;
+          Alcotest.test_case "view reconstruction" `Quick test_view_reconstruction;
+          Alcotest.test_case "time travel" `Quick test_time_travel;
+          Alcotest.test_case "version tracking" `Quick test_version_tracking;
+          Alcotest.test_case "fetch (log as index)" `Quick test_fetch_log_index;
+          Alcotest.test_case "batching ratio" `Quick test_batching_ratio;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "single-object RMW" `Quick test_tx_single_object_rmw;
+          Alcotest.test_case "conflict aborts" `Quick test_tx_conflict_aborts;
+          Alcotest.test_case "fine-grained keys commute" `Quick
+            test_tx_fine_grained_keys_no_conflict;
+          Alcotest.test_case "same key conflicts" `Quick test_tx_same_key_conflicts;
+          Alcotest.test_case "read-only" `Quick test_tx_read_only;
+          Alcotest.test_case "read-only aborts on change" `Quick test_tx_read_only_aborts_on_change;
+          Alcotest.test_case "write-only fast path" `Quick test_tx_write_only_fast;
+          Alcotest.test_case "cross-object atomicity" `Quick test_tx_cross_object_atomicity;
+          Alcotest.test_case "remote-write producer/consumer" `Quick
+            test_tx_remote_write_producer_consumer;
+          Alcotest.test_case "remote-write abort respected" `Quick
+            test_tx_remote_write_abort_respected;
+          Alcotest.test_case "remote read rejected" `Quick test_tx_remote_read_rejected;
+          Alcotest.test_case "nested tx rejected" `Quick test_tx_nested_rejected;
+          Alcotest.test_case "decision watchdog reconstructs" `Quick
+            test_decision_watchdog_reconstructs;
+        ] );
+      ( "checkpoint-gc-directory",
+        [
+          Alcotest.test_case "checkpoint and replay" `Quick test_checkpoint_and_replay;
+          Alcotest.test_case "directory declare and race" `Quick test_directory_declare_and_race;
+          Alcotest.test_case "directory gc" `Quick test_directory_gc;
+          Alcotest.test_case "trim-gap repair" `Quick test_gc_trim_gap_repair;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_record_roundtrip;
+            prop_concurrent_counter_serializable;
+            prop_directory_unique_oids;
+          ] );
+    ]

@@ -1,0 +1,975 @@
+(* Tests for the CORFU shared log: headers, storage nodes, sequencer,
+   chain replication, streams, and reconfiguration. *)
+
+open Corfu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let payload s = Bytes.of_string s
+let payload_str (e : Types.entry) = Bytes.to_string e.Types.payload
+
+(* Run a simulation body against a fresh cluster. *)
+let with_cluster ?(seed = 11) ?(servers = 4) ?(chain_length = 2) body =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Cluster.create ~servers ~chain_length () in
+      body cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Stream headers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_header_relative_roundtrip () =
+  let h = { Stream_header.stream = 42; backptrs = [ 99; 80; 51; 7 ] } in
+  let block = Stream_header.encode_block ~k:4 ~current:100 [ h ] in
+  check_int "block size" 13 (Bytes.length block);
+  let decoded = Stream_header.decode_block ~k:4 ~current:100 block in
+  Alcotest.(check int) "one header" 1 (List.length decoded);
+  let d = List.hd decoded in
+  check_int "stream" 42 d.Stream_header.stream;
+  Alcotest.(check (list int)) "backptrs" [ 99; 80; 51; 7 ] d.Stream_header.backptrs
+
+let test_header_absolute_when_overflow () =
+  (* A delta above 64K entries forces the absolute format, which keeps
+     only K/4 pointers. *)
+  let h = { Stream_header.stream = 7; backptrs = [ 200_000; 50; 49; 48 ] } in
+  check_bool "absolute" true (Stream_header.uses_absolute_format ~current:300_000 h);
+  let block = Stream_header.encode_block ~k:4 ~current:300_000 [ h ] in
+  check_int "same size" 13 (Bytes.length block);
+  let d = List.hd (Stream_header.decode_block ~k:4 ~current:300_000 block) in
+  Alcotest.(check (list int)) "only K/4 kept" [ 200_000 ] d.Stream_header.backptrs
+
+let test_header_relative_boundary () =
+  (* Delta of exactly 65535 still fits the relative format. *)
+  let h = { Stream_header.stream = 1; backptrs = [ 1 ] } in
+  check_bool "fits" false (Stream_header.uses_absolute_format ~current:65_536 h);
+  check_bool "overflows" true (Stream_header.uses_absolute_format ~current:65_537 h)
+
+let test_header_empty_backptrs () =
+  let h = { Stream_header.stream = 3; backptrs = [] } in
+  let block = Stream_header.encode_block ~k:4 ~current:0 [ h ] in
+  let d = List.hd (Stream_header.decode_block ~k:4 ~current:0 block) in
+  Alcotest.(check (list int)) "empty" [] d.Stream_header.backptrs
+
+let test_header_multi_stream_block () =
+  let hs =
+    [
+      { Stream_header.stream = 1; backptrs = [ 9; 8 ] };
+      { Stream_header.stream = 2; backptrs = [ 5 ] };
+      { Stream_header.stream = 0x7FFF_FFFF; backptrs = [] };
+    ]
+  in
+  let block = Stream_header.encode_block ~k:4 ~current:10 hs in
+  check_int "3 headers, 12B each" 37 (Bytes.length block);
+  let d = Stream_header.decode_block ~k:4 ~current:10 block in
+  check_int "count" 3 (List.length d);
+  check_int "find stream 2" 5
+    (List.hd (Option.get (Stream_header.find d 2)).Stream_header.backptrs);
+  check_bool "missing stream" true (Stream_header.find d 99 = None)
+
+let test_header_rejects_bad_ids () =
+  let bad = { Stream_header.stream = 0x8000_0000; backptrs = [] } in
+  (match Stream_header.encode_block ~k:4 ~current:1 [ bad ] with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ());
+  let forward = { Stream_header.stream = 1; backptrs = [ 5 ] } in
+  match Stream_header.encode_block ~k:4 ~current:5 [ forward ] with
+  | _ -> Alcotest.fail "backpointer at/after entry must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_header_rejects_bad_k () =
+  match Stream_header.encode_block ~k:3 ~current:1 [] with
+  | _ -> Alcotest.fail "k=3 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~name:"header block roundtrip (relative and absolute)" ~count:300
+    QCheck.(
+      pair (int_range 1 1_000_000)
+        (small_list (pair (int_range 0 1000) (int_range 1 200_000))))
+    (fun (current, raw) ->
+      let k = 4 in
+      let headers =
+        (* Build valid, strictly-descending backpointers below current;
+           dedupe stream ids. *)
+        raw
+        |> List.mapi (fun i (sid, spread) ->
+               let sid = sid + (i * 1001) in
+               let ptrs =
+                 List.filter (fun p -> p >= 0 && p < current)
+                   [ current - 1; current - (spread / 2) - 1; current - spread - 1 ]
+                 |> List.sort_uniq compare |> List.rev
+               in
+               { Stream_header.stream = sid; backptrs = ptrs })
+      in
+      if List.length headers > 255 then true
+      else
+        let block = Stream_header.encode_block ~k ~current headers in
+        let decoded = Stream_header.decode_block ~k ~current block in
+        List.for_all2
+          (fun (a : Stream_header.t) (b : Stream_header.t) ->
+            a.stream = b.stream
+            &&
+            if Stream_header.uses_absolute_format ~current a then
+              (* absolute keeps the first K/4 pointers *)
+              b.backptrs
+              = List.filteri (fun i _ -> i < k / 4) a.backptrs
+            else b.backptrs = a.backptrs)
+          headers decoded)
+
+(* ------------------------------------------------------------------ *)
+(* Storage node                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_node body =
+  Sim.Engine.run (fun () ->
+      let params = Sim.Params.default in
+      let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+      let node = Storage_node.create ~net ~name:"n0" ~params () in
+      let me = Sim.Net.add_host net "tester" in
+      let write ?(epoch = 0) off cell =
+        Sim.Net.call ~from:me (Storage_node.write_service node)
+          { Storage_node.wepoch = epoch; woffset = off; wcell = cell }
+      in
+      let read ?(epoch = 0) off =
+        Sim.Net.call ~from:me (Storage_node.read_service node)
+          { Storage_node.repoch = epoch; roffset = off }
+      in
+      body node write read me)
+
+let entry s = Types.Data { Types.headers = Bytes.empty; payload = payload s }
+
+let test_node_write_once () =
+  with_node (fun _ write read _ ->
+      check_bool "first write ok" true (write 5 (entry "a") = Types.Write_ok);
+      (match write 5 (entry "b") with
+      | Types.Already_written (Types.Data e) -> check_string "winner kept" "a" (payload_str e)
+      | _ -> Alcotest.fail "expected write-once conflict");
+      match read 5 with
+      | Types.Read_data e -> check_string "read back" "a" (payload_str e)
+      | _ -> Alcotest.fail "expected data")
+
+let test_node_unwritten_read () =
+  with_node (fun _ _ read _ ->
+      check_bool "unwritten" true (read 0 = Types.Read_unwritten))
+
+let test_node_fill_semantics () =
+  with_node (fun _ write read _ ->
+      check_bool "fill empty" true (write 3 Types.Junk = Types.Write_ok);
+      check_bool "fill idempotent" true (write 3 Types.Junk = Types.Write_ok);
+      check_bool "junk visible" true (read 3 = Types.Read_junk);
+      (* data loses to junk *)
+      match write 3 (entry "late") with
+      | Types.Already_written Types.Junk -> ()
+      | _ -> Alcotest.fail "late writer must lose to junk")
+
+let test_node_seal_rejects_stale_epochs () =
+  with_node (fun node write read me ->
+      check_bool "w" true (write 0 (entry "x") = Types.Write_ok);
+      let tail = Sim.Net.call ~from:me (Storage_node.seal_service node) 2 in
+      check_int "local tail returned" 0 tail;
+      check_int "sealed" 2 (Storage_node.sealed_epoch node);
+      (match write ~epoch:1 1 (entry "y") with
+      | Types.Sealed_at 2 -> ()
+      | _ -> Alcotest.fail "stale write must be rejected");
+      (match read ~epoch:0 0 with
+      | Types.Read_sealed 2 -> ()
+      | _ -> Alcotest.fail "stale read must be rejected");
+      (* current-epoch ops pass *)
+      check_bool "new epoch write" true (write ~epoch:2 1 (entry "y") = Types.Write_ok))
+
+let test_node_trim () =
+  with_node (fun node write read me ->
+      check_bool "w" true (write 4 (entry "x") = Types.Write_ok);
+      Sim.Net.call ~from:me (Storage_node.trim_service node)
+        { Storage_node.repoch = 0; roffset = 4 };
+      check_bool "trimmed" true (read 4 = Types.Read_trimmed);
+      match write 4 (entry "again") with
+      | Types.Already_written Types.Trimmed -> ()
+      | _ -> Alcotest.fail "write to trimmed must fail")
+
+let test_node_prefix_trim () =
+  with_node (fun node write read me ->
+      for i = 0 to 9 do
+        check_bool "w" true (write i (entry (string_of_int i)) = Types.Write_ok)
+      done;
+      Sim.Net.call ~from:me (Storage_node.prefix_trim_service node)
+        { Storage_node.repoch = 0; roffset = 7 };
+      check_int "watermark" 7 (Storage_node.trimmed_below node);
+      check_bool "below gone" true (read 3 = Types.Read_trimmed);
+      match read 8 with
+      | Types.Read_data _ -> ()
+      | _ -> Alcotest.fail "above watermark must survive")
+
+let test_node_local_tail () =
+  with_node (fun node write _ me ->
+      check_int "empty tail" (-1)
+        (Sim.Net.call ~from:me (Storage_node.tail_service node) ());
+      ignore (write 2 (entry "a"));
+      ignore (write 7 (entry "b"));
+      check_int "tail" 7 (Sim.Net.call ~from:me (Storage_node.tail_service node) ()))
+
+let test_node_capacity () =
+  Sim.Engine.run (fun () ->
+      let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+      let node =
+        Storage_node.create ~net ~name:"n" ~params:Sim.Params.default ~capacity_entries:2 ()
+      in
+      let me = Sim.Net.add_host net "tester" in
+      let w off =
+        Sim.Net.call ~from:me (Storage_node.write_service node)
+          { Storage_node.wepoch = 0; woffset = off; wcell = entry "x" }
+      in
+      check_bool "in space" true (w 1 = Types.Write_ok);
+      check_bool "out of space" true (w 2 = Types.Out_of_space))
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_sequencer body =
+  Sim.Engine.run (fun () ->
+      let params = Sim.Params.default in
+      let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+      let seq = Sequencer.create ~net ~name:"seq" ~params () in
+      let me = Sim.Net.add_host net "tester" in
+      let incr ?(epoch = 0) ?(count = 1) streams =
+        Sim.Net.call ~from:me (Sequencer.increment_service seq)
+          { Sequencer.iepoch = epoch; istreams = streams; icount = count }
+      in
+      let peek ?(epoch = 0) streams =
+        Sim.Net.call ~from:me (Sequencer.peek_service seq)
+          { Sequencer.pepoch = epoch; pstreams = streams }
+      in
+      body seq incr peek me)
+
+let alloc = function
+  | Sequencer.Seq_ok a -> a
+  | Sequencer.Seq_sealed _ -> Alcotest.fail "unexpectedly sealed"
+
+let test_sequencer_monotonic () =
+  with_sequencer (fun _ incr _ _ ->
+      let a = alloc (incr []) in
+      let b = alloc (incr []) in
+      let c = alloc (incr []) in
+      Alcotest.(check (list int)) "consecutive" [ 0; 1; 2 ]
+        [ a.Sequencer.base; b.Sequencer.base; c.Sequencer.base ])
+
+let test_sequencer_stream_backpointers () =
+  with_sequencer (fun _ incr _ _ ->
+      let a = alloc (incr [ 7 ]) in
+      Alcotest.(check (list int)) "no history" []
+        (List.assoc 7 a.Sequencer.stream_tails);
+      let b = alloc (incr [ 7 ]) in
+      Alcotest.(check (list int)) "one" [ 0 ] (List.assoc 7 b.Sequencer.stream_tails);
+      for _ = 1 to 5 do
+        ignore (incr [ 7 ])
+      done;
+      let z = alloc (incr [ 7 ]) in
+      (* K = 4 most recent, newest first *)
+      Alcotest.(check (list int)) "last K" [ 6; 5; 4; 3 ]
+        (List.assoc 7 z.Sequencer.stream_tails))
+
+let test_sequencer_peek_does_not_advance () =
+  with_sequencer (fun seq incr peek _ ->
+      ignore (incr [ 1 ]);
+      let p1 = alloc (peek [ 1 ]) in
+      let p2 = alloc (peek [ 1 ]) in
+      check_int "tail stable" p1.Sequencer.base p2.Sequencer.base;
+      check_int "tail value" 1 p1.Sequencer.base;
+      Alcotest.(check (list int)) "stream tail" [ 0 ] (List.assoc 1 p1.Sequencer.stream_tails);
+      check_int "state" 1 (Sequencer.current_tail seq))
+
+let test_sequencer_batched_allocation () =
+  with_sequencer (fun seq incr _ _ ->
+      let a = alloc (incr ~count:4 []) in
+      check_int "base" 0 a.Sequencer.base;
+      let b = alloc (incr []) in
+      check_int "skipped batch" 4 b.Sequencer.base;
+      check_int "tail" 5 (Sequencer.current_tail seq))
+
+let test_sequencer_seal () =
+  with_sequencer (fun seq incr _ me ->
+      ignore (incr []);
+      Sim.Net.call ~from:me (Sequencer.seal_service seq) 3;
+      (match incr ~epoch:2 [] with
+      | Sequencer.Seq_sealed 3 -> ()
+      | _ -> Alcotest.fail "stale increment must be rejected");
+      match incr ~epoch:3 [] with
+      | Sequencer.Seq_ok _ -> ()
+      | _ -> Alcotest.fail "current epoch must pass")
+
+let test_sequencer_seeded_state () =
+  Sim.Engine.run (fun () ->
+      let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+      let seq =
+        Sequencer.create ~net ~name:"seq" ~params:Sim.Params.default ~initial_tail:100
+          ~initial_streams:[ (5, [ 90; 80 ]) ] ()
+      in
+      let me = Sim.Net.add_host net "tester" in
+      let r =
+        alloc
+          (Sim.Net.call ~from:me (Sequencer.increment_service seq)
+             { Sequencer.iepoch = 0; istreams = [ 5 ]; icount = 1 })
+      in
+      check_int "resumes tail" 100 r.Sequencer.base;
+      Alcotest.(check (list int)) "resumes streams" [ 90; 80 ]
+        (List.assoc 5 r.Sequencer.stream_tails);
+      check_bool "state bytes" true (Sequencer.state_bytes seq = 32))
+
+let spawn_increment_loop host seq n =
+  Sim.Engine.spawn (fun () ->
+      let rec loop () =
+        let (_ : Sequencer.response) =
+          Sim.Net.call ~from:host (Sequencer.increment_service seq)
+            { Sequencer.iepoch = 0; istreams = []; icount = 1 }
+        in
+        incr n;
+        loop ()
+      in
+      loop ())
+
+let test_sequencer_throughput_cap () =
+  (* Saturated sequencer plateaus near 1/service_time = ~570K/s. *)
+  let rate =
+    Sim.Engine.run (fun () ->
+        let params = Sim.Params.default in
+        let net = Sim.Net.create ~latency:50. ~bandwidth:125. ~jitter:0. () in
+        let seq = Sequencer.create ~net ~name:"seq" ~params () in
+        let n = ref 0 in
+        for i = 1 to 80 do
+          let host = Sim.Net.add_host net (Printf.sprintf "c%d" i) in
+          spawn_increment_loop host seq n
+        done;
+        Sim.Engine.sleep 100_000.;
+        float_of_int !n /. 0.1 (* per second *))
+  in
+  check_bool "plateau near 570K" true (rate > 480_000. && rate < 600_000.)
+
+(* ------------------------------------------------------------------ *)
+(* Projection                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_projection_mapping () =
+  with_cluster ~servers:6 (fun cluster ->
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      check_int "sets" 3 (Projection.num_sets proj);
+      check_int "servers" 6 (Projection.num_servers proj);
+      (* offset o -> set o mod 3, local o / 3 *)
+      check_int "local of 7" 2 (Projection.local_offset proj 7);
+      check_int "roundtrip" 7 (Projection.global_offset proj ~set:(7 mod 3) ~local:2))
+
+let test_projection_global_tail () =
+  with_cluster ~servers:4 (fun cluster ->
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      (* set 0 wrote locals 0..2 (globals 0,2,4), set 1 wrote 0..1
+         (globals 1,3): highest global is 4, tail is 5. *)
+      check_int "tail" 5 (Projection.global_tail_from_locals proj [| 2; 1 |]);
+      check_int "empty" 0 (Projection.global_tail_from_locals proj [| -1; -1 |]))
+
+let test_projection_validation () =
+  Sim.Engine.run (fun () ->
+      let params = Sim.Params.default in
+      let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+      let n1 = Storage_node.create ~net ~name:"n1" ~params () in
+      let n2 = Storage_node.create ~net ~name:"n2" ~params () in
+      let n3 = Storage_node.create ~net ~name:"n3" ~params () in
+      let seq = Sequencer.create ~net ~name:"s" ~params () in
+      (match Projection.v ~epoch:0 ~replica_sets:[||] ~sequencer:seq with
+      | _ -> Alcotest.fail "empty projection must be rejected"
+      | exception Invalid_argument _ -> ());
+      (match Projection.v ~epoch:0 ~replica_sets:[| [| n1; n2 |]; [| n3 |] |] ~sequencer:seq with
+      | _ -> Alcotest.fail "ragged replica sets must be rejected"
+      | exception Invalid_argument _ -> ());
+      match Cluster.create ~servers:3 ~chain_length:2 () with
+      | _ -> Alcotest.fail "odd server count must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Client: append / read / check / fill                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_append_read () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app-0" in
+      let o0 = Client.append c ~streams:[ 1 ] (payload "hello") in
+      let o1 = Client.append c ~streams:[ 1 ] (payload "world") in
+      check_int "first offset" 0 o0;
+      check_int "second offset" 1 o1;
+      (match Client.read c o0 with
+      | Client.Data e -> check_string "payload" "hello" (payload_str e)
+      | _ -> Alcotest.fail "expected data");
+      check_int "check" 2 (Client.check c))
+
+let test_client_two_clients_interleave () =
+  with_cluster (fun cluster ->
+      let a = Cluster.new_client cluster ~name:"app-a" in
+      let b = Cluster.new_client cluster ~name:"app-b" in
+      let offsets = ref [] in
+      (* Bind the append before touching [offsets]: the call suspends
+         the fiber, and reading [!offsets] across the suspension would
+         lose the other fiber's updates. *)
+      let run_client tag client =
+        Sim.Engine.spawn (fun () ->
+            for i = 0 to 4 do
+              let off =
+                Client.append client ~streams:[ 1 ] (payload (Printf.sprintf "%s%d" tag i))
+              in
+              offsets := (tag, off) :: !offsets
+            done)
+      in
+      run_client "a" a;
+      run_client "b" b;
+      Sim.Engine.sleep 1_000_000.;
+      let all = List.map snd !offsets in
+      check_int "ten appends" 10 (List.length all);
+      Alcotest.(check (list int)) "all offsets distinct, 0..9" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (List.sort compare all))
+
+let test_client_check_slow_matches_fast () =
+  with_cluster ~servers:6 (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      for i = 0 to 13 do
+        ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      check_int "fast" 14 (Client.check c);
+      check_int "slow agrees" 14 (Client.check_slow c))
+
+let test_client_fill_hole () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      (* Simulate a crashed writer: take an offset, never write it. *)
+      let resp =
+        Sim.Net.call ~from:(Client.host c)
+          (Sequencer.increment_service (Cluster.sequencer cluster))
+          { Sequencer.iepoch = 0; istreams = [ 1 ]; icount = 1 }
+      in
+      let hole = (alloc resp).Sequencer.base in
+      let after = Client.append c ~streams:[ 1 ] (payload "alive") in
+      check_bool "hole below" true (hole < after);
+      check_bool "unwritten" true (Client.read c hole = Client.Unwritten);
+      (match Client.fill c hole with
+      | Client.Filled -> ()
+      | _ -> Alcotest.fail "expected junk fill");
+      check_bool "junk now" true (Client.read c hole = Client.Junk);
+      (* the dead writer's late write must lose *)
+      check_bool "late writer loses" true (Client.read c hole = Client.Junk))
+
+let test_client_fill_completes_torn_append () =
+  (* Write the head replica only, then let a fill repair the chain
+     with the original data rather than junk. *)
+  with_cluster ~servers:2 (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let proj = Client.projection c in
+      let resp =
+        Sim.Net.call ~from:(Client.host c)
+          (Sequencer.increment_service (Cluster.sequencer cluster))
+          { Sequencer.iepoch = 0; istreams = []; icount = 1 }
+      in
+      let off = (alloc resp).Sequencer.base in
+      let head = (Projection.replica_set proj off).(0) in
+      let entry = { Types.headers = Bytes.empty; payload = payload "torn" } in
+      (match
+         Sim.Net.call ~from:(Client.host c) (Storage_node.write_service head)
+           { Storage_node.wepoch = 0; woffset = Projection.local_offset proj off;
+             wcell = Types.Data entry }
+       with
+      | Types.Write_ok -> ()
+      | _ -> Alcotest.fail "head write failed");
+      (match Client.fill c off with
+      | Client.Fill_completed e -> check_string "repaired data" "torn" (payload_str e)
+      | _ -> Alcotest.fail "fill should complete the torn append");
+      match Client.read c off with
+      | Client.Data e -> check_string "readable everywhere" "torn" (payload_str e)
+      | _ -> Alcotest.fail "expected data after repair")
+
+let test_client_read_resolved_waits_for_slow_writer () =
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let r = Cluster.new_client cluster ~name:"reader" in
+      Sim.Engine.spawn (fun () ->
+          Sim.Engine.sleep 500.;
+          ignore (Client.append w ~streams:[ 1 ] (payload "slow")));
+      (* Reader learns offset 0 will exist only after writer appends;
+         block on offset 0 before it's durable. *)
+      Sim.Engine.sleep 600.;
+      match Client.read_resolved r 0 with
+      | Client.Data e -> check_string "got it" "slow" (payload_str e)
+      | _ -> Alcotest.fail "expected data")
+
+let test_client_trim_and_prefix_trim () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      for i = 0 to 9 do
+        ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      Client.trim c 4;
+      check_bool "trimmed" true (Client.read c 4 = Client.Trimmed);
+      Client.prefix_trim c 8;
+      check_bool "below gone" true (Client.read c 7 = Client.Trimmed);
+      (match Client.read c 8 with
+      | Client.Data _ -> ()
+      | _ -> Alcotest.fail "8 must survive");
+      match Client.read c 9 with
+      | Client.Data _ -> ()
+      | _ -> Alcotest.fail "9 must survive")
+
+(* ------------------------------------------------------------------ *)
+(* Streams                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drain stream =
+  let rec go acc =
+    match Stream.readnext stream with
+    | Some (off, e) -> go ((off, payload_str e) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_stream_basic_playback () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let s = Stream.attach c 1 in
+      let offs = List.init 5 (fun i -> Stream.append s (payload (Printf.sprintf "e%d" i))) in
+      let tail = Stream.sync s in
+      check_int "tail" 5 tail;
+      let got = drain s in
+      Alcotest.(check (list (pair int string)))
+        "in order"
+        (List.mapi (fun i o -> (o, Printf.sprintf "e%d" i)) offs)
+        got;
+      check_bool "drained" true (Stream.readnext s = None))
+
+let test_stream_selective_consumption () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let sa = Stream.attach c 1 in
+      let sb = Stream.attach c 2 in
+      for i = 0 to 9 do
+        let sid = if i mod 3 = 0 then 2 else 1 in
+        ignore (Client.append c ~streams:[ sid ] (payload (Printf.sprintf "%d" i)))
+      done;
+      ignore (Stream.sync sa);
+      ignore (Stream.sync sb);
+      Alcotest.(check (list string)) "stream 1 skips stream 2"
+        [ "1"; "2"; "4"; "5"; "7"; "8" ]
+        (List.map snd (drain sa));
+      Alcotest.(check (list string)) "stream 2" [ "0"; "3"; "6"; "9" ] (List.map snd (drain sb)))
+
+let test_stream_multiappend_visible_on_all () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let sa = Stream.attach c 1 in
+      let sb = Stream.attach c 2 in
+      ignore (Client.append c ~streams:[ 1 ] (payload "only-a"));
+      let shared = Client.append c ~streams:[ 1; 2 ] (payload "both") in
+      ignore (Client.append c ~streams:[ 2 ] (payload "only-b"));
+      ignore (Stream.sync sa);
+      ignore (Stream.sync sb);
+      let a = drain sa and b = drain sb in
+      Alcotest.(check (list string)) "a" [ "only-a"; "both" ] (List.map snd a);
+      Alcotest.(check (list string)) "b" [ "both"; "only-b" ] (List.map snd b);
+      let offset_of entries p = fst (List.find (fun (_, q) -> q = p) entries) in
+      check_int "same physical entry on a" shared (offset_of a "both");
+      check_int "same physical entry on b" shared (offset_of b "both"))
+
+let test_stream_incremental_sync () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let s = Stream.attach c 1 in
+      ignore (Stream.append s (payload "a"));
+      ignore (Stream.sync s);
+      Alcotest.(check (list string)) "first batch" [ "a" ] (List.map snd (drain s));
+      ignore (Stream.append s (payload "b"));
+      ignore (Stream.append s (payload "c"));
+      check_bool "nothing before sync" true (Stream.readnext s = None);
+      ignore (Stream.sync s);
+      Alcotest.(check (list string)) "second batch" [ "b"; "c" ] (List.map snd (drain s)))
+
+let test_stream_reader_on_other_client () =
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sw = Stream.attach w 9 in
+      for i = 0 to 19 do
+        ignore (Stream.append sw (payload (string_of_int i)))
+      done;
+      let sr = Stream.attach r 9 in
+      ignore (Stream.sync sr);
+      Alcotest.(check (list string)) "remote playback"
+        (List.init 20 string_of_int)
+        (List.map snd (drain sr)))
+
+let test_stream_sync_reads_stride_k () =
+  (* Building the list for an N-entry stream should take ~N/K reads
+     (plus the K pointers from the sequencer), not N. *)
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let sw = Stream.attach w 3 in
+      let n = 64 in
+      for i = 0 to n - 1 do
+        ignore (Stream.append sw (payload (string_of_int i)))
+      done;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 3 in
+      ignore (Stream.sync sr);
+      let reads = Stream.sync_reads sr in
+      check_bool
+        (Printf.sprintf "stride reads %d for %d entries" reads n)
+        true
+        (reads <= (n / 4) + 2);
+      check_int "membership complete" n (Stream.pending sr))
+
+let test_stream_hole_is_filled_and_skipped () =
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let s = Stream.attach w 1 in
+      ignore (Stream.append s (payload "a"));
+      (* Crash injection: allocate an offset on stream 1, never write it. *)
+      let resp =
+        Sim.Net.call ~from:(Client.host w)
+          (Sequencer.increment_service (Cluster.sequencer cluster))
+          { Sequencer.iepoch = 0; istreams = [ 1 ]; icount = 1 }
+      in
+      let hole = (alloc resp).Sequencer.base in
+      ignore (Stream.append s (payload "b"));
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      Alcotest.(check (list string)) "hole skipped, order kept" [ "a"; "b" ]
+        (List.map snd (drain sr));
+      check_bool "hole junked" true (Client.read r hole = Client.Junk))
+
+let test_stream_junk_breaks_stride_then_scan () =
+  (* A filled hole at the most recent stream slot forces the backward
+     scan path; membership must still be exact. *)
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let s = Stream.attach w 1 in
+      for i = 0 to 9 do
+        ignore (Stream.append s (payload (string_of_int i)))
+      done;
+      let resp =
+        Sim.Net.call ~from:(Client.host w)
+          (Sequencer.increment_service (Cluster.sequencer cluster))
+          { Sequencer.iepoch = 0; istreams = [ 1 ]; icount = 1 }
+      in
+      let hole = (alloc resp).Sequencer.base in
+      ignore (Client.fill w hole);
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      Alcotest.(check (list string)) "all ten, no junk"
+        (List.init 10 string_of_int)
+        (List.map snd (drain sr)))
+
+let prop_stream_isolation =
+  (* The key invariant of §5: each stream delivers exactly its own
+     appends — including multiappends shared with other streams — in
+     log order, regardless of interleaving. *)
+  QCheck.Test.make ~name:"streams partition the log exactly" ~count:30
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(1 -- 40) (pair (int_range 0 3) (option (int_range 0 3)))))
+    (fun (seed, plan) ->
+      Sim.Engine.run ~seed:(seed + 1) (fun () ->
+          let cluster = Cluster.create ~servers:4 () in
+          let c = Cluster.new_client cluster ~name:"app" in
+          let expected = Hashtbl.create 4 in
+          List.iteri
+            (fun i (sid, extra) ->
+              let streams =
+                match extra with
+                | Some e when e <> sid -> [ sid; e ]
+                | Some _ | None -> [ sid ]
+              in
+              let off = Client.append c ~streams (payload (string_of_int i)) in
+              List.iter
+                (fun sid ->
+                  let prev = try Hashtbl.find expected sid with Not_found -> [] in
+                  Hashtbl.replace expected sid ((off, string_of_int i) :: prev))
+                streams)
+            plan;
+          List.for_all
+            (fun sid ->
+              let s = Stream.attach c sid in
+              ignore (Stream.sync s);
+              let got = drain s in
+              let want = List.rev (try Hashtbl.find expected sid with Not_found -> []) in
+              got = want)
+            [ 0; 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer-less (probing) appends                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_probing_append_basic () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"prober" in
+      let offs = List.init 5 (fun i -> Client.append_probing c ~streams:[ 1 ] (payload (string_of_int i))) in
+      Alcotest.(check (list int)) "contiguous from zero" [ 0; 1; 2; 3; 4 ] offs;
+      match Client.read c 3 with
+      | Client.Data e -> check_string "readable" "3" (payload_str e)
+      | _ -> Alcotest.fail "expected data")
+
+let test_probing_races_resolve () =
+  (* Two probing clients race for the same offsets: write-once makes
+     one winner per offset, losers move up; nothing is lost. *)
+  with_cluster (fun cluster ->
+      let a = Cluster.new_client cluster ~name:"prober-a" in
+      let b = Cluster.new_client cluster ~name:"prober-b" in
+      let done_count = ref 0 in
+      let run client tag =
+        Sim.Engine.spawn (fun () ->
+            for i = 0 to 9 do
+              ignore (Client.append_probing client ~streams:[ 1 ] (payload (Printf.sprintf "%s%d" tag i)));
+              incr done_count
+            done)
+      in
+      run a "a";
+      run b "b";
+      Sim.Engine.sleep 5_000_000.;
+      check_int "all appends landed" 20 !done_count;
+      check_int "log is dense" 20 (Client.check_slow a);
+      (* every offset holds exactly one of the 20 payloads *)
+      let seen = Hashtbl.create 20 in
+      for off = 0 to 19 do
+        match Client.read a off with
+        | Client.Data e -> Hashtbl.replace seen (payload_str e) ()
+        | _ -> Alcotest.fail "hole in probed log"
+      done;
+      check_int "no duplicates, no losses" 20 (Hashtbl.length seen))
+
+let test_probing_bridges_sequencer_outage () =
+  (* The paper's claim: the log keeps accepting appends while the
+     sequencer is down, and a replacement rebuilt from the log serves
+     readers that then see everything. *)
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 4 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (Printf.sprintf "pre%d" i)))
+      done;
+      (* sequencer dies *)
+      Sim.Net.call ~from:(Client.host w)
+        (Sequencer.seal_service (Cluster.sequencer cluster))
+        ((Client.projection w).Projection.epoch + 1);
+      (* appends continue by probing *)
+      for i = 0 to 4 do
+        ignore (Client.append_probing w ~streams:[ 1 ] (payload (Printf.sprintf "mid%d" i)))
+      done;
+      (* reconfiguration installs a replacement rebuilt from the log *)
+      ignore (Cluster.replace_sequencer cluster);
+      for i = 0 to 4 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (Printf.sprintf "post%d" i)))
+      done;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let s = Stream.attach r 1 in
+      ignore (Stream.sync s);
+      let got = List.map snd (drain s) in
+      Alcotest.(check (list string)) "all three phases, in order"
+        (List.concat
+           [
+             List.init 5 (Printf.sprintf "pre%d");
+             List.init 5 (Printf.sprintf "mid%d");
+             List.init 5 (Printf.sprintf "post%d");
+           ])
+        got)
+
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reconfig_replaces_sequencer () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let s = Stream.attach c 1 in
+      for i = 0 to 9 do
+        ignore (Stream.append s (payload (string_of_int i)))
+      done;
+      let old_seq = Cluster.sequencer cluster in
+      let epoch = Cluster.replace_sequencer cluster in
+      check_int "epoch bumped" 1 epoch;
+      check_bool "new sequencer" true (Cluster.sequencer cluster != old_seq);
+      (* appends keep working through the seal via retry *)
+      let off = Stream.append s (payload "after") in
+      check_int "tail resumed exactly" 10 off;
+      (* stream state survives: backpointers reconstructed *)
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      Alcotest.(check (list string)) "full history"
+        (List.init 10 string_of_int @ [ "after" ])
+        (List.map snd (drain sr)))
+
+let test_reconfig_under_load () =
+  with_cluster (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let done_count = ref 0 in
+      Sim.Engine.spawn (fun () ->
+          for i = 0 to 49 do
+            ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)));
+            incr done_count
+          done);
+      Sim.Engine.sleep 2_000.;
+      ignore (Cluster.replace_sequencer cluster);
+      Sim.Engine.sleep 1_000_000.;
+      check_int "all appends completed" 50 !done_count;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      let got = List.map snd (drain sr) in
+      check_int "no duplicates, no losses" 50 (List.length (List.sort_uniq compare got)))
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer checkpoints (§5 optimization)                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_seq_checkpoint_codec () =
+  let snap =
+    {
+      Seq_checkpoint.snap_tail = 12345;
+      snap_streams = [ (1, [ 100; 90; 80; 70 ]); (42, [ 12000 ]); (7, []) ];
+    }
+  in
+  let back = Seq_checkpoint.decode (Seq_checkpoint.encode snap) in
+  check_int "tail" snap.Seq_checkpoint.snap_tail back.Seq_checkpoint.snap_tail;
+  check_bool "streams" true
+    (List.sort compare back.Seq_checkpoint.snap_streams
+    = List.sort compare snap.Seq_checkpoint.snap_streams)
+
+let test_seq_checkpoint_bounds_rebuild () =
+  (* Without the scribe a rebuild scans the whole log; with it, only
+     the suffix above the last snapshot. *)
+  let scan_length ~scribe =
+    Sim.Engine.run ~seed:91 (fun () ->
+        let cluster = Cluster.create ~servers:4 () in
+        if scribe then Cluster.start_checkpoint_scribe cluster ~interval_us:20_000.;
+        let c = Cluster.new_client cluster ~name:"writer" in
+        for i = 0 to 199 do
+          ignore (Client.append c ~streams:[ 1 + (i mod 3) ] (payload (string_of_int i)));
+          Sim.Engine.sleep 500.
+        done;
+        ignore (Cluster.replace_sequencer cluster);
+        (* Correctness first: streams must replay exactly. *)
+        let r = Cluster.new_client cluster ~name:"reader" in
+        let s1 = Stream.attach r 1 in
+        ignore (Stream.sync s1);
+        let first_stream = List.length (drain s1) in
+        check_bool "stream intact after rebuild" true (first_stream >= 66);
+        Cluster.last_rebuild_scan cluster)
+  in
+  let full = scan_length ~scribe:false in
+  let bounded = scan_length ~scribe:true in
+  check_bool
+    (Printf.sprintf "bounded scan (%d) well below full scan (%d)" bounded full)
+    true
+    (bounded * 3 < full);
+  check_bool "full scan covers the log" true (full >= 200)
+
+let test_seq_checkpoint_appends_resume () =
+  with_cluster (fun cluster ->
+      Cluster.start_checkpoint_scribe cluster ~interval_us:5_000.;
+      let c = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 19 do
+        ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)));
+        Sim.Engine.sleep 1_000.
+      done;
+      ignore (Cluster.replace_sequencer cluster);
+      (* the reconstructed sequencer must not reuse offsets *)
+      let off = Client.append c ~streams:[ 1 ] (payload "after") in
+      check_bool "tail strictly advances" true (off >= 20);
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let s = Stream.attach r 1 in
+      ignore (Stream.sync s);
+      Alcotest.(check (list string)) "stream history exact"
+        (List.init 20 string_of_int @ [ "after" ])
+        (List.map snd (drain s)))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "corfu"
+    [
+      ( "stream-header",
+        [
+          Alcotest.test_case "relative roundtrip" `Quick test_header_relative_roundtrip;
+          Alcotest.test_case "absolute on overflow" `Quick test_header_absolute_when_overflow;
+          Alcotest.test_case "relative boundary" `Quick test_header_relative_boundary;
+          Alcotest.test_case "empty backpointers" `Quick test_header_empty_backptrs;
+          Alcotest.test_case "multi-stream block" `Quick test_header_multi_stream_block;
+          Alcotest.test_case "rejects bad ids" `Quick test_header_rejects_bad_ids;
+          Alcotest.test_case "rejects bad k" `Quick test_header_rejects_bad_k;
+        ] );
+      ( "storage-node",
+        [
+          Alcotest.test_case "write once" `Quick test_node_write_once;
+          Alcotest.test_case "unwritten read" `Quick test_node_unwritten_read;
+          Alcotest.test_case "fill semantics" `Quick test_node_fill_semantics;
+          Alcotest.test_case "seal rejects stale epochs" `Quick test_node_seal_rejects_stale_epochs;
+          Alcotest.test_case "trim" `Quick test_node_trim;
+          Alcotest.test_case "prefix trim" `Quick test_node_prefix_trim;
+          Alcotest.test_case "local tail" `Quick test_node_local_tail;
+          Alcotest.test_case "capacity" `Quick test_node_capacity;
+        ] );
+      ( "sequencer",
+        [
+          Alcotest.test_case "monotonic offsets" `Quick test_sequencer_monotonic;
+          Alcotest.test_case "stream backpointers" `Quick test_sequencer_stream_backpointers;
+          Alcotest.test_case "peek does not advance" `Quick test_sequencer_peek_does_not_advance;
+          Alcotest.test_case "batched allocation" `Quick test_sequencer_batched_allocation;
+          Alcotest.test_case "seal" `Quick test_sequencer_seal;
+          Alcotest.test_case "seeded state" `Quick test_sequencer_seeded_state;
+          Alcotest.test_case "throughput cap" `Slow test_sequencer_throughput_cap;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "offset mapping" `Quick test_projection_mapping;
+          Alcotest.test_case "global tail from locals" `Quick test_projection_global_tail;
+          Alcotest.test_case "shape validation" `Quick test_projection_validation;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "append and read" `Quick test_client_append_read;
+          Alcotest.test_case "two clients interleave" `Quick test_client_two_clients_interleave;
+          Alcotest.test_case "slow check matches fast" `Quick test_client_check_slow_matches_fast;
+          Alcotest.test_case "fill hole with junk" `Quick test_client_fill_hole;
+          Alcotest.test_case "fill completes torn append" `Quick
+            test_client_fill_completes_torn_append;
+          Alcotest.test_case "read_resolved waits" `Quick
+            test_client_read_resolved_waits_for_slow_writer;
+          Alcotest.test_case "trim and prefix trim" `Quick test_client_trim_and_prefix_trim;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "basic playback" `Quick test_stream_basic_playback;
+          Alcotest.test_case "selective consumption" `Quick test_stream_selective_consumption;
+          Alcotest.test_case "multiappend on all streams" `Quick
+            test_stream_multiappend_visible_on_all;
+          Alcotest.test_case "incremental sync" `Quick test_stream_incremental_sync;
+          Alcotest.test_case "reader on another client" `Quick test_stream_reader_on_other_client;
+          Alcotest.test_case "sync strides K" `Quick test_stream_sync_reads_stride_k;
+          Alcotest.test_case "hole filled and skipped" `Quick test_stream_hole_is_filled_and_skipped;
+          Alcotest.test_case "junk breaks stride, scan recovers" `Quick
+            test_stream_junk_breaks_stride_then_scan;
+        ] );
+      ( "probing",
+        [
+          Alcotest.test_case "basic probing append" `Quick test_probing_append_basic;
+          Alcotest.test_case "probing races resolve" `Quick test_probing_races_resolve;
+          Alcotest.test_case "bridges sequencer outage" `Quick
+            test_probing_bridges_sequencer_outage;
+        ] );
+      ( "seq-checkpoint",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_seq_checkpoint_codec;
+          Alcotest.test_case "bounds the rebuild scan" `Quick test_seq_checkpoint_bounds_rebuild;
+          Alcotest.test_case "appends resume exactly" `Quick test_seq_checkpoint_appends_resume;
+        ] );
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "replace sequencer" `Quick test_reconfig_replaces_sequencer;
+          Alcotest.test_case "reconfig under load" `Quick test_reconfig_under_load;
+        ] );
+      ("properties", qcheck [ prop_header_roundtrip; prop_stream_isolation ]);
+    ]

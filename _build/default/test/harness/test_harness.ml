@@ -1,0 +1,165 @@
+(* Tests for the load-generation and measurement harness, and for the
+   linearizability checker. *)
+
+module Load = Tango_harness.Load
+module Lin = Tango_harness.Linearizability
+
+let check_bool = Alcotest.(check bool)
+
+let near ~tolerance expected actual =
+  abs_float (actual -. expected) <= tolerance *. expected
+
+let test_closed_loop_throughput () =
+  (* Each op takes exactly 100 µs; 4 fibers -> 40K ops/s. *)
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.closed_loop ~warmup_us:10_000. ~measure_us:100_000. ~fibers:4 (fun () ->
+            Sim.Engine.sleep 100.;
+            true))
+  in
+  check_bool "throughput 40K" true (near ~tolerance:0.02 40_000. r.Load.throughput);
+  check_bool "goodput equals throughput" true (r.Load.goodput = r.Load.throughput);
+  check_bool "latency 100us" true (near ~tolerance:0.02 100. r.Load.latency_mean_us)
+
+let test_closed_loop_goodput () =
+  let flip = ref false in
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.closed_loop ~warmup_us:1_000. ~measure_us:50_000. ~fibers:1 (fun () ->
+            Sim.Engine.sleep 50.;
+            flip := not !flip;
+            !flip))
+  in
+  check_bool "half the ops succeed" true
+    (near ~tolerance:0.05 (r.Load.throughput /. 2.) r.Load.goodput)
+
+let test_closed_loop_warmup_excluded () =
+  (* Ops get fast after warmup; the slow phase must not pollute the
+     latency stats. *)
+  let r =
+    Sim.Engine.run (fun () ->
+        let slow = ref true in
+        Sim.Engine.spawn (fun () ->
+            Sim.Engine.sleep 50_000.;
+            slow := false);
+        Load.closed_loop ~warmup_us:60_000. ~measure_us:50_000. ~fibers:1 (fun () ->
+            Sim.Engine.sleep (if !slow then 5_000. else 10.);
+            true))
+  in
+  check_bool "no slow samples" true (r.Load.latency_p99_us < 100.)
+
+let test_open_loop_rate () =
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.open_loop ~warmup_us:20_000. ~measure_us:200_000. ~rate:10_000. (fun () ->
+            Sim.Engine.sleep 30.;
+            true))
+  in
+  check_bool "matches offered rate" true (near ~tolerance:0.1 10_000. r.Load.throughput)
+
+let test_open_loop_outstanding_cap () =
+  (* Ops that never finish: the generator must stop at the cap instead
+     of spawning unboundedly. *)
+  let spawned = ref 0 in
+  let (_ : Load.report) =
+    Sim.Engine.run (fun () ->
+        Load.open_loop ~warmup_us:1_000. ~measure_us:30_000. ~max_outstanding:50 ~rate:100_000.
+          (fun () ->
+            incr spawned;
+            Sim.Engine.sleep 10_000_000.;
+            true))
+  in
+  check_bool (Printf.sprintf "capped at 50, spawned %d" !spawned) true (!spawned <= 50)
+
+let test_measure_counter () =
+  let rate =
+    Sim.Engine.run (fun () ->
+        let n = ref 0 in
+        Sim.Engine.spawn (fun () ->
+            let rec tick () =
+              Sim.Engine.sleep 100.;
+              incr n;
+              tick ()
+            in
+            tick ());
+        Load.measure_counter ~warmup_us:5_000. ~measure_us:100_000. (fun () -> !n))
+  in
+  check_bool "10K/s" true (near ~tolerance:0.02 10_000. rate)
+
+let test_report_samples () =
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.closed_loop ~warmup_us:0. ~measure_us:10_000. ~fibers:2 (fun () ->
+            Sim.Engine.sleep 1_000.;
+            true))
+  in
+  check_bool (Printf.sprintf "sample count ~20, got %d" r.Load.samples) true
+    (r.Load.samples >= 18 && r.Load.samples <= 20)
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability checker                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ev s f op = { Lin.started = s; finished = f; op }
+
+let test_lin_sequential_ok () =
+  check_bool "write then read" true
+    (Lin.check_register [ ev 0. 1. (Lin.Write 5); ev 2. 3. (Lin.Read 5) ]);
+  check_bool "read of initial" true (Lin.check_register [ ev 0. 1. (Lin.Read 0) ]);
+  check_bool "empty history" true (Lin.check_register [])
+
+let test_lin_stale_read_rejected () =
+  (* Write completed strictly before the read began, yet the read
+     returned the old value: not linearizable. *)
+  check_bool "stale read" false
+    (Lin.check_register [ ev 0. 1. (Lin.Write 5); ev 2. 3. (Lin.Read 0) ])
+
+let test_lin_concurrent_flexibility () =
+  (* A read concurrent with a write may return either value... *)
+  check_bool "new value" true
+    (Lin.check_register [ ev 0. 10. (Lin.Write 5); ev 1. 2. (Lin.Read 5) ]);
+  check_bool "old value" true
+    (Lin.check_register [ ev 0. 10. (Lin.Write 5); ev 1. 2. (Lin.Read 0) ]);
+  (* ...but two sequential reads inside the write's window cannot see
+     new-then-old. *)
+  check_bool "non-monotonic reads" false
+    (Lin.check_register
+       [ ev 0. 10. (Lin.Write 5); ev 1. 2. (Lin.Read 5); ev 3. 4. (Lin.Read 0) ])
+
+let test_lin_write_order () =
+  (* Sequential writes 1 then 2; a later read of 1 is stale. *)
+  check_bool "overwritten value" false
+    (Lin.check_register
+       [ ev 0. 1. (Lin.Write 1); ev 2. 3. (Lin.Write 2); ev 4. 5. (Lin.Read 1) ]);
+  (* Concurrent writes: either can win. *)
+  check_bool "either winner" true
+    (Lin.check_register
+       [ ev 0. 10. (Lin.Write 1); ev 0. 10. (Lin.Write 2); ev 11. 12. (Lin.Read 1) ])
+
+let test_lin_rejects_bad_event () =
+  match Lin.check_register [ ev 5. 1. (Lin.Read 0) ] with
+  | _ -> Alcotest.fail "finished < started must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "load",
+        [
+          Alcotest.test_case "closed loop throughput" `Quick test_closed_loop_throughput;
+          Alcotest.test_case "closed loop goodput" `Quick test_closed_loop_goodput;
+          Alcotest.test_case "warmup excluded" `Quick test_closed_loop_warmup_excluded;
+          Alcotest.test_case "open loop rate" `Quick test_open_loop_rate;
+          Alcotest.test_case "outstanding cap" `Quick test_open_loop_outstanding_cap;
+          Alcotest.test_case "measure counter" `Quick test_measure_counter;
+          Alcotest.test_case "report samples" `Quick test_report_samples;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "sequential histories" `Quick test_lin_sequential_ok;
+          Alcotest.test_case "stale read rejected" `Quick test_lin_stale_read_rejected;
+          Alcotest.test_case "concurrent flexibility" `Quick test_lin_concurrent_flexibility;
+          Alcotest.test_case "write ordering" `Quick test_lin_write_order;
+          Alcotest.test_case "rejects bad events" `Quick test_lin_rejects_bad_event;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+(* The §6.3 fidelity test: the mini HDFS namenode over TangoZK and
+   TangoBK must survive a reboot and fail over to a backup. *)
+
+module Nn = Tango_hdfs.Namenode
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let zk_oid = 1
+let bk_oid = 2
+
+let with_cluster ?(seed = 21) body =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:4 () in
+      body cluster)
+
+let nn cluster host_name =
+  Nn.start
+    (Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:host_name))
+    ~name:host_name ~zk_oid ~bk_oid
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected namenode error"
+
+let populate namenode =
+  ok (Nn.mkdir namenode "/user");
+  ok (Nn.mkdir namenode "/user/alice");
+  ok (Nn.create_file namenode "/user/alice/data.txt");
+  let b0 = ok (Nn.add_block namenode "/user/alice/data.txt") in
+  let b1 = ok (Nn.add_block namenode "/user/alice/data.txt") in
+  (b0, b1)
+
+let test_basic_namespace () =
+  with_cluster (fun cluster ->
+      let namenode = nn cluster "nn-1" in
+      check_bool "active" true (Nn.is_active namenode);
+      let b0, b1 = populate namenode in
+      Alcotest.(check (option (list string)))
+        "ls /user" (Some [ "alice" ]) (Nn.ls namenode "/user");
+      Alcotest.(check (option (list int)))
+        "blocks" (Some [ b0; b1 ])
+        (Nn.file_blocks namenode "/user/alice/data.txt");
+      check_bool "errors: duplicate mkdir" true (Nn.mkdir namenode "/user" = Error Nn.Exists);
+      check_bool "errors: missing parent" true
+        (Nn.mkdir namenode "/no/where" = Error Nn.Missing);
+      ok (Nn.delete namenode "/user/alice/data.txt");
+      check_bool "deleted" false (Nn.exists namenode "/user/alice/data.txt"))
+
+let test_reboot_recovery () =
+  with_cluster (fun cluster ->
+      let nn1 = nn cluster "nn-1" in
+      let b0, b1 = populate nn1 in
+      let applied = Nn.edits_applied nn1 in
+      Nn.crash nn1;
+      (* A rebooted namenode replays the edit ledgers from the shared
+         log and recovers the namespace exactly. *)
+      let nn1' = nn cluster "nn-1-rebooted" in
+      check_bool "reboot becomes active" true (Nn.is_active nn1');
+      check_int "replayed the same edits" applied (Nn.edits_applied nn1');
+      Alcotest.(check (option (list int)))
+        "blocks recovered" (Some [ b0; b1 ])
+        (Nn.file_blocks nn1' "/user/alice/data.txt");
+      (* Block allocation resumes without reuse. *)
+      let b2 = ok (Nn.add_block nn1' "/user/alice/data.txt") in
+      check_bool "no block id reuse" true (b2 > b1))
+
+let test_failover_to_backup () =
+  with_cluster (fun cluster ->
+      let nn1 = nn cluster "nn-primary" in
+      let nn2 = nn cluster "nn-backup" in
+      check_bool "primary active" true (Nn.is_active nn1);
+      check_bool "backup standby" false (Nn.is_active nn2);
+      let _ = populate nn1 in
+      (* Standby operations are refused. *)
+      check_bool "standby refuses writes" true (Nn.mkdir nn2 "/tmp" = Error Nn.Not_active);
+      (* Primary dies; its ephemeral leader lock vanishes. *)
+      Nn.crash nn1;
+      check_bool "backup wins the election" true (Nn.campaign nn2);
+      (* The backup has the full namespace and continues the history. *)
+      check_bool "namespace present" true (Nn.exists nn2 "/user/alice/data.txt");
+      ok (Nn.mkdir nn2 "/user/bob");
+      let b = ok (Nn.add_block nn2 "/user/alice/data.txt") in
+      check_bool "block ids continue" true (b >= 2);
+      (* A later observer replays both terms' ledgers. *)
+      let nn3 = nn cluster "nn-observer" in
+      check_bool "observer is standby" false (Nn.is_active nn3);
+      check_bool "observer sees both terms" true (Nn.exists nn3 "/user/bob"))
+
+let test_deposed_writer_rejected () =
+  with_cluster (fun cluster ->
+      let nn1 = nn cluster "nn-1" in
+      let _ = populate nn1 in
+      (* Fence the active by sealing its edit ledger (BookKeeper
+         recovery semantics): its next write must demote it. *)
+      let bk = Tango_objects.Tango_bk.attach (Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"fencer")) ~oid:bk_oid in
+      List.iter (fun ledger -> ignore (Tango_objects.Tango_bk.close_ledger bk ~ledger)) (Tango_objects.Tango_bk.ledgers bk);
+      check_bool "deposed write fails" true (Nn.mkdir nn1 "/late" = Error Nn.Not_active);
+      check_bool "demoted" false (Nn.is_active nn1))
+
+let () =
+  Alcotest.run "hdfs"
+    [
+      ( "namenode",
+        [
+          Alcotest.test_case "basic namespace" `Quick test_basic_namespace;
+          Alcotest.test_case "reboot recovery" `Quick test_reboot_recovery;
+          Alcotest.test_case "failover to backup" `Quick test_failover_to_backup;
+          Alcotest.test_case "deposed writer rejected" `Quick test_deposed_writer_rejected;
+        ] );
+    ]

@@ -1,0 +1,548 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Sim
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_returns_result () =
+  let r = Engine.run (fun () -> 41 + 1) in
+  check_int "result" 42 r
+
+let test_clock_starts_at_zero () =
+  let t = Engine.run (fun () -> Engine.now ()) in
+  check_float "t0" 0. t
+
+let test_sleep_advances_clock () =
+  let t =
+    Engine.run (fun () ->
+        Engine.sleep 10.;
+        Engine.sleep 5.5;
+        Engine.now ())
+  in
+  check_float "now" 15.5 t
+
+let test_negative_sleep_clamped () =
+  let t =
+    Engine.run (fun () ->
+        Engine.sleep (-4.);
+        Engine.now ())
+  in
+  check_float "now" 0. t
+
+let test_spawn_runs_concurrently () =
+  let order = ref [] in
+  let mark tag = order := tag :: !order in
+  Engine.run (fun () ->
+      Engine.spawn (fun () ->
+          Engine.sleep 2.;
+          mark "b");
+      Engine.spawn (fun () ->
+          Engine.sleep 1.;
+          mark "a");
+      Engine.sleep 3.;
+      mark "main");
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "main" ] (List.rev !order)
+
+let test_same_time_fifo () =
+  (* Events at the same timestamp run in scheduling order. *)
+  let order = ref [] in
+  Engine.run (fun () ->
+      for i = 1 to 5 do
+        Engine.spawn (fun () -> order := i :: !order)
+      done;
+      Engine.sleep 1.);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_main_completion_stops_world () =
+  (* A server fiber blocked forever must not prevent termination. *)
+  let r =
+    Engine.run (fun () ->
+        let mb = Mailbox.create () in
+        Engine.spawn (fun () ->
+            let (_ : int) = Mailbox.recv mb in
+            ());
+        Engine.sleep 1.;
+        "done")
+  in
+  Alcotest.(check string) "result" "done" r
+
+let test_deadlock_detected () =
+  Alcotest.check_raises "deadlock" Engine.Deadlock (fun () ->
+      Engine.run (fun () ->
+          let iv : int Ivar.t = Ivar.create () in
+          ignore (Ivar.read iv)))
+
+let test_horizon () =
+  Alcotest.check_raises "horizon" (Engine.Horizon_reached 10.) (fun () ->
+      Engine.run ~until:10. (fun () -> Engine.sleep 100.))
+
+let test_fiber_exception_propagates () =
+  Alcotest.check_raises "exn" (Failure "boom") (fun () ->
+      Engine.run (fun () ->
+          Engine.spawn (fun () -> failwith "boom");
+          Engine.sleep 1.))
+
+let test_nested_run_rejected () =
+  Engine.run (fun () ->
+      match Engine.run (fun () -> ()) with
+      | () -> Alcotest.fail "nested run should be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_fiber_ids_unique () =
+  Engine.run (fun () ->
+      let ids = ref [] in
+      for _ = 1 to 3 do
+        Engine.spawn (fun () -> ids := Engine.fiber_id () :: !ids)
+      done;
+      Engine.sleep 1.;
+      let sorted = List.sort_uniq compare !ids in
+      check_int "unique ids" 3 (List.length sorted))
+
+let test_schedule_thunk () =
+  Engine.run (fun () ->
+      let fired = ref false in
+      Engine.schedule ~after:5. (fun () -> fired := true);
+      Engine.sleep 4.;
+      check_bool "not yet" false !fired;
+      Engine.sleep 2.;
+      check_bool "fired" true !fired)
+
+let test_determinism () =
+  let experiment () =
+    Engine.run ~seed:7 (fun () ->
+        let acc = ref 0. in
+        for _ = 1 to 50 do
+          let d = Rng.float (Engine.rng ()) 10. in
+          Engine.sleep d;
+          acc := !acc +. Engine.now ()
+        done;
+        !acc)
+  in
+  check_float "same trace" (experiment ()) (experiment ())
+
+(* ------------------------------------------------------------------ *)
+(* Ivar                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ivar_fill_then_read () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      Ivar.fill iv 9;
+      check_int "value" 9 (Ivar.read iv))
+
+let test_ivar_blocks_until_filled () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      Engine.spawn (fun () ->
+          Engine.sleep 10.;
+          Ivar.fill iv "hello");
+      let v = Ivar.read iv in
+      Alcotest.(check string) "value" "hello" v;
+      check_float "woke at fill time" 10. (Engine.now ()))
+
+let test_ivar_multiple_readers () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      let seen = ref 0 in
+      for _ = 1 to 4 do
+        Engine.spawn (fun () ->
+            let (_ : int) = Ivar.read iv in
+            incr seen)
+      done;
+      Engine.sleep 1.;
+      Ivar.fill iv 1;
+      Engine.sleep 1.;
+      check_int "all woke" 4 !seen)
+
+let test_ivar_double_fill_rejected () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      Ivar.fill iv 1;
+      match Ivar.fill iv 2 with
+      | () -> Alcotest.fail "double fill should be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_ivar_peek () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      check_bool "empty" false (Ivar.is_filled iv);
+      Alcotest.(check (option int)) "peek empty" None (Ivar.peek iv);
+      Ivar.fill iv 3;
+      Alcotest.(check (option int)) "peek full" (Some 3) (Ivar.peek iv))
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3;
+      check_int "a" 1 (Mailbox.recv mb);
+      check_int "b" 2 (Mailbox.recv mb);
+      check_int "c" 3 (Mailbox.recv mb))
+
+let test_mailbox_blocking_recv () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      Engine.spawn (fun () ->
+          Engine.sleep 5.;
+          Mailbox.send mb 42);
+      let v = Mailbox.recv mb in
+      check_int "v" 42 v;
+      check_float "blocked until send" 5. (Engine.now ()))
+
+let test_mailbox_waiters_fifo () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      let log = ref [] in
+      for i = 1 to 3 do
+        Engine.spawn (fun () ->
+            let v = Mailbox.recv mb in
+            log := (i, v) :: !log)
+      done;
+      Engine.sleep 1.;
+      Mailbox.send mb 10;
+      Mailbox.send mb 20;
+      Mailbox.send mb 30;
+      Engine.sleep 1.;
+      Alcotest.(check (list (pair int int)))
+        "waiters served in order" [ (1, 10); (2, 20); (3, 30) ] (List.rev !log))
+
+let test_mailbox_try_recv () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+      Mailbox.send mb 7;
+      check_int "len" 1 (Mailbox.length mb);
+      Alcotest.(check (option int)) "some" (Some 7) (Mailbox.try_recv mb))
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_serializes () =
+  (* Two fibers share a capacity-1 resource: the second waits. *)
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"ssd" ~capacity:1 () in
+      let finish = ref [] in
+      Engine.spawn (fun () ->
+          Resource.use r 10.;
+          finish := ("a", Engine.now ()) :: !finish);
+      Engine.spawn (fun () ->
+          Resource.use r 10.;
+          finish := ("b", Engine.now ()) :: !finish);
+      Engine.sleep 30.;
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "sequential" [ ("a", 10.); ("b", 20.) ] (List.rev !finish))
+
+let test_resource_parallel_capacity () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"cpu" ~capacity:2 () in
+      let finish = ref [] in
+      for _ = 1 to 2 do
+        Engine.spawn (fun () ->
+            Resource.use r 10.;
+            finish := Engine.now () :: !finish)
+      done;
+      Engine.sleep 30.;
+      Alcotest.(check (list (float 1e-9))) "parallel" [ 10.; 10. ] !finish)
+
+let test_resource_fifo_queue () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"x" ~capacity:1 () in
+      let order = ref [] in
+      for i = 1 to 4 do
+        Engine.spawn (fun () ->
+            Resource.use r 5.;
+            order := i :: !order)
+      done;
+      Engine.sleep 100.;
+      Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (List.rev !order))
+
+let test_resource_throughput_cap () =
+  (* A 10 µs service time caps a saturated resource at 100K ops/s. *)
+  let rate =
+    Engine.run (fun () ->
+        let r = Resource.create ~name:"x" ~capacity:1 () in
+        let m = ref 0 in
+        for _ = 1 to 8 do
+          Engine.spawn (fun () ->
+              for _ = 1 to 100 do
+                Resource.use r 10.;
+                incr m
+              done)
+        done;
+        Engine.sleep 8_000.;
+        float_of_int !m /. 8_000. *. 1e6)
+  in
+  Alcotest.(check bool) "rate close to 100K" true (abs_float (rate -. 100_000.) < 2_000.)
+
+let test_resource_release_without_acquire () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"x" ~capacity:1 () in
+      match Resource.release r with
+      | () -> Alcotest.fail "release without acquire should be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_resource_busy_time () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"x" ~capacity:1 () in
+      Resource.use r 25.;
+      Engine.sleep 75.;
+      check_float "busy integral" 25. (Resource.busy_time r))
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ?(jitter = 0.) () = Net.create ~latency:50. ~bandwidth:125. ~jitter ()
+
+let test_net_rpc_roundtrip () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let b = Net.add_host net "b" in
+      let echo = Net.service b ~name:"echo" (fun x -> x * 2) in
+      let r = Net.call ~from:a echo 21 in
+      check_int "resp" 42 r;
+      (* Two hops of 64B each way: 2*(2*64/125 + 50) ≈ 102 µs. *)
+      let t = Engine.now () in
+      check_bool "latency sane" true (t > 100. && t < 110.))
+
+let test_net_loopback_is_free () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let echo = Net.service a ~name:"echo" (fun x -> x) in
+      let r = Net.call ~from:a echo 5 in
+      check_int "resp" 5 r;
+      check_float "no time passed" 0. (Engine.now ()))
+
+let test_net_bandwidth_charged () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let b = Net.add_host net "b" in
+      let sink = Net.service b ~name:"sink" (fun (_ : string) -> ()) in
+      Net.call ~req_bytes:4096 ~resp_bytes:64 ~from:a sink "payload";
+      (* Request: 2*32.77 + 50; response: 2*0.5 + 50 -> ~166-167 µs *)
+      let t = Engine.now () in
+      check_bool "4KB serialization charged" true (t > 160. && t < 175.))
+
+let test_net_server_saturation () =
+  (* Many clients calling a service that charges 100 µs on one CPU
+     core: aggregate throughput caps at 10K/s. *)
+  let count =
+    Engine.run (fun () ->
+        let net = make_net () in
+        let server = Net.add_host ~cores:1 net "srv" in
+        let svc =
+          Net.service server ~name:"work" (fun () -> Resource.use (Net.host_cpu server) 100.)
+        in
+        let n = ref 0 in
+        for i = 1 to 10 do
+          let client = Net.add_host net (Printf.sprintf "c%d" i) in
+          Engine.spawn (fun () ->
+              for _ = 1 to 50 do
+                Net.call ~from:client svc ();
+                incr n
+              done)
+        done;
+        Engine.sleep 20_000.;
+        !n)
+  in
+  (* 20 ms at 10K/s is ~200 completions. *)
+  check_bool "server-bound" true (count > 150 && count <= 210)
+
+let test_net_send_is_async () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let b = Net.add_host net "b" in
+      let got = ref [] in
+      let svc = Net.service b ~name:"ingest" (fun v -> got := v :: !got) in
+      Net.send ~from:a svc 1;
+      let sent_at = Engine.now () in
+      check_bool "sender only pays serialization" true (sent_at < 2.);
+      Engine.sleep 100.;
+      Alcotest.(check (list int)) "delivered" [ 1 ] !got)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_basics () =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  check_int "count" 5 (Stats.Series.count s);
+  check_float "mean" 3. (Stats.Series.mean s);
+  check_float "p0" 1. (Stats.Series.min s);
+  check_float "p100" 5. (Stats.Series.max s);
+  check_float "median" 3. (Stats.Series.percentile s 50.)
+
+let test_series_percentile_interpolates () =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) [ 0.; 10. ];
+  check_float "p25" 2.5 (Stats.Series.percentile s 25.)
+
+let test_series_grows () =
+  let s = Stats.Series.create () in
+  for i = 1 to 5000 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  check_int "count" 5000 (Stats.Series.count s);
+  check_float "max" 5000. (Stats.Series.max s)
+
+let test_series_add_after_percentile () =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) [ 3.; 1. ];
+  ignore (Stats.Series.percentile s 50.);
+  Stats.Series.add s 2.;
+  check_float "median updated" 2. (Stats.Series.percentile s 50.)
+
+let test_meter_rate () =
+  Engine.run (fun () ->
+      let m = Stats.Meter.create () in
+      Stats.Meter.mark_n m 100;
+      Engine.sleep 1_000_000.;
+      check_float "100/s" 100. (Stats.Meter.rate m);
+      Stats.Meter.reset m;
+      check_int "reset" 0 (Stats.Meter.count m))
+
+(* ------------------------------------------------------------------ *)
+(* Rng properties                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_in_bounds =
+  QCheck.Test.make ~name:"rng float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0. && v < bound)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"equal seeds, equal streams" ~count:100 QCheck.small_int (fun seed ->
+      let a = Rng.create seed and b = Rng.create seed in
+      List.init 20 (fun _ -> Rng.int64 a) = List.init 20 (fun _ -> Rng.int64 b))
+
+let prop_rng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let prop_resource_conserves =
+  QCheck.Test.make ~name:"resource never exceeds capacity" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 1 20))
+    (fun (capacity, fibers) ->
+      Engine.run (fun () ->
+          let r = Resource.create ~name:"r" ~capacity () in
+          let active = ref 0 in
+          let max_active = ref 0 in
+          let ok = ref true in
+          for _ = 1 to fibers do
+            Engine.spawn (fun () ->
+                Resource.acquire r;
+                incr active;
+                if !active > !max_active then max_active := !active;
+                if !active > capacity then ok := false;
+                Engine.sleep 5.;
+                decr active;
+                Resource.release r)
+          done;
+          Engine.sleep 1_000.;
+          !ok && !max_active <= capacity))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "run returns result" `Quick test_run_returns_result;
+          Alcotest.test_case "clock starts at zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "sleep advances clock" `Quick test_sleep_advances_clock;
+          Alcotest.test_case "negative sleep clamped" `Quick test_negative_sleep_clamped;
+          Alcotest.test_case "spawn runs concurrently" `Quick test_spawn_runs_concurrently;
+          Alcotest.test_case "same-time events are FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "main completion stops world" `Quick test_main_completion_stops_world;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "horizon enforced" `Quick test_horizon;
+          Alcotest.test_case "fiber exception propagates" `Quick test_fiber_exception_propagates;
+          Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+          Alcotest.test_case "fiber ids unique" `Quick test_fiber_ids_unique;
+          Alcotest.test_case "schedule thunk" `Quick test_schedule_thunk;
+          Alcotest.test_case "deterministic replay" `Quick test_determinism;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks until fill" `Quick test_ivar_blocks_until_filled;
+          Alcotest.test_case "multiple readers" `Quick test_ivar_multiple_readers;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill_rejected;
+          Alcotest.test_case "peek and is_filled" `Quick test_ivar_peek;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo order" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
+          Alcotest.test_case "waiters served fifo" `Quick test_mailbox_waiters_fifo;
+          Alcotest.test_case "try_recv and length" `Quick test_mailbox_try_recv;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "capacity 1 serializes" `Quick test_resource_serializes;
+          Alcotest.test_case "capacity 2 parallel" `Quick test_resource_parallel_capacity;
+          Alcotest.test_case "fifo queue" `Quick test_resource_fifo_queue;
+          Alcotest.test_case "throughput cap" `Quick test_resource_throughput_cap;
+          Alcotest.test_case "release without acquire" `Quick test_resource_release_without_acquire;
+          Alcotest.test_case "busy time accounting" `Quick test_resource_busy_time;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "rpc roundtrip" `Quick test_net_rpc_roundtrip;
+          Alcotest.test_case "loopback free" `Quick test_net_loopback_is_free;
+          Alcotest.test_case "bandwidth charged" `Quick test_net_bandwidth_charged;
+          Alcotest.test_case "server saturation" `Quick test_net_server_saturation;
+          Alcotest.test_case "async send" `Quick test_net_send_is_async;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "series basics" `Quick test_series_basics;
+          Alcotest.test_case "percentile interpolates" `Quick test_series_percentile_interpolates;
+          Alcotest.test_case "series grows" `Quick test_series_grows;
+          Alcotest.test_case "add after percentile" `Quick test_series_add_after_percentile;
+          Alcotest.test_case "meter rate" `Quick test_meter_rate;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_rng_int_in_bounds;
+            prop_rng_float_in_bounds;
+            prop_rng_deterministic;
+            prop_rng_shuffle_permutation;
+            prop_resource_conserves;
+          ] );
+    ]
