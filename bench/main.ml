@@ -236,6 +236,41 @@ let fig8_right () =
     [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
 
 (* ------------------------------------------------------------------ *)
+(* Figure 8 window sweep: write throughput vs append window           *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_window_point ~append_window =
+  Sim.Engine.run ~seed:(900 + append_window) (fun () ->
+      let params = { Sim.Params.default with Sim.Params.append_window } in
+      let cluster = Corfu.Cluster.create ~params ~servers:18 () in
+      let rt = new_runtime cluster "writer" in
+      let reg = Tango_register.attach rt ~oid:1 in
+      let m = M.create () in
+      for _ = 1 to 64 do
+        M.worker m (fun () ->
+            Tango_register.write reg 1;
+            true)
+      done;
+      M.window m;
+      (M.tput m, Tango.Runtime.append_stats rt))
+
+let fig8_window () =
+  section "Figure 8 (window sweep): 64 closed-loop writers vs append window";
+  row "%8s %10s %9s %8s %11s %11s %10s %11s" "window" "Kwrites/s" "entries" "grants" "grant-occ"
+    "peak-depth" "cache-hit" "cache-miss";
+  List.iter
+    (fun append_window ->
+      let tput, s = fig8_window_point ~append_window in
+      let occ =
+        if s.Tango.Runtime.as_grants = 0 then 0.
+        else float_of_int s.Tango.Runtime.as_granted_entries /. float_of_int s.Tango.Runtime.as_grants
+      in
+      row "%8d %10.1f %9d %8d %11.2f %11d %10d %11d" append_window (tput /. 1e3)
+        s.Tango.Runtime.as_entries s.Tango.Runtime.as_grants occ s.Tango.Runtime.as_inflight_peak
+        s.Tango.Runtime.as_cache_hits s.Tango.Runtime.as_cache_misses)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
 (* Figure 9: transactions on a fully replicated TangoMap              *)
 (* ------------------------------------------------------------------ *)
 
@@ -778,6 +813,7 @@ let experiments =
     ("fig8-left", fig8_left);
     ("fig8-mid", fig8_mid);
     ("fig8-right", fig8_right);
+    ("fig8-window", fig8_window);
     ("fig9", fig9);
     ("fig10-left", fig10_left);
     ("fig10-mid", fig10_mid);

@@ -4,20 +4,107 @@ type waiting = {
   w_pos : int Sim.Ivar.t;
 }
 
+type sealed_batch = {
+  b_waiters : waiting list;  (* oldest first; one slot each *)
+  b_streams : Corfu.Types.stream_id list;  (* sorted, deduped *)
+}
+
 type t = {
   client : Corfu.Client.t;
   batch_size : int;
   linger_us : float;
+  append_window : int;
+  window : Sim.Resource.t;  (* bounds entries in flight *)
   mutable forming : waiting list;  (* newest first *)
-  mutable generation : int;  (* bumped on every flush; guards linger timers *)
+  mutable generation : int;  (* bumped on every seal; guards linger timers *)
+  sealed : sealed_batch Queue.t;
+  mutable drainer_busy : bool;
   mutable entries : int;
   mutable records : int;
+  mutable inflight : int;
+  mutable inflight_peak : int;
+  mutable grants : int;
+  mutable granted_entries : int;
 }
 
-let create ~client ~batch_size ?(linger_us = 30.) () =
+let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
   if batch_size < 1 || batch_size > Record.slots_per_entry then
     invalid_arg "Batcher.create: bad batch size";
-  { client; batch_size; linger_us; forming = []; generation = 0; entries = 0; records = 0 }
+  let append_window =
+    match append_window with
+    | Some w -> w
+    | None -> (Corfu.Client.params client).Sim.Params.append_window
+  in
+  if append_window < 1 then invalid_arg "Batcher.create: bad append window";
+  {
+    client;
+    batch_size;
+    linger_us;
+    append_window;
+    window = Sim.Resource.create ~name:"batcher.window" ~capacity:append_window ();
+    forming = [];
+    generation = 0;
+    sealed = Queue.create ();
+    drainer_busy = false;
+    entries = 0;
+    records = 0;
+    inflight = 0;
+    inflight_peak = 0;
+    grants = 0;
+    granted_entries = 0;
+  }
+
+(* Pop the longest run of sealed batches sharing one stream set, up to
+   the append window. One grant covers the whole run, so every offset
+   the sequencer records for those streams is actually written by
+   us. *)
+let pop_group t =
+  let first = Queue.pop t.sealed in
+  let rec grab acc n =
+    if n >= t.append_window then List.rev acc
+    else
+      match Queue.peek_opt t.sealed with
+      | Some b when b.b_streams = first.b_streams -> grab (Queue.pop t.sealed :: acc) (n + 1)
+      | _ -> List.rev acc
+  in
+  (first.b_streams, grab [ first ] 1)
+
+(* The drainer is the only fiber talking to the sequencer, so landed
+   offsets are monotone in seal order: positions handed to waiters are
+   consistent with log order. Chain writes for the grant overlap —
+   each entry gets its own fiber, gated by the window resource. *)
+let rec drain t =
+  if Queue.is_empty t.sealed then t.drainer_busy <- false
+  else begin
+    let streams, group = pop_group t in
+    let grant = Corfu.Client.reserve t.client ~streams ~count:(List.length group) in
+    t.grants <- t.grants + 1;
+    t.granted_entries <- t.granted_entries + List.length group;
+    List.iteri
+      (fun index batch ->
+        Sim.Resource.acquire t.window;
+        t.inflight <- t.inflight + 1;
+        if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
+        Sim.Engine.spawn (fun () ->
+            let payload =
+              Record.encode_payload (List.map (fun w -> w.w_record) batch.b_waiters)
+            in
+            let off = Corfu.Client.write_granted t.client grant ~index payload in
+            t.entries <- t.entries + 1;
+            List.iteri
+              (fun slot w -> Sim.Ivar.fill w.w_pos (Record.pos ~offset:off ~slot))
+              batch.b_waiters;
+            t.inflight <- t.inflight - 1;
+            Sim.Resource.release t.window))
+      group;
+    drain t
+  end
+
+let kick t =
+  if not t.drainer_busy then begin
+    t.drainer_busy <- true;
+    Sim.Engine.spawn (fun () -> drain t)
+  end
 
 let flush t =
   match t.forming with
@@ -27,12 +114,10 @@ let flush t =
       t.generation <- t.generation + 1;
       let batch = List.rev batch in
       let streams =
-        List.sort_uniq compare (List.concat_map (fun w -> w.w_streams) batch)
+        List.sort_uniq Int.compare (List.concat_map (fun w -> w.w_streams) batch)
       in
-      let payload = Record.encode_payload (List.map (fun w -> w.w_record) batch) in
-      let off = Corfu.Client.append t.client ~streams payload in
-      t.entries <- t.entries + 1;
-      List.iteri (fun slot w -> Sim.Ivar.fill w.w_pos (Record.pos ~offset:off ~slot)) batch
+      Queue.push { b_waiters = batch; b_streams = streams } t.sealed;
+      kick t
 
 let submit t ~streams record =
   if streams = [] then invalid_arg "Batcher.submit: no target streams";
@@ -52,3 +137,7 @@ let submit t ~streams record =
 
 let entries_appended t = t.entries
 let records_submitted t = t.records
+let inflight t = t.inflight
+let inflight_peak t = t.inflight_peak
+let grants t = t.grants
+let granted_entries t = t.granted_entries

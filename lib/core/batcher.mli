@@ -1,19 +1,29 @@
-(** Append batching: packs several Tango records into one log entry.
+(** Append batching: packs several Tango records into one log entry,
+    and keeps a window of entries in flight.
 
     The paper's clients store a batch of 4 commit records per 4KB
     entry (§6). The batcher fills a forming batch as fibers submit
-    records; the submission that completes a batch appends it, and a
+    records; the submission that completes a batch seals it, and a
     linger timer bounds the latency of partial batches under light
-    load. Batches fly concurrently — ordering comes from the
-    sequencer, not from the batcher — so one client can keep many
-    appends in flight. *)
+    load.
+
+    Sealed batches drain through a single fiber that reserves offsets
+    from the sequencer in {e range grants} (one RPC for a run of
+    batches on the same stream set) and spawns one chain-write fiber
+    per entry, up to [append_window] concurrently (§6.1). Because the
+    drainer is the only fiber allocating offsets, landed offsets — and
+    hence the positions handed back to waiters — are monotone in seal
+    order. *)
 
 type t
 
-(** [create ~client ~batch_size ?linger_us ()] builds a batcher
-    appending through [client]. [linger_us] (default 30) is how long a
-    partial batch may wait for company. *)
-val create : client:Corfu.Client.t -> batch_size:int -> ?linger_us:float -> unit -> t
+(** [create ~client ~batch_size ?linger_us ?append_window ()] builds a
+    batcher appending through [client]. [linger_us] (default 30) is
+    how long a partial batch may wait for company; [append_window]
+    (default: the client's {!Sim.Params.t.append_window}) caps entries
+    in flight. *)
+val create :
+  client:Corfu.Client.t -> batch_size:int -> ?linger_us:float -> ?append_window:int -> unit -> t
 
 (** [submit t ~streams record] enqueues [record], destined for
     [streams] (the multiappend target set), and blocks the calling
@@ -26,3 +36,18 @@ val entries_appended : t -> int
 
 (** Records submitted so far. *)
 val records_submitted : t -> int
+
+(** Entries currently in flight (sealed, offset granted, chain write
+    not yet durable). *)
+val inflight : t -> int
+
+(** High-water mark of {!inflight}: > 1 means the pipelined path
+    actually overlapped chain writes. *)
+val inflight_peak : t -> int
+
+(** Sequencer range grants taken so far. *)
+val grants : t -> int
+
+(** Entries allocated through those grants; [granted_entries / grants]
+    is the mean grant occupancy. *)
+val granted_entries : t -> int

@@ -194,7 +194,7 @@ let decode_payload buf =
 
 let streams_of = function
   | Update u -> [ u.u_oid ]
-  | Commit { c_writes; _ } -> List.sort_uniq compare (List.map (fun u -> u.u_oid) c_writes)
+  | Commit { c_writes; _ } -> List.sort_uniq Int.compare (List.map (fun u -> u.u_oid) c_writes)
   | Decision _ | Partial _ -> []
   | Checkpoint { k_oid; _ } -> [ k_oid ]
 

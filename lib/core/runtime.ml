@@ -71,6 +71,8 @@ type t = {
   decision_timeout_us : float;
   apply_record_us : float;
   dispatch_us : float;
+  retry_sleep_us : float;
+  retry_backoff_max_us : float;
   mutable stats_applied : int;
   mutable stats_commits : int;
   mutable stats_aborts : int;
@@ -101,6 +103,8 @@ let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
     decision_timeout_us;
     apply_record_us = p.Sim.Params.apply_record_us;
     dispatch_us = p.Sim.Params.client_dispatch_us;
+    retry_sleep_us = p.Sim.Params.retry_sleep_us;
+    retry_backoff_max_us = p.Sim.Params.retry_backoff_max_us;
     stats_applied = 0;
     stats_commits = 0;
     stats_aborts = 0;
@@ -129,7 +133,8 @@ let register_extra_view t ~oid cb =
   | None -> invalid_arg "Runtime.register_extra_view: object not hosted"
 
 let is_hosted t oid = Hashtbl.mem t.objects oid
-let hosted_oids t = Hashtbl.fold (fun oid _ acc -> oid :: acc) t.objects [] |> List.sort compare
+let hosted_oids t =
+  Hashtbl.fold (fun oid _ acc -> oid :: acc) t.objects [] |> List.sort Int.compare
 let hosted_list t = Hashtbl.fold (fun _ ho acc -> ho :: acc) t.objects []
 
 (* ------------------------------------------------------------------ *)
@@ -210,7 +215,7 @@ let involved_hosted t (c : Record.commit) =
     List.map (fun (oid, _, _) -> oid) c.c_reads
     @ List.map (fun (u : Record.update) -> u.u_oid) c.c_writes
   in
-  List.sort_uniq compare oids |> List.filter_map (Hashtbl.find_opt t.objects)
+  List.sort_uniq Int.compare oids |> List.filter_map (Hashtbl.find_opt t.objects)
 
 (* Forward reference: [eager_outcome] needs the resolution machinery's
    types but is more readable next to [handle_commit]. *)
@@ -286,7 +291,7 @@ and try_decide t cpos =
 
 (* Freeze all hosted involved objects at [cpos] and queue the commit
    point; every object is exactly at [cpos] when this is called. *)
-and park_commit t cpos (c : Record.commit) =
+and park_commit t cpos (c : Record.commit) ~involved =
   Sim.Trace.f "tango" "%s parks commit @%d (reads %d, writes %d)"
     (Sim.Net.host_name (Corfu.Client.host t.cl))
     cpos (List.length c.c_reads) (List.length c.c_writes);
@@ -298,7 +303,7 @@ and park_commit t cpos (c : Record.commit) =
         ho.blocked_on <- Some cpos;
         try_decide t cpos
       end)
-    (involved_hosted t c);
+    involved;
   emit_partials t cpos;
   spawn_decision_watchdog t cpos c
 
@@ -309,7 +314,7 @@ and park_commit t cpos (c : Record.commit) =
 
 (* Streams that carry a transaction's coordination records. *)
 and involved_streams (c : Record.commit) =
-  List.sort_uniq compare
+  List.sort_uniq Int.compare
     (List.map (fun (oid, _, _) -> oid) c.c_reads
     @ List.map (fun (u : Record.update) -> u.u_oid) c.c_writes)
 
@@ -321,7 +326,7 @@ and emit_partials t cpos =
   | None -> ()
   | Some c ->
       let read_oids =
-        List.sort_uniq compare (List.map (fun (oid, _, _) -> oid) c.c_reads)
+        List.sort_uniq Int.compare (List.map (fun (oid, _, _) -> oid) c.c_reads)
       in
       let verdicts =
         List.filter_map
@@ -374,7 +379,7 @@ and maybe_combine t cpos =
     match (c_opt, Hashtbl.find_opt t.partials cpos) with
     | Some c, Some verdicts ->
         let read_oids =
-          List.sort_uniq compare (List.map (fun (oid, _, _) -> oid) c.c_reads)
+          List.sort_uniq Int.compare (List.map (fun (oid, _, _) -> oid) c.c_reads)
         in
         if List.for_all (Hashtbl.mem verdicts) read_oids then begin
           let final = List.for_all (Hashtbl.find verdicts) read_oids in
@@ -415,7 +420,7 @@ and spawn_decision_watchdog t cpos c =
           ~finally:(fun () -> Sim.Resource.release t.play_lock)
           (fun () -> resolve t cpos committed);
         let streams =
-          List.sort_uniq compare (List.map (fun (u : Record.update) -> u.Record.u_oid) c.c_writes)
+          List.sort_uniq Int.compare (List.map (fun (u : Record.update) -> u.Record.u_oid) c.c_writes)
         in
         ignore
           (Batcher.submit t.batcher ~streams
@@ -554,11 +559,14 @@ let eager_outcome t pos (c : Record.commit) =
 
 let () = eager_outcome_ref := eager_outcome
 
-let handle_commit t pos (c : Record.commit) =
+(* [involved] is [involved_hosted t c], computed once by the caller
+   (the playback loop also needs it to decide whether to charge
+   CPU). *)
+let handle_commit t pos ~involved (c : Record.commit) =
   match Hashtbl.find_opt t.decided pos with
   | Some committed -> if committed then List.iter (deliver_update t pos) c.c_writes
   | None -> (
-      List.iter refresh_gap (involved_hosted t c);
+      List.iter refresh_gap involved;
       match eager_outcome t pos c with
       | Some committed ->
           (* Merged-order playback guarantees every hosted view is at
@@ -572,7 +580,7 @@ let handle_commit t pos (c : Record.commit) =
              from everyone. *)
           if c.Record.c_needs_decision && not (Hashtbl.mem t.own_commits pos) then
             publish_decision t pos c committed
-      | None -> park_commit t pos c)
+      | None -> park_commit t pos c ~involved)
 
 let process_entry t off (entry : Corfu.Types.entry) =
   if not (Hashtbl.mem t.processed off) then begin
@@ -581,23 +589,25 @@ let process_entry t off (entry : Corfu.Types.entry) =
     List.iteri
       (fun slot r ->
         let pos = Record.pos ~offset:off ~slot in
-        let touches_hosted =
-          match r with
-          | Record.Update u -> Hashtbl.mem t.objects u.Record.u_oid
-          | Record.Commit c -> involved_hosted t c <> []
-          | Record.Decision _ | Record.Partial _ -> true
-          | Record.Checkpoint { k_oid; _ } -> Hashtbl.mem t.objects k_oid
-        in
-        if touches_hosted then charge_apply t;
         match r with
-        | Record.Update u -> deliver_update t pos u
-        | Record.Commit c -> handle_commit t pos c
-        | Record.Decision { d_target; d_committed } -> resolve t d_target d_committed
-        | Record.Partial { p_target; p_verdicts } -> note_partials t p_target p_verdicts
+        | Record.Update u ->
+            if Hashtbl.mem t.objects u.Record.u_oid then charge_apply t;
+            deliver_update t pos u
+        | Record.Commit c ->
+            let involved = involved_hosted t c in
+            if involved <> [] then charge_apply t;
+            handle_commit t pos ~involved c
+        | Record.Decision { d_target; d_committed } ->
+            charge_apply t;
+            resolve t d_target d_committed
+        | Record.Partial { p_target; p_verdicts } ->
+            charge_apply t;
+            note_partials t p_target p_verdicts
         | Record.Checkpoint { k_oid; k_base; k_data } -> (
             match Hashtbl.find_opt t.objects k_oid with
             | None -> ()
             | Some ho ->
+                charge_apply t;
                 refresh_gap ho;
                 if ho.blocked_on <> None then
                   Queue.add (pos, Apply_checkpoint { base = k_base; data = k_data }) ho.waiting
@@ -662,7 +672,7 @@ let obj_settled ho = ho.blocked_on = None && Queue.is_empty ho.waiting
 (* Bring [ho]'s view up to the log tail (bounded by [upto]) and wait
    out any undecided commits freezing it. *)
 let linearizable_sync t ?upto ho =
-  let rec attempt () =
+  let rec attempt backoff =
     let tail = sync_all t in
     let bound = match upto with Some u -> min u tail | None -> tail in
     play_to t bound;
@@ -670,11 +680,11 @@ let linearizable_sync t ?upto ho =
     else begin
       (* Frozen behind an undecided commit whose decision record lies
          beyond [bound]; keep consuming until it resolves. *)
-      Sim.Engine.sleep 200.;
-      attempt ()
+      Sim.Engine.sleep backoff;
+      attempt (Float.min (2. *. backoff) t.retry_backoff_max_us)
     end
   in
-  attempt ()
+  attempt t.retry_sleep_us
 
 (* ------------------------------------------------------------------ *)
 (* Public object-facing API                                           *)
@@ -804,14 +814,17 @@ let in_tx t = current_tx t <> None
 let check_reads t reads =
   List.for_all (fun (oid, key, recorded) -> version_of t ~oid ?key () <= recorded) reads
 
-let rec await_decided t pos =
-  match Hashtbl.find_opt t.decided pos with
-  | Some o -> o
-  | None ->
-      Sim.Engine.sleep 200.;
-      let tail = sync_all t in
-      play_to t tail;
-      await_decided t pos
+let await_decided t pos =
+  let rec wait backoff =
+    match Hashtbl.find_opt t.decided pos with
+    | Some o -> o
+    | None ->
+        Sim.Engine.sleep backoff;
+        let tail = sync_all t in
+        play_to t tail;
+        wait (Float.min (2. *. backoff) t.retry_backoff_max_us)
+  in
+  wait t.retry_sleep_us
 
 let read_objects_settled t reads =
   List.for_all
@@ -831,7 +844,7 @@ let await_decided_scanning t cpos (c : Record.commit) =
      the deterministic reconstruction (same as the consumer-side
      watchdog). *)
   let deadline = Sim.Engine.now () +. t.decision_timeout_us in
-  let rec loop () =
+  let rec loop backoff =
     match Hashtbl.find_opt t.decided cpos with
     | Some outcome -> outcome
     | None ->
@@ -854,7 +867,7 @@ let await_decided_scanning t cpos (c : Record.commit) =
               consume ()
         in
         consume ();
-        if Hashtbl.mem t.decided cpos then loop ()
+        if Hashtbl.mem t.decided cpos then loop backoff
         else if Sim.Engine.now () > deadline then begin
           let outcome = reconstruct_outcome t cpos c in
           resolve t cpos outcome;
@@ -862,11 +875,11 @@ let await_decided_scanning t cpos (c : Record.commit) =
           outcome
         end
         else begin
-          Sim.Engine.sleep 300.;
-          loop ()
+          Sim.Engine.sleep backoff;
+          loop (Float.min (2. *. backoff) t.retry_backoff_max_us)
         end
   in
-  loop ()
+  loop t.retry_sleep_us
 
 let end_tx ?(stale = false) t =
   charge_dispatch t;
@@ -887,22 +900,22 @@ let end_tx ?(stale = false) t =
          sequencer round trip when the system is quiet, §3.2). *)
       if stale then finish (if check_reads t reads then Committed else Aborted)
       else begin
-        let rec settle () =
+        let rec settle backoff =
           let tail = sync_all t in
           play_to t tail;
           if read_objects_settled t reads then ()
           else begin
-            Sim.Engine.sleep 200.;
-            settle ()
+            Sim.Engine.sleep backoff;
+            settle (Float.min (2. *. backoff) t.retry_backoff_max_us)
           end
         in
-        settle ();
+        settle t.retry_sleep_us;
         finish (if check_reads t reads then Committed else Aborted)
       end
   | reads, writes ->
       let collaborative = ctx.tx_remote_reads && reads <> [] in
       let wstreams =
-        List.sort_uniq compare (List.map (fun (u : Record.update) -> u.Record.u_oid) writes)
+        List.sort_uniq Int.compare (List.map (fun (u : Record.update) -> u.Record.u_oid) writes)
       in
       let needs_decision =
         collaborative
@@ -918,7 +931,7 @@ let end_tx ?(stale = false) t =
          every read-set host can publish its partial verdict. *)
       let streams =
         if collaborative then
-          List.sort_uniq compare (wstreams @ List.map (fun (oid, _, _) -> oid) reads)
+          List.sort_uniq Int.compare (wstreams @ List.map (fun (oid, _, _) -> oid) reads)
         else wstreams
       in
       let cpos = Batcher.submit t.batcher ~streams (Record.Commit commit) in
@@ -957,7 +970,7 @@ let end_tx ?(stale = false) t =
                 | None -> (
                     match eager_outcome t cpos commit with
                     | Some outcome -> Hashtbl.replace t.decided cpos outcome
-                    | None -> park_commit t cpos commit));
+                    | None -> park_commit t cpos commit ~involved:(involved_hosted t commit)));
             await_decided t cpos
           end
         end
@@ -1004,4 +1017,32 @@ let trim_below t off =
 let applied_records t = t.stats_applied
 let commits t = t.stats_commits
 let aborts t = t.stats_aborts
-let append_stats t = (Batcher.entries_appended t.batcher, Batcher.records_submitted t.batcher)
+
+type append_stats = {
+  as_entries : int;
+  as_records : int;
+  as_inflight : int;
+  as_inflight_peak : int;
+  as_grants : int;
+  as_granted_entries : int;
+  as_cache_hits : int;
+  as_cache_misses : int;
+}
+
+let append_stats t =
+  let hits, misses =
+    Hashtbl.fold
+      (fun _ ho (h, m) ->
+        (h + Corfu.Stream.cache_hits ho.stream, m + Corfu.Stream.cache_misses ho.stream))
+      t.objects (0, 0)
+  in
+  {
+    as_entries = Batcher.entries_appended t.batcher;
+    as_records = Batcher.records_submitted t.batcher;
+    as_inflight = Batcher.inflight t.batcher;
+    as_inflight_peak = Batcher.inflight_peak t.batcher;
+    as_grants = Batcher.grants t.batcher;
+    as_granted_entries = Batcher.granted_entries t.batcher;
+    as_cache_hits = hits;
+    as_cache_misses = misses;
+  }

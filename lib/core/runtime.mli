@@ -189,6 +189,18 @@ val applied_records : t -> int
 val commits : t -> int
 val aborts : t -> int
 
-(** Entries appended / records submitted by this runtime (batching
-    ratio). *)
-val append_stats : t -> int * int
+(** Counters for the append pipeline and playback cache. *)
+type append_stats = {
+  as_entries : int;  (** log entries appended *)
+  as_records : int;  (** records submitted ([as_records / as_entries] is the batching ratio) *)
+  as_inflight : int;  (** entries in flight right now *)
+  as_inflight_peak : int;  (** high-water mark of concurrent chain writes *)
+  as_grants : int;  (** sequencer range grants taken *)
+  as_granted_entries : int;
+      (** entries allocated through grants; [/ as_grants] is the mean
+          grant occupancy *)
+  as_cache_hits : int;  (** playback lookups served from the entry cache *)
+  as_cache_misses : int;  (** playback lookups that went to the log *)
+}
+
+val append_stats : t -> append_stats

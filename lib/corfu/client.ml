@@ -134,6 +134,88 @@ let rec append t ~streams payload =
           append t ~streams payload)
 
 (* ------------------------------------------------------------------ *)
+(* Range grants: windowed appends                                     *)
+(* ------------------------------------------------------------------ *)
+
+type grant = {
+  g_base : Types.offset;
+  g_count : int;
+  g_streams : Types.stream_id list;
+  g_tails : (Types.stream_id * Types.offset list) list;
+      (* per-stream last-K as of the grant, i.e. excluding the grant *)
+}
+
+let rec reserve t ~streams ~count =
+  if count < 1 then invalid_arg "Client.reserve: count must be >= 1";
+  let resp =
+    Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+      (Sequencer.increment_service t.proj.Projection.sequencer)
+      { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = count }
+  in
+  match resp with
+  | Sequencer.Seq_sealed _ ->
+      refresh t;
+      reserve t ~streams ~count
+  | Sequencer.Seq_ok { base; stream_tails } ->
+      { g_base = base; g_count = count; g_streams = streams; g_tails = stream_tails }
+
+(* Backpointers for offset [g_base + index]: the grant's earlier
+   offsets (all on every granted stream, newest first) followed by the
+   per-stream tails from before the grant, truncated to K. Keeps every
+   stream's chain exactly walkable even though the grant's entries are
+   written concurrently. *)
+let grant_headers t g ~index off =
+  let k = t.p.backpointer_k in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  let earlier = List.init index (fun j -> off - 1 - j) in
+  Stream_header.encode_block ~k ~current:off
+    (List.map
+       (fun sid ->
+         let prior = match List.assoc_opt sid g.g_tails with Some l -> l | None -> [] in
+         { Stream_header.stream = sid; backptrs = take k (earlier @ prior) })
+       g.g_streams)
+
+let rec write_granted t g ~index payload =
+  if index < 0 || index >= g.g_count then invalid_arg "Client.write_granted: index out of range";
+  let off = g.g_base + index in
+  let entry = { Types.headers = grant_headers t g ~index off; payload } in
+  match write_chain t off (Types.Data entry) with
+  | Chain_ok ->
+      cache_insert t off entry;
+      note_own_append t ~streams:g.g_streams off;
+      off
+  | Chain_lost _ ->
+      (* The granted offset was filled (we blew the hole timeout).
+         The junked slot breaks nothing: stream readers treat offsets
+         the sequencer issued but that carry no header as junk and
+         scan backward. Land the payload at a fresh offset. *)
+      append t ~streams:g.g_streams payload
+  | Chain_sealed ->
+      refresh t;
+      write_granted t g ~index payload
+
+let append_range t ~streams payloads =
+  match payloads with
+  | [] -> []
+  | _ ->
+      let n = List.length payloads in
+      let g = reserve t ~streams ~count:n in
+      let results = Array.make n (-1) in
+      let remaining = ref n in
+      let all_done = Sim.Ivar.create () in
+      (* Overlapped chain writes: offset n+1 hits the chain head while
+         n is still propagating down-chain. *)
+      List.iteri
+        (fun i payload ->
+          Sim.Engine.spawn (fun () ->
+              results.(i) <- write_granted t g ~index:i payload;
+              decr remaining;
+              if !remaining = 0 then Sim.Ivar.fill all_done ()))
+        payloads;
+      Sim.Ivar.read all_done;
+      Array.to_list results
+
+(* ------------------------------------------------------------------ *)
 (* Reads                                                              *)
 (* ------------------------------------------------------------------ *)
 

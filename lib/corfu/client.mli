@@ -36,6 +36,44 @@ val refresh : t -> unit
     got filled) also retries with a fresh offset. *)
 val append : t -> streams:Types.stream_id list -> bytes -> Types.offset
 
+(** {2 Range grants}
+
+    One sequencer RPC can reserve a {e range} of consecutive offsets
+    (§6.1's append window): the client then drives the chain writes
+    for the granted offsets concurrently, so offset [n+1] reaches the
+    chain head while [n] is still propagating down-chain. The
+    sequencer records every granted offset on every requested stream,
+    and {!write_granted} builds each entry's headers by chaining
+    through the grant's earlier offsets — streams stay exactly
+    walkable. *)
+
+type grant = {
+  g_base : Types.offset;  (** first granted offset *)
+  g_count : int;  (** grant size *)
+  g_streams : Types.stream_id list;
+  g_tails : (Types.stream_id * Types.offset list) list;
+      (** per-stream last-K as of the grant, excluding the grant *)
+}
+
+(** [reserve t ~streams ~count] reserves [count] consecutive offsets
+    on [streams] in one sequencer RPC. Retries transparently on seal.
+    Raises [Invalid_argument] when [count < 1]. *)
+val reserve : t -> streams:Types.stream_id list -> count:int -> grant
+
+(** [write_granted t g ~index payload] writes [payload] at granted
+    offset [g.g_base + index] with exact backpointer headers. Returns
+    the offset the payload actually landed at: normally the granted
+    one, but if the granted slot was hole-filled before the write
+    reached the head (client stalled past the fill timeout), the
+    payload is re-appended at a fresh offset. Safe to call
+    concurrently for distinct indices of one grant. *)
+val write_granted : t -> grant -> index:int -> bytes -> Types.offset
+
+(** [append_range t ~streams payloads] reserves one grant covering all
+    [payloads] and writes them with overlapping chain writes. Returns
+    the landed offsets in payload order. *)
+val append_range : t -> streams:Types.stream_id list -> bytes list -> Types.offset list
+
 (** [append_probing t ~streams payload] appends {e without the
     sequencer} (§2.2: "the system can run without a sequencer, at much
     reduced throughput, by having clients probe for the location of

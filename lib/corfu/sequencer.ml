@@ -40,11 +40,19 @@ let handle_increment t { iepoch; istreams; icount } =
   if iepoch < t.epoch then Seq_sealed t.epoch
   else begin
     let base = t.tail in
+    let count = max 1 icount in
     let stream_tails = List.map (fun sid -> (sid, last_k t sid)) istreams in
-    t.tail <- t.tail + max 1 icount;
-    (* Batched allocations (icount > 1) are only used streamless, so
-       recording just [base] per stream is exact for the normal path. *)
-    List.iter (fun sid -> record_issue t sid base) istreams;
+    t.tail <- t.tail + count;
+    (* A range grant allocates [base .. base+count-1] on every
+       requested stream; record them all so later backpointer state
+       stays exact (the grantee writes each entry's header chaining
+       through the earlier offsets of the same grant). *)
+    List.iter
+      (fun sid ->
+        for i = 0 to count - 1 do
+          record_issue t sid (base + i)
+        done)
+      istreams;
     Seq_ok { base; stream_tails }
   end
 

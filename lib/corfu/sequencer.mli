@@ -15,7 +15,9 @@ type t
 type increment_request = {
   iepoch : Types.epoch;
   istreams : Types.stream_id list;
-  icount : int;  (** offsets to allocate; >1 only for streamless batched allocation *)
+  icount : int;
+      (** offsets to allocate in one RPC (a {e range grant}); every
+          issued offset is recorded on every requested stream *)
 }
 
 type peek_request = { pepoch : Types.epoch; pstreams : Types.stream_id list }

@@ -7,6 +7,10 @@ type t = {
   mutable horizon : Types.offset;  (* membership complete below this *)
   mutable sync_read_count : int;
   mutable trim_gap : bool;  (* reclaimed history was skipped *)
+  mutable prefetch_window : int;  (* adapts between params bounds *)
+  mutable hit_run : int;  (* consecutive cache hits since last miss *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let attach cl sid =
@@ -19,6 +23,10 @@ let attach cl sid =
     horizon = 0;
     sync_read_count = 0;
     trim_gap = false;
+    prefetch_window = (Client.params cl).Sim.Params.prefetch_min;
+    hit_run = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let id t = t.sid
@@ -27,6 +35,9 @@ let append t payload = Client.append t.cl ~streams:[ t.sid ] payload
 let pending t = t.len - t.cursor
 let discovered t = t.len
 let sync_reads t = t.sync_read_count
+let prefetch_window t = t.prefetch_window
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
 let has_trim_gap t = t.trim_gap
 let clear_trim_gap t = t.trim_gap <- false
 
@@ -35,7 +46,7 @@ let known_max t = if t.len > 0 then t.offsets.(t.len - 1) else -1
 let push_members t members =
   (* [members] is the set of newly discovered offsets, any order. *)
   let arr = Array.of_list members in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   let n = Array.length arr in
   if n > 0 then begin
     if t.len + n > Array.length t.offsets then begin
@@ -47,22 +58,44 @@ let push_members t members =
     t.len <- t.len + n
   end
 
+(* The prefetch window adapts to the observed cache miss rate: a miss
+   means the fixed lookahead was not deep enough to hide the log's
+   read latency, so the window doubles (up to [prefetch_max]); a long
+   run of hits — 4 windows' worth — means the cache is absorbing the
+   read stream comfortably, so it halves back toward
+   [prefetch_min]. *)
+let note_hit t =
+  t.cache_hits <- t.cache_hits + 1;
+  t.hit_run <- t.hit_run + 1;
+  let floor = (Client.params t.cl).Sim.Params.prefetch_min in
+  if t.hit_run >= 4 * t.prefetch_window && t.prefetch_window > floor then begin
+    t.prefetch_window <- max floor (t.prefetch_window / 2);
+    t.hit_run <- 0
+  end
+
+let note_miss t =
+  t.cache_misses <- t.cache_misses + 1;
+  t.hit_run <- 0;
+  let cap = (Client.params t.cl).Sim.Params.prefetch_max in
+  if t.prefetch_window < cap then t.prefetch_window <- min cap (2 * t.prefetch_window)
+
 (* Fetch the entry at [off] through the client-wide cache, resolving
    holes (blocking with backoff, then filling). *)
 let resolve t off =
   match Client.cached t.cl off with
-  | Some e -> Client.Data e
+  | Some e ->
+      note_hit t;
+      Client.Data e
   | None ->
+      note_miss t;
       t.sync_read_count <- t.sync_read_count + 1;
       Client.read_shared t.cl off
 
 (* Playback pipelining: before blocking on the entry at index [idx],
    launch fetches for the next window of member offsets so log reads
    overlap instead of paying one round trip each. *)
-let prefetch_window = 16
-
 let prefetch_from t idx =
-  let stop = min t.len (idx + prefetch_window) in
+  let stop = min t.len (idx + t.prefetch_window) in
   for i = idx to stop - 1 do
     Client.prefetch t.cl t.offsets.(i)
   done

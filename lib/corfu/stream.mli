@@ -64,6 +64,17 @@ val discovered : t -> int
     ablation: ≈ N/K plus junk-scan penalties). *)
 val sync_reads : t -> int
 
+(** Current playback prefetch depth. Starts at
+    {!Sim.Params.t.prefetch_min}, doubles on a cache miss up to
+    [prefetch_max], and halves back after a long run of hits. *)
+val prefetch_window : t -> int
+
+(** Entry lookups served from the client cache. *)
+val cache_hits : t -> int
+
+(** Entry lookups that went to the log. *)
+val cache_misses : t -> int
+
 (** [has_trim_gap t]: the stream skipped reclaimed (trimmed) history,
     so the consumer's view is incomplete until a checkpoint covering
     the gap is applied. {!clear_trim_gap} acknowledges the repair. *)

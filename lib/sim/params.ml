@@ -14,6 +14,11 @@ type t = {
   backpointer_k : int;
   max_streams_per_entry : int;
   fill_timeout_us : float;
+  append_window : int;
+  prefetch_min : int;
+  prefetch_max : int;
+  retry_sleep_us : float;
+  retry_backoff_max_us : float;
 }
 
 (* Derivations (see DESIGN.md §1):
@@ -51,6 +56,11 @@ let default =
     backpointer_k = 4;
     max_streams_per_entry = 16;
     fill_timeout_us = 100_000.;
+    append_window = 8;
+    prefetch_min = 16;
+    prefetch_max = 64;
+    retry_sleep_us = 200.;
+    retry_backoff_max_us = 1_600.;
   }
 
 let replica_sets_of_servers n =

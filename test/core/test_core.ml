@@ -228,6 +228,98 @@ let test_batcher_linger_flushes_partial () =
       check_int "one entry" 1 (Batcher.entries_appended b);
       check_bool "waited for linger" true (Sim.Engine.now () >= 50.))
 
+let test_batcher_deep_window_ordering () =
+  (* With a deep append window, many entries fly concurrently — yet
+     the positions handed back must stay consistent with log order
+     (monotone in submit order) because the drainer serializes offset
+     allocation. *)
+  with_cluster (fun cluster ->
+      let cl = Corfu.Cluster.new_client cluster ~name:"app" in
+      let b = Batcher.create ~client:cl ~batch_size:1 ~append_window:8 () in
+      let n = 32 in
+      let positions = Array.make n (-1) in
+      for i = 0 to n - 1 do
+        Sim.Engine.spawn (fun () ->
+            positions.(i) <-
+              Batcher.submit b ~streams:[ 1 ]
+                (Record.Update { Record.u_oid = 1; u_key = None; u_data = Reg.encode i }))
+      done;
+      Sim.Engine.sleep 100_000.;
+      Array.iteri
+        (fun i p -> check_bool (Printf.sprintf "submit %d landed" i) true (p >= 0))
+        positions;
+      for i = 1 to n - 1 do
+        check_bool
+          (Printf.sprintf "position of submit %d above submit %d" i (i - 1))
+          true
+          (positions.(i) > positions.(i - 1))
+      done;
+      check_bool "chain writes overlapped" true (Batcher.inflight_peak b > 1);
+      check_int "window respected as peak" 8 (Batcher.inflight_peak b);
+      check_int "pipeline drained" 0 (Batcher.inflight b);
+      check_int "one entry per record" n (Batcher.entries_appended b);
+      check_int "every entry through a grant" n (Batcher.granted_entries b);
+      check_bool
+        (Printf.sprintf "grants (%d) amortize sequencer RPCs" (Batcher.grants b))
+        true
+        (Batcher.grants b <= n / 2))
+
+let test_pipelined_writes_linearizable () =
+  (* The paper's §3.1 claim must survive the pipelined append path:
+     concurrent writers on one view, a reader on another, and the
+     observed history checked against a sequential register. *)
+  with_cluster (fun cluster ->
+      let rt1 = runtime ~batch_size:1 cluster "writer" in
+      let rt2 = runtime cluster "reader" in
+      let r1 = Reg.attach rt1 ~oid:1 in
+      let r2 = Reg.attach rt2 ~oid:1 in
+      let events = ref [] in
+      let record op started =
+        events :=
+          { Tango_harness.Linearizability.started; finished = Sim.Engine.now (); op }
+          :: !events
+      in
+      for w = 0 to 3 do
+        Sim.Engine.spawn (fun () ->
+            for i = 1 to 3 do
+              let v = (w * 3) + i in
+              let started = Sim.Engine.now () in
+              Reg.write r1 v;
+              record (Tango_harness.Linearizability.Write v) started
+            done)
+      done;
+      Sim.Engine.spawn (fun () ->
+          for _ = 1 to 12 do
+            let started = Sim.Engine.now () in
+            let v = Reg.read r2 in
+            record (Tango_harness.Linearizability.Read v) started;
+            Sim.Engine.sleep 500.
+          done);
+      Sim.Engine.sleep 200_000.;
+      check_int "all ops finished" 24 (List.length !events);
+      check_bool "history linearizable" true
+        (Tango_harness.Linearizability.check_register !events))
+
+let test_pipelined_append_determinism () =
+  (* Two runs with the same seed must produce byte-identical stats:
+     the pipelined path only uses deterministic simulation
+     primitives. *)
+  let run () =
+    Sim.Engine.run ~seed:42 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:4 () in
+        let rt = runtime ~batch_size:2 cluster "app" in
+        let r = Reg.attach rt ~oid:1 in
+        for w = 0 to 7 do
+          Sim.Engine.spawn (fun () ->
+              for i = 0 to 9 do
+                Reg.write r ((w * 100) + i)
+              done)
+        done;
+        Sim.Engine.sleep 100_000.;
+        (Runtime.append_stats rt, Reg.read r))
+  in
+  check_bool "same seed, identical stats and value" true (run () = run ())
+
 (* ------------------------------------------------------------------ *)
 (* Replication basics (Figure 8 semantics)                            *)
 (* ------------------------------------------------------------------ *)
@@ -317,9 +409,12 @@ let test_batching_ratio () =
             done)
       done;
       Sim.Engine.sleep 100_000.;
-      let entries, records = Runtime.append_stats rt in
-      check_int "records" 40 records;
-      check_bool (Printf.sprintf "entries %d well under records" entries) true (entries <= 25))
+      let stats = Runtime.append_stats rt in
+      check_int "records" 40 stats.Runtime.as_records;
+      check_bool
+        (Printf.sprintf "entries %d well under records" stats.Runtime.as_entries)
+        true
+        (stats.Runtime.as_entries <= 25))
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                       *)
@@ -781,6 +876,12 @@ let () =
         [
           Alcotest.test_case "fills batches" `Quick test_batcher_fills_batches;
           Alcotest.test_case "linger flushes partial" `Quick test_batcher_linger_flushes_partial;
+          Alcotest.test_case "deep window keeps log order" `Quick
+            test_batcher_deep_window_ordering;
+          Alcotest.test_case "pipelined writes linearizable" `Quick
+            test_pipelined_writes_linearizable;
+          Alcotest.test_case "pipelined appends deterministic" `Quick
+            test_pipelined_append_determinism;
         ] );
       ( "replication",
         [

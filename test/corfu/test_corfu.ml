@@ -289,6 +289,28 @@ let test_sequencer_batched_allocation () =
       check_int "skipped batch" 4 b.Sequencer.base;
       check_int "tail" 5 (Sequencer.current_tail seq))
 
+let test_sequencer_range_grant_records_streams () =
+  (* A multi-offset grant must record every granted offset on every
+     requested stream, so later backpointer state stays exact. *)
+  with_sequencer (fun seq incr peek _ ->
+      let g = alloc (incr ~count:3 [ 7; 8 ]) in
+      check_int "grant base" 0 g.Sequencer.base;
+      Alcotest.(check (list int)) "no history yet" [] (List.assoc 7 g.Sequencer.stream_tails);
+      let a = alloc (incr [ 7 ]) in
+      Alcotest.(check (list int)) "all granted offsets on 7" [ 2; 1; 0 ]
+        (List.assoc 7 a.Sequencer.stream_tails);
+      let b = alloc (incr [ 8 ]) in
+      Alcotest.(check (list int)) "offset 3 went to 7 only" [ 2; 1; 0 ]
+        (List.assoc 8 b.Sequencer.stream_tails);
+      let c = alloc (incr ~count:2 [ 7 ]) in
+      check_int "grants stay consecutive" 5 c.Sequencer.base;
+      Alcotest.(check (list int)) "truncated to K" [ 3; 2; 1; 0 ]
+        (List.assoc 7 c.Sequencer.stream_tails);
+      let p = alloc (peek [ 7 ]) in
+      Alcotest.(check (list int)) "second grant recorded, newest first" [ 6; 5; 3; 2 ]
+        (List.assoc 7 p.Sequencer.stream_tails);
+      check_int "tail" 7 (Sequencer.current_tail seq))
+
 let test_sequencer_seal () =
   with_sequencer (fun seq incr _ me ->
       ignore (incr []);
@@ -621,6 +643,47 @@ let test_stream_sync_reads_stride_k () =
         (reads <= (n / 4) + 2);
       check_int "membership complete" n (Stream.pending sr))
 
+let test_append_range_visible_in_order () =
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let payloads = List.init 5 (fun i -> payload (Printf.sprintf "r%d" i)) in
+      let offs = Client.append_range w ~streams:[ 1; 2 ] payloads in
+      Alcotest.(check (list int)) "granted offsets, payload order" [ 0; 1; 2; 3; 4 ] offs;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let expect = List.mapi (fun i o -> (o, Printf.sprintf "r%d" i)) offs in
+      List.iter
+        (fun sid ->
+          let s = Stream.attach r sid in
+          ignore (Stream.sync s);
+          Alcotest.(check (list (pair int string)))
+            (Printf.sprintf "stream %d sees the range in order" sid)
+            expect (drain s))
+        [ 1; 2 ])
+
+let test_append_range_chains_stay_strided () =
+  (* Entries written through grants carry exact backpointers, so a
+     fresh reader still builds membership in ~N/K reads. *)
+  with_cluster (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let n = 32 in
+      for b = 0 to (n / 4) - 1 do
+        ignore
+          (Client.append_range w ~streams:[ 3 ]
+             (List.init 4 (fun i -> payload (string_of_int ((b * 4) + i)))))
+      done;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 3 in
+      ignore (Stream.sync sr);
+      let reads = Stream.sync_reads sr in
+      check_bool
+        (Printf.sprintf "stride reads %d for %d granted entries" reads n)
+        true
+        (reads <= (n / 4) + 2);
+      Alcotest.(check (list string))
+        "exact membership, log order"
+        (List.init n string_of_int)
+        (List.map snd (drain sr)))
+
 let test_stream_hole_is_filled_and_skipped () =
   with_cluster (fun cluster ->
       let w = Cluster.new_client cluster ~name:"writer" in
@@ -918,6 +981,8 @@ let () =
           Alcotest.test_case "stream backpointers" `Quick test_sequencer_stream_backpointers;
           Alcotest.test_case "peek does not advance" `Quick test_sequencer_peek_does_not_advance;
           Alcotest.test_case "batched allocation" `Quick test_sequencer_batched_allocation;
+          Alcotest.test_case "range grant records streams" `Quick
+            test_sequencer_range_grant_records_streams;
           Alcotest.test_case "seal" `Quick test_sequencer_seal;
           Alcotest.test_case "seeded state" `Quick test_sequencer_seeded_state;
           Alcotest.test_case "throughput cap" `Slow test_sequencer_throughput_cap;
@@ -949,6 +1014,10 @@ let () =
           Alcotest.test_case "incremental sync" `Quick test_stream_incremental_sync;
           Alcotest.test_case "reader on another client" `Quick test_stream_reader_on_other_client;
           Alcotest.test_case "sync strides K" `Quick test_stream_sync_reads_stride_k;
+          Alcotest.test_case "append_range visible in order" `Quick
+            test_append_range_visible_in_order;
+          Alcotest.test_case "append_range chains stay strided" `Quick
+            test_append_range_chains_stay_strided;
           Alcotest.test_case "hole filled and skipped" `Quick test_stream_hole_is_filled_and_skipped;
           Alcotest.test_case "junk breaks stride, scan recovers" `Quick
             test_stream_junk_breaks_stride_then_scan;
