@@ -14,6 +14,9 @@ type t = {
          backpointers when appending without the sequencer *)
   mutable cache_floor : Types.offset;
   mutable cache_high : Types.offset;  (* highest cached offset *)
+  rpc_failures : Sim.Stats.Counter.t;
+      (* storage RPCs that timed out or hit a dead node; the
+         availability reports read this as "failed ops" *)
 }
 
 and read_ivar = read_outcome Sim.Ivar.t
@@ -48,28 +51,40 @@ let create ~host ~aux ~params =
     probe_tails = Hashtbl.create 16;
     cache_floor = 0;
     cache_high = -1;
+    rpc_failures = Sim.Stats.Counter.create ~name:"client.rpc-failures" ();
   }
 
 let host t = t.client_host
 let params t = t.p
 let projection t = t.proj
+let rpc_failures t = Sim.Stats.Counter.count t.rpc_failures
+
+let note_failure t = Sim.Stats.Counter.incr t.rpc_failures
 
 let refresh t =
   t.proj <- Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
       (Auxiliary.latest_service t.aux) ();
-  Sim.Trace.f "corfu" "%s adopted projection epoch %d"
-    (Sim.Net.host_name t.client_host) t.proj.Projection.epoch
+  Sim.Trace.f ~host:(Sim.Net.host_name t.client_host) "corfu" "adopted projection epoch %d"
+    t.proj.Projection.epoch
 
 (* ------------------------------------------------------------------ *)
 (* Chain replication, client-driven                                   *)
 (* ------------------------------------------------------------------ *)
 
-type chain_write = Chain_ok | Chain_lost of Types.cell | Chain_sealed
+type chain_write = Chain_ok | Chain_lost of Types.cell | Chain_sealed | Chain_down
 
 (* Write [cell] through the chain for global offset [off], head first.
    A mid-chain write-once conflict is benign: it means a concurrent
    filler saw our data at the head and is completing the very same
-   write down the chain (or another filler raced us with junk). *)
+   write down the chain (or another filler raced us with junk).
+
+   Finding our {e own} entry already stored — recognized by physical
+   equality, which survives fills and rebuild copies because the
+   simulator never serializes entries — is equally benign at any
+   position, including the head: it means an earlier attempt of this
+   very write got through (e.g. the response was lost, or a
+   reconfiguration copied it) and we must keep completing the chain
+   rather than declare the slot lost and append a duplicate. *)
 let write_chain t off cell =
   let set = Projection.replica_set t.proj off in
   let loff = Projection.local_offset t.proj off in
@@ -78,17 +93,31 @@ let write_chain t off cell =
     if i >= Array.length set then Chain_ok
     else
       let resp =
-        Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+        Sim.Net.call_r ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes
+          ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
           (Storage_node.write_service set.(i))
           req
       in
       match resp with
-      | Types.Write_ok -> go (i + 1)
-      | Types.Already_written winner -> if i = 0 then Chain_lost winner else go (i + 1)
-      | Types.Sealed_at _ -> Chain_sealed
-      | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+      | Error _ ->
+          note_failure t;
+          Chain_down
+      | Ok Types.Write_ok -> go (i + 1)
+      | Ok (Types.Already_written winner) -> (
+          match (winner, cell) with
+          | Types.Data stored, Types.Data mine when stored == mine -> go (i + 1)
+          | _ -> if i = 0 then Chain_lost winner else go (i + 1))
+      | Ok (Types.Sealed_at _) -> Chain_sealed
+      | Ok Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
   in
   go 0
+
+(* Back off, learn the current projection, and grow the next backoff:
+   the shared shape of every ride-through-reconfiguration retry. *)
+let down_retry t backoff =
+  Sim.Engine.sleep backoff;
+  refresh t;
+  Float.min (backoff *. 2.) t.p.retry_backoff_max_us
 
 (* Remember our own appends per stream so probing appends (below) can
    chain onto them if the sequencer disappears. *)
@@ -110,7 +139,7 @@ let rec append t ~streams payload =
   | Sequencer.Seq_sealed _ ->
       refresh t;
       append t ~streams payload
-  | Sequencer.Seq_ok { base = off; stream_tails } -> (
+  | Sequencer.Seq_ok { base = off; stream_tails } ->
       let headers =
         Stream_header.encode_block ~k:t.p.backpointer_k ~current:off
           (List.map
@@ -118,20 +147,37 @@ let rec append t ~streams payload =
              stream_tails)
       in
       let entry = { Types.headers; payload } in
-      match write_chain t off (Types.Data entry) with
-      | Chain_ok ->
-          (* Our own playback will want this entry next; save the
-             round trip. *)
-          cache_insert t off entry;
-          note_own_append t ~streams off;
-          off
-      | Chain_lost _ ->
-          (* Our offset was filled before we reached the head (we were
-             slow past the hole timeout). Grab a fresh offset. *)
-          append t ~streams payload
-      | Chain_sealed ->
-          refresh t;
-          append t ~streams payload)
+      append_at t ~streams ~payload off entry
+
+(* Drive one entry's chain write to a decision. A sealed or unreachable
+   chain retries the {e same} offset under the refreshed projection:
+   the offset is still ours (reconfigurations that keep the sequencer
+   preserve the allocation, and a sequencer swap hands it out again
+   only if we never wrote it — in which case the write-once race picks
+   one winner). Only a genuine loss of the slot (someone filled it)
+   moves the payload to a fresh offset; retrying with a fresh offset on
+   seal, as we used to, could commit the entry twice. *)
+and append_at t ~streams ~payload off entry =
+  let rec attempt backoff =
+    match write_chain t off (Types.Data entry) with
+    | Chain_ok ->
+        (* Our own playback will want this entry next; save the round
+           trip. *)
+        cache_insert t off entry;
+        note_own_append t ~streams off;
+        off
+    | Chain_lost _ ->
+        (* Our offset was filled before we reached the head (we were
+           slow past the hole timeout). Grab a fresh offset. *)
+        append t ~streams payload
+    | Chain_sealed ->
+        refresh t;
+        attempt backoff
+    | Chain_down ->
+        let backoff = down_retry t backoff in
+        attempt backoff
+  in
+  attempt t.p.retry_sleep_us
 
 (* ------------------------------------------------------------------ *)
 (* Range grants: windowed appends                                     *)
@@ -175,24 +221,30 @@ let grant_headers t g ~index off =
          { Stream_header.stream = sid; backptrs = take k (earlier @ prior) })
        g.g_streams)
 
-let rec write_granted t g ~index payload =
+let write_granted t g ~index payload =
   if index < 0 || index >= g.g_count then invalid_arg "Client.write_granted: index out of range";
   let off = g.g_base + index in
   let entry = { Types.headers = grant_headers t g ~index off; payload } in
-  match write_chain t off (Types.Data entry) with
-  | Chain_ok ->
-      cache_insert t off entry;
-      note_own_append t ~streams:g.g_streams off;
-      off
-  | Chain_lost _ ->
-      (* The granted offset was filled (we blew the hole timeout).
-         The junked slot breaks nothing: stream readers treat offsets
-         the sequencer issued but that carry no header as junk and
-         scan backward. Land the payload at a fresh offset. *)
-      append t ~streams:g.g_streams payload
-  | Chain_sealed ->
-      refresh t;
-      write_granted t g ~index payload
+  let rec attempt backoff =
+    match write_chain t off (Types.Data entry) with
+    | Chain_ok ->
+        cache_insert t off entry;
+        note_own_append t ~streams:g.g_streams off;
+        off
+    | Chain_lost _ ->
+        (* The granted offset was filled (we blew the hole timeout).
+           The junked slot breaks nothing: stream readers treat offsets
+           the sequencer issued but that carry no header as junk and
+           scan backward. Land the payload at a fresh offset. *)
+        append t ~streams:g.g_streams payload
+    | Chain_sealed ->
+        refresh t;
+        attempt backoff
+    | Chain_down ->
+        let backoff = down_retry t backoff in
+        attempt backoff
+  in
+  attempt t.p.retry_sleep_us
 
 let append_range t ~streams payloads =
   match payloads with
@@ -221,34 +273,57 @@ let append_range t ~streams payloads =
 
 let read_replica t node off =
   let loff = Projection.local_offset t.proj off in
-  Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes ~from:t.client_host
+  Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+    ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
     (Storage_node.read_service node)
     { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff }
 
 let rec read t off =
   let set = Projection.replica_set t.proj off in
-  let pick = Sim.Rng.int t.rng (Array.length set) in
-  match read_replica t set.(pick) off with
-  | Types.Read_data e -> Data e
-  | Types.Read_junk -> Junk
-  | Types.Read_trimmed -> Trimmed
-  | Types.Read_sealed _ ->
+  let n = Array.length set in
+  let start = Sim.Rng.int t.rng n in
+  (* Walk the replicas starting from a random one; a dead replica is
+     skipped, and only when every member is unreachable do we wait for
+     reconfiguration to produce a live chain. *)
+  let rec try_replica step =
+    if step >= n then begin
+      Sim.Engine.sleep t.p.retry_sleep_us;
       refresh t;
       read t off
-  | Types.Read_unwritten -> (
-      (* The random replica may simply not have seen the write yet;
-         the chain tail is authoritative for committed entries. *)
-      let tail_idx = Array.length set - 1 in
-      if pick = tail_idx then Unwritten
-      else
-        match read_replica t set.(tail_idx) off with
-        | Types.Read_data e -> Data e
-        | Types.Read_junk -> Junk
-        | Types.Read_trimmed -> Trimmed
-        | Types.Read_unwritten -> Unwritten
-        | Types.Read_sealed _ ->
-            refresh t;
-            read t off)
+    end
+    else
+      let i = (start + step) mod n in
+      match read_replica t set.(i) off with
+      | Error _ ->
+          note_failure t;
+          try_replica (step + 1)
+      | Ok (Types.Read_data e) -> Data e
+      | Ok Types.Read_junk -> Junk
+      | Ok Types.Read_trimmed -> Trimmed
+      | Ok (Types.Read_sealed _) ->
+          refresh t;
+          read t off
+      | Ok Types.Read_unwritten -> (
+          (* The replica may simply not have seen the write yet; the
+             chain tail is authoritative for committed entries. *)
+          if i = n - 1 then Unwritten
+          else
+            match read_replica t set.(n - 1) off with
+            | Error _ ->
+                (* Tail unreachable: report unwritten and let the
+                   caller's poll/fill policy sort it out after the
+                   chain is repaired. *)
+                note_failure t;
+                Unwritten
+            | Ok (Types.Read_data e) -> Data e
+            | Ok Types.Read_junk -> Junk
+            | Ok Types.Read_trimmed -> Trimmed
+            | Ok Types.Read_unwritten -> Unwritten
+            | Ok (Types.Read_sealed _) ->
+                refresh t;
+                read t off)
+  in
+  try_replica 0
 
 (* ------------------------------------------------------------------ *)
 (* Checks                                                             *)
@@ -274,10 +349,24 @@ let check_slow t =
   let locals =
     Array.init nsets (fun set ->
         (* The head is written first, so it carries the highest local
-           tail of the chain. *)
-        let head = proj.Projection.replica_sets.(set).(0) in
-        Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-          (Storage_node.tail_service head) ())
+           tail of the chain; a dead member falls back to the next one
+           (whose tail is a lower bound — safe, the probing append's
+           write-once race absorbs an under-estimate). *)
+        let chain = proj.Projection.replica_sets.(set) in
+        let rec probe i =
+          if i >= Array.length chain then -1
+          else
+            match
+              Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes
+                ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
+                (Storage_node.tail_service chain.(i)) ()
+            with
+            | Ok tail -> tail
+            | Error _ ->
+                note_failure t;
+                probe (i + 1)
+        in
+        probe 0)
   in
   Projection.global_tail_from_locals proj locals
 
@@ -309,6 +398,10 @@ let append_probing t ~streams payload =
     | Chain_sealed ->
         refresh t;
         attempt guess
+    | Chain_down ->
+        Sim.Engine.sleep t.p.retry_sleep_us;
+        refresh t;
+        attempt guess
   in
   attempt (check_slow t)
 
@@ -316,42 +409,67 @@ let append_probing t ~streams payload =
 (* Fill and trim                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let rec fill t off =
-  let set = Projection.replica_set t.proj off in
-  let loff = Projection.local_offset t.proj off in
-  let write_rest cell i0 =
-    let req = { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell } in
-    let rec go i sealed =
-      if i >= Array.length set then sealed
-      else
-        match
-          Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-            (Storage_node.write_service set.(i))
-            req
-        with
-        | Types.Write_ok | Types.Already_written _ -> go (i + 1) sealed
-        | Types.Sealed_at _ -> go (i + 1) true
-        | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+let fill t off =
+  let rec attempt backoff =
+    let set = Projection.replica_set t.proj off in
+    let loff = Projection.local_offset t.proj off in
+    let wr cell i =
+      Sim.Net.call_r ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes
+        ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
+        (Storage_node.write_service set.(i))
+        { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell }
     in
-    go i0 false
+    (* Returns (hit a seal, replicas this fill actually wrote). An
+       unreachable mid-chain replica is skipped: the next fill (or the
+       recovery copy) completes it. *)
+    let write_rest cell i0 =
+      let rec go i sealed repaired =
+        if i >= Array.length set then (sealed, repaired)
+        else
+          match wr cell i with
+          | Error _ ->
+              note_failure t;
+              go (i + 1) sealed repaired
+          | Ok Types.Write_ok -> go (i + 1) sealed (repaired + 1)
+          | Ok (Types.Already_written _) -> go (i + 1) sealed repaired
+          | Ok (Types.Sealed_at _) -> go (i + 1) true repaired
+          | Ok Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+      in
+      go i0 false 0
+    in
+    match wr Types.Junk 0 with
+    | Error _ ->
+        note_failure t;
+        let backoff = down_retry t backoff in
+        attempt backoff
+    | Ok head_resp -> (
+        Sim.Trace.f ~host:(Sim.Net.host_name t.client_host) "corfu" "filling hole at %d" off;
+        match head_resp with
+        | Types.Write_ok | Types.Already_written Types.Junk ->
+            let sealed, _ = write_rest Types.Junk 1 in
+            if sealed then begin
+              refresh t;
+              attempt backoff
+            end
+            else Filled
+        | Types.Already_written (Types.Data e) ->
+            (* Data at the head: either a torn append to complete down
+               the chain, or a fully replicated write we merely lost
+               the race against. *)
+            let sealed, repaired = write_rest (Types.Data e) 1 in
+            if sealed then begin
+              refresh t;
+              attempt backoff
+            end
+            else if repaired > 0 then Fill_completed e
+            else Fill_lost e
+        | Types.Already_written (Types.Trimmed | Types.Unwritten) -> Filled
+        | Types.Sealed_at _ ->
+            refresh t;
+            attempt backoff
+        | Types.Out_of_space -> failwith "CORFU: log capacity exhausted")
   in
-  let head_resp =
-    Sim.Net.call ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-      (Storage_node.write_service set.(0))
-      { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = Types.Junk }
-  in
-  Sim.Trace.f "corfu" "%s filling hole at %d" (Sim.Net.host_name t.client_host) off;
-  match head_resp with
-  | Types.Write_ok | Types.Already_written Types.Junk ->
-      if write_rest Types.Junk 1 then begin refresh t; fill t off end else Filled
-  | Types.Already_written (Types.Data e) ->
-      (* A torn append: complete the winner's data down the chain. *)
-      if write_rest (Types.Data e) 1 then begin refresh t; fill t off end else Fill_completed e
-  | Types.Already_written (Types.Trimmed | Types.Unwritten) -> Filled
-  | Types.Sealed_at _ ->
-      refresh t;
-      fill t off
-  | Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
+  attempt t.p.retry_sleep_us
 
 (* Resolve an offset that the sequencer has already allocated: poll
    with backoff while a writer may be in flight, then patch the hole. *)

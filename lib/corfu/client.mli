@@ -15,6 +15,11 @@ type t
     fill that found and repaired a torn append. *)
 type read_outcome = Data of Types.entry | Junk | Trimmed | Unwritten
 
+(** Result of a {!fill}: [Filled] patched the hole with junk;
+    [Fill_completed e] found a torn append's data at the chain head and
+    wrote it onto at least one replica that was missing it;
+    [Fill_lost e] found the data already on every reachable replica —
+    the filler lost the race against the writer and changed nothing. *)
 type fill_outcome = Filled | Fill_completed of Types.entry | Fill_lost of Types.entry
 
 val create : host:Sim.Net.host -> aux:Auxiliary.t -> params:Sim.Params.t -> t
@@ -135,6 +140,11 @@ val peek_streams : t -> Types.stream_id list -> Types.offset * (Types.stream_id 
 
     The streaming layer fetches each entry once and caches it (§4.1);
     the cache lives here so multiple streams on one client share it. *)
+
+(** Storage RPCs that timed out or found a dead node since creation —
+    the client-visible failure count during fault scenarios. Retries
+    are transparent, so this is observability, not an error report. *)
+val rpc_failures : t -> int
 
 val cached : t -> Types.offset -> Types.entry option
 val cache_put : t -> Types.offset -> Types.entry -> unit

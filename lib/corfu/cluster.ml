@@ -1,3 +1,13 @@
+type recovery = {
+  rec_epoch : Types.epoch;
+  rec_dead : string;
+  rec_spare : string;
+  rec_started_us : float;
+  rec_installed_us : float;
+  rec_copied_entries : int;
+  rec_copied_bytes : int;
+}
+
 type t = {
   cluster_net : Sim.Net.t;
   p : Sim.Params.t;
@@ -6,6 +16,8 @@ type t = {
   reconfig_host : Sim.Net.host;
   mutable sequencer_count : int;
   mutable rebuild_scan : int;
+  mutable spare_count : int;
+  mutable recoveries : recovery list;  (* newest first *)
 }
 
 let make_projection ~epoch ~chain_length nodes sequencer =
@@ -30,7 +42,17 @@ let create ?(params = Sim.Params.default) ?(chain_length = 2) ~servers () =
   let initial = make_projection ~epoch:0 ~chain_length nodes sequencer in
   let aux = Auxiliary.create ~net:cluster_net ~initial in
   let reconfig_host = Sim.Net.add_host cluster_net "reconfig-agent" in
-  { cluster_net; p = params; nodes; aux; reconfig_host; sequencer_count = 1; rebuild_scan = 0 }
+  {
+    cluster_net;
+    p = params;
+    nodes;
+    aux;
+    reconfig_host;
+    sequencer_count = 1;
+    rebuild_scan = 0;
+    spare_count = 0;
+    recoveries = [];
+  }
 
 let params t = t.p
 let net t = t.cluster_net
@@ -172,3 +194,202 @@ let replace_sequencer t =
   | Auxiliary.Installed -> ()
   | Auxiliary.Conflict _ -> failwith "Cluster.replace_sequencer: concurrent reconfiguration");
   epoch
+
+(* ------------------------------------------------------------------ *)
+(* Storage-node replacement (§2.2 reconfiguration)                    *)
+(* ------------------------------------------------------------------ *)
+
+let recoveries t = List.rev t.recoveries
+
+let replace_storage_node ?(copy_window = 16) t ~dead =
+  let started = Sim.Engine.now () in
+  let old_proj = Auxiliary.latest t.aux in
+  let epoch = old_proj.Projection.epoch + 1 in
+  (* Locate the dead member's chain slot. *)
+  let set_idx, pos =
+    let found = ref None in
+    Array.iteri
+      (fun s chain ->
+        Array.iteri (fun i node -> if node == dead then found := Some (s, i)) chain)
+      old_proj.Projection.replica_sets;
+    match !found with
+    | Some loc -> loc
+    | None -> invalid_arg "Cluster.replace_storage_node: node not in the current projection"
+  in
+  Sim.Trace.f ~host:(Storage_node.name dead) "reconfig" "replacing chain member %d of set %d at epoch %d"
+    pos set_idx epoch;
+  (* 1. Seal the sequencer at the new epoch. It stays in the next
+     projection — storage replacement does not lose allocation state —
+     so this only forces every client through a projection refresh,
+     closing the old epoch before the membership changes. *)
+  Sim.Net.call ~from:t.reconfig_host (Sequencer.seal_service old_proj.Projection.sequencer) epoch;
+  (* 2. Seal every storage node, collecting each survivor's local
+     tail. The dead node gets a short-deadline attempt: if the monitor
+     was wrong and it still answers, sealing it prevents stale-epoch
+     clients from completing chains through it. *)
+  let tails = Hashtbl.create 16 in
+  Array.iter
+    (fun chain ->
+      Array.iter
+        (fun node ->
+          let timeout_us = if node == dead then 10_000. else t.p.rpc_timeout_us in
+          match
+            Sim.Net.call_r ~timeout_us ~from:t.reconfig_host (Storage_node.seal_service node)
+              epoch
+          with
+          | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
+          | Error _ -> ())
+        chain)
+    old_proj.Projection.replica_sets;
+  (* 3. Bring up the spare, pre-sealed at the new epoch. *)
+  let spare_name = Printf.sprintf "storage-spare-%d" t.spare_count in
+  t.spare_count <- t.spare_count + 1;
+  let spare = Storage_node.create ~net:t.cluster_net ~name:spare_name ~params:t.p () in
+  ignore (Sim.Net.call ~from:t.reconfig_host (Storage_node.seal_service spare) epoch : Types.offset);
+  (* 4. Copy the surviving prefix onto the spare, [copy_window] local
+     offsets in flight so the rebuild is bounded by SSD bandwidth, not
+     round trips. The head-most survivor is authoritative: anything
+     acknowledged to a client reached it before the seal. Data present
+     only on the dead node (a torn append's head when the head died) is
+     unrecoverable, exactly like a replica loss on the real system —
+     the slot reads as unwritten and gets hole-filled. *)
+  let survivor =
+    let chain = old_proj.Projection.replica_sets.(set_idx) in
+    let rec first i =
+      if i >= Array.length chain then None
+      else if chain.(i) != dead && Hashtbl.mem tails (Storage_node.name chain.(i)) then
+        Some chain.(i)
+      else first (i + 1)
+    in
+    first 0
+  in
+  let copied_entries = ref 0 in
+  let copied_bytes = ref 0 in
+  (match survivor with
+  | None -> Sim.Trace.f "reconfig" "set %d has no surviving replica: spare starts empty" set_idx
+  | Some src ->
+      let src_tail =
+        match Hashtbl.find_opt tails (Storage_node.name src) with Some tl -> tl | None -> -1
+      in
+      let copy_one loff =
+        match
+          Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+            ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host (Storage_node.read_service src)
+            { Storage_node.repoch = epoch; roffset = loff }
+        with
+        | Error _ | Ok (Types.Read_sealed _) ->
+            () (* survivor unreachable: the next monitor round handles it *)
+        | Ok Types.Read_unwritten -> ()
+        | Ok (Types.Read_trimmed) ->
+            ignore
+              (Sim.Net.call_r ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+                 (Storage_node.trim_service spare)
+                 { Storage_node.repoch = epoch; roffset = loff }
+                : (unit, Sim.Net.rpc_error) result)
+        | Ok (Types.Read_data e) -> (
+            match
+              Sim.Net.call_r ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes
+                ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+                (Storage_node.write_service spare)
+                { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Data e }
+            with
+            | Ok Types.Write_ok ->
+                incr copied_entries;
+                copied_bytes := !copied_bytes + t.p.entry_bytes
+            | Ok _ | Error _ -> ())
+        | Ok Types.Read_junk -> (
+            match
+              Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes
+                ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+                (Storage_node.write_service spare)
+                { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Junk }
+            with
+            | Ok Types.Write_ok ->
+                incr copied_entries;
+                copied_bytes := !copied_bytes + t.p.rpc_bytes
+            | Ok _ | Error _ -> ())
+      in
+      if src_tail >= 0 then begin
+        let workers = min copy_window (src_tail + 1) in
+        let remaining = ref workers in
+        let all_done = Sim.Ivar.create () in
+        for w = 0 to workers - 1 do
+          Sim.Engine.spawn (fun () ->
+              let loff = ref w in
+              while !loff <= src_tail do
+                copy_one !loff;
+                loff := !loff + workers
+              done;
+              decr remaining;
+              if !remaining = 0 then Sim.Ivar.fill all_done ())
+        done;
+        Sim.Ivar.read all_done
+      end);
+  (* 5. Substitute the spare into the membership and install the new
+     view. A single reconfiguration agent runs at a time, so a
+     conflict is a bug. *)
+  (let slot = ref (-1) in
+   Array.iteri (fun j n -> if n == dead then slot := j) t.nodes;
+   if !slot < 0 then invalid_arg "Cluster.replace_storage_node: node not in the cluster";
+   t.nodes.(!slot) <- spare);
+  let chain_length = Array.length old_proj.Projection.replica_sets.(0) in
+  let proj = make_projection ~epoch ~chain_length t.nodes old_proj.Projection.sequencer in
+  (match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
+  | Auxiliary.Installed -> ()
+  | Auxiliary.Conflict _ -> failwith "Cluster.replace_storage_node: concurrent reconfiguration");
+  let installed = Sim.Engine.now () in
+  t.recoveries <-
+    {
+      rec_epoch = epoch;
+      rec_dead = Storage_node.name dead;
+      rec_spare = spare_name;
+      rec_started_us = started;
+      rec_installed_us = installed;
+      rec_copied_entries = !copied_entries;
+      rec_copied_bytes = !copied_bytes;
+    }
+    :: t.recoveries;
+  Sim.Trace.f ~host:spare_name "reconfig"
+    "epoch %d installed: %s -> %s, copied %d cells (%d bytes) in %.0f us" epoch
+    (Storage_node.name dead) spare_name !copied_entries !copied_bytes (installed -. started);
+  epoch
+
+(* ------------------------------------------------------------------ *)
+(* Failure monitor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let start_failure_monitor ?(probe_interval_us = 20_000.) ?(probe_timeout_us = 10_000.) t =
+  Sim.Engine.spawn (fun () ->
+      let probe epoch node =
+        match
+          Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+            ~timeout_us:probe_timeout_us ~from:t.reconfig_host (Storage_node.read_service node)
+            { Storage_node.repoch = epoch; roffset = 0 }
+        with
+        | Ok _ -> true (* any answer, even a sealed error, proves liveness *)
+        | Error _ -> false
+      in
+      let rec loop () =
+        Sim.Engine.sleep probe_interval_us;
+        let proj = Auxiliary.latest t.aux in
+        let epoch = proj.Projection.epoch in
+        (* Scan the current membership; a second probe confirms before
+           declaring death, so one unlucky timeout cannot trigger a
+           reconfiguration. After a replacement the projection is
+           stale, so stop this round and rescan. *)
+        let members =
+          List.concat_map Array.to_list (Array.to_list proj.Projection.replica_sets)
+        in
+        let rec scan = function
+          | [] -> ()
+          | node :: rest ->
+              if probe epoch node || probe epoch node then scan rest
+              else begin
+                Sim.Trace.f ~host:(Storage_node.name node) "monitor" "no response to two probes: declared dead";
+                ignore (replace_storage_node t ~dead:node : Types.epoch)
+              end
+        in
+        scan members;
+        loop ()
+      in
+      loop ())

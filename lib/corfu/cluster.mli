@@ -45,3 +45,44 @@ val start_checkpoint_scribe : t -> interval_us:float -> unit
 
 (** Entries read by the most recent {!replace_sequencer} rebuild. *)
 val last_rebuild_scan : t -> int
+
+(** {2 Storage-node failure recovery (§2.2)} *)
+
+(** [replace_storage_node t ~dead] swaps a failed chain member for a
+    freshly provisioned spare: seal the sequencer and every storage
+    node at the next epoch (the sequencer survives — allocation state
+    is not lost), copy the head-most surviving replica's prefix onto
+    the spare ([copy_window] cells in flight, default 16), substitute
+    the spare into the dead member's chain slot, and install the new
+    projection. Clients ride through on sealed errors and retry their
+    in-flight offsets under the new view. Returns the new epoch.
+
+    Data that reached {e only} the dead node (the head of a torn
+    append) is unrecoverable and resolves as a hole, matching the
+    real system's failure model.
+    @raise Invalid_argument if [dead] is not in the current
+    projection. *)
+val replace_storage_node : ?copy_window:int -> t -> dead:Storage_node.t -> Types.epoch
+
+(** One completed storage-node recovery, for availability reports. *)
+type recovery = {
+  rec_epoch : Types.epoch;
+  rec_dead : string;
+  rec_spare : string;
+  rec_started_us : float;  (** seal began *)
+  rec_installed_us : float;  (** new projection accepted *)
+  rec_copied_entries : int;  (** cells copied onto the spare *)
+  rec_copied_bytes : int;  (** rebuild volume *)
+}
+
+(** Completed recoveries, oldest first. *)
+val recoveries : t -> recovery list
+
+(** [start_failure_monitor t] spawns the detector fiber: every
+    [probe_interval_us] (default 20 ms) it probes each chain member of
+    the current projection with a [probe_timeout_us]-bounded read
+    (default 10 ms); a member failing two consecutive probes is
+    declared dead and replaced via {!replace_storage_node}. A sealed
+    answer counts as alive, so the monitor never fires on
+    reconfiguration itself. *)
+val start_failure_monitor : ?probe_interval_us:float -> ?probe_timeout_us:float -> t -> unit

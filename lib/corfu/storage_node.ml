@@ -99,6 +99,7 @@ let create ~net ~name ~(params : Sim.Params.t) ?(capacity_entries = max_int) () 
 
 let name t = t.node_name
 let host t = t.node_host
+let ssd t = t.ssd
 let write_service t = t.write_svc
 let read_service t = t.read_svc
 let trim_service t = t.trim_svc

@@ -23,6 +23,12 @@ val create : net:Sim.Net.t -> name:string -> params:Sim.Params.t -> ?capacity_en
 val name : t -> string
 val host : t -> Sim.Net.host
 
+(** The node's simulated flash device. Exposed so fault plans can fail
+    it ({!Sim.Resource.fail} via a {!Sim.Fault.Custom} action): reads
+    and writes then raise into their RPCs, which the failure monitor
+    sees as a dead member. *)
+val ssd : t -> Sim.Resource.t
+
 (** {2 RPC endpoints} — fields, so clients embed them in projections. *)
 
 (** Write-once write of data or junk at a local offset. Writing junk

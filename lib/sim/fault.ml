@@ -1,0 +1,118 @@
+type verdict = Deliver of float | Drop
+
+type action =
+  | Crash of string
+  | Restart of string
+  | Partition of string list list
+  | Heal
+  | Degrade of { d_src : string; d_dst : string; d_drop : float; d_delay_us : float; d_jitter_us : float }
+  | Clear_edge of string * string
+  | Custom of string * (unit -> unit)
+
+type event = { ev_time : float; ev_label : string }
+
+type edge = { e_drop : float; e_delay_us : float; e_jitter_us : float }
+
+type t = {
+  frng : Rng.t;
+  crashed : (string, unit) Hashtbl.t;
+  mutable components : string list list;  (* [] = fully connected *)
+  edges : (string * string, edge) Hashtbl.t;
+  mutable log : event list;  (* newest first *)
+}
+
+let create ?(seed = 0) () =
+  {
+    frng = Rng.create seed;
+    crashed = Hashtbl.create 8;
+    components = [];
+    edges = Hashtbl.create 8;
+    log = [];
+  }
+
+let is_crashed t h = Hashtbl.mem t.crashed h
+
+(* Hosts absent from every component share one implicit component, so a
+   partition plan only has to name the minority side. *)
+let component_of t h =
+  let rec go i = function
+    | [] -> -1
+    | c :: rest -> if List.mem h c then i else go (i + 1) rest
+  in
+  go 0 t.components
+
+let partitioned t a b =
+  match t.components with [] -> false | _ -> component_of t a <> component_of t b
+
+let edge_rule t src dst =
+  match Hashtbl.find_opt t.edges (src, dst) with
+  | Some e -> Some e
+  | None -> (
+      match Hashtbl.find_opt t.edges (src, "*") with
+      | Some e -> Some e
+      | None -> (
+          match Hashtbl.find_opt t.edges ("*", dst) with
+          | Some e -> Some e
+          | None -> Hashtbl.find_opt t.edges ("*", "*")))
+
+(* One verdict per message direction. The controller's own rng is drawn
+   only when a matching edge rule needs randomness, so an installed but
+   quiescent controller perturbs nothing. *)
+let judge t ~src ~dst =
+  if is_crashed t src || is_crashed t dst then Drop
+  else if partitioned t src dst then Drop
+  else
+    match edge_rule t src dst with
+    | None -> Deliver 0.
+    | Some e ->
+        if e.e_drop > 0. && Rng.bool t.frng e.e_drop then Drop
+        else if e.e_jitter_us > 0. then Deliver (e.e_delay_us +. Rng.float t.frng e.e_jitter_us)
+        else Deliver e.e_delay_us
+
+let label = function
+  | Crash h -> "crash " ^ h
+  | Restart h -> "restart " ^ h
+  | Partition cs -> "partition " ^ String.concat " | " (List.map (String.concat ",") cs)
+  | Heal -> "heal"
+  | Degrade { d_src; d_dst; d_drop; d_delay_us; d_jitter_us } ->
+      Printf.sprintf "degrade %s->%s drop=%.3f delay=%.0f+%.0fus" d_src d_dst d_drop d_delay_us
+        d_jitter_us
+  | Clear_edge (s, d) -> Printf.sprintf "clear-edge %s->%s" s d
+  | Custom (name, _) -> name
+
+let host_of = function
+  | Crash h | Restart h -> Some h
+  | Degrade { d_src; _ } -> Some d_src
+  | Partition _ | Heal | Clear_edge _ | Custom _ -> None
+
+let apply t action =
+  (match action with
+  | Crash h -> Hashtbl.replace t.crashed h ()
+  | Restart h -> Hashtbl.remove t.crashed h
+  | Partition cs -> t.components <- cs
+  | Heal -> t.components <- []
+  | Degrade { d_src; d_dst; d_drop; d_delay_us; d_jitter_us } ->
+      Hashtbl.replace t.edges (d_src, d_dst)
+        { e_drop = d_drop; e_delay_us = d_delay_us; e_jitter_us = d_jitter_us }
+  | Clear_edge (s, d) -> Hashtbl.remove t.edges (s, d)
+  | Custom (_, run) -> run ());
+  let what = label action in
+  t.log <- { ev_time = Engine.now (); ev_label = what } :: t.log;
+  Trace.f ?host:(host_of action) "fault" "%s" what
+
+let crash t h = apply t (Crash h)
+let restart t h = apply t (Restart h)
+let partition t cs = apply t (Partition cs)
+let heal t = apply t Heal
+
+let degrade t ~src ~dst ?(drop = 0.) ?(delay_us = 0.) ?(jitter_us = 0.) () =
+  apply t (Degrade { d_src = src; d_dst = dst; d_drop = drop; d_delay_us = delay_us; d_jitter_us = jitter_us })
+
+let clear_edge t ~src ~dst = apply t (Clear_edge (src, dst))
+
+let schedule t ~at action =
+  Engine.schedule ~after:(Float.max 0. (at -. Engine.now ())) (fun () -> apply t action)
+
+let plan t actions = List.iter (fun (at, action) -> schedule t ~at action) actions
+
+let events t = List.rev t.log

@@ -1,0 +1,86 @@
+(** Deterministic fault injection.
+
+    A fault controller is attached to a {!Net} fabric (see
+    {!Net.install_fault}) and consulted once per message direction. It
+    can crash and restart hosts (by name), partition the network into
+    components and heal it, and degrade selected edges with
+    probabilistic drops and extra delay — which also reorders
+    fire-and-forget casts, since each delivery sleeps independently.
+    SSD-style resource failures compose through {!Custom} actions
+    wrapping {!Resource.fail}.
+
+    {b Determinism contract.} The controller owns a private
+    {!Rng.t} seeded at {!create} — independent of the simulation
+    world's generator — and draws from it only when a matching edge
+    rule actually needs randomness. Consequences: (1) installing a
+    controller with no active faults leaves a simulation's event
+    sequence byte-identical to a run without one; (2) the same seed and
+    fault plan reproduce the same trace on every run. Fault actions are
+    scheduled as virtual-time events ({!schedule}, {!plan}), so a whole
+    fault scenario is a pure function of (world seed, fault seed,
+    plan). *)
+
+type t
+
+(** A message verdict: deliver after an extra delay (µs, usually 0), or
+    silently drop. *)
+type verdict = Deliver of float | Drop
+
+type action =
+  | Crash of string  (** host by name: NICs and services go dead *)
+  | Restart of string
+  | Partition of string list list
+      (** connectivity components; hosts absent from every listed
+          component share one implicit component *)
+  | Heal  (** remove the partition *)
+  | Degrade of { d_src : string; d_dst : string; d_drop : float; d_delay_us : float; d_jitter_us : float }
+      (** per-edge drop probability and extra delay; ["*"] matches any
+          host *)
+  | Clear_edge of string * string
+  | Custom of string * (unit -> unit)
+      (** escape hatch for faults outside the network (e.g. failing an
+          SSD {!Resource.t}); the thunk runs at the scheduled time and
+          must not suspend *)
+
+(** [create ?seed ()] makes an idle controller (nothing crashed, no
+    partition, no degraded edges). [seed] (default 0) seeds the
+    controller's private generator. *)
+val create : ?seed:int -> unit -> t
+
+(** {2 Immediate faults} *)
+
+val crash : t -> string -> unit
+val restart : t -> string -> unit
+val is_crashed : t -> string -> bool
+val partition : t -> string list list -> unit
+val heal : t -> unit
+
+val degrade :
+  t -> src:string -> dst:string -> ?drop:float -> ?delay_us:float -> ?jitter_us:float -> unit -> unit
+
+val clear_edge : t -> src:string -> dst:string -> unit
+
+(** [apply t action] executes one action now, logging it to the event
+    list and the trace. *)
+val apply : t -> action -> unit
+
+(** {2 Scheduled plans} *)
+
+(** [schedule t ~at action] applies [action] at absolute virtual time
+    [at] (clamped to now). *)
+val schedule : t -> at:float -> action -> unit
+
+(** [plan t actions] schedules a whole fault scenario. *)
+val plan : t -> (float * action) list -> unit
+
+(** {2 Consultation and audit} *)
+
+(** [judge t ~src ~dst] decides the fate of one message between named
+    hosts. Called by {!Net} for each direction of an RPC. *)
+val judge : t -> src:string -> dst:string -> verdict
+
+type event = { ev_time : float; ev_label : string }
+
+(** Applied actions in chronological order, for correlating faults with
+    recovery metrics. *)
+val events : t -> event list

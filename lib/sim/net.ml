@@ -6,15 +6,26 @@ type host = {
   fabric_latency : float;
   fabric_jitter : float;
   byte_time : float;
+  hfault : Fault.t option ref;  (* shared with the owning fabric *)
 }
 
-type t = { latency : float; jitter : float; byte_time : float }
+type t = {
+  latency : float;
+  jitter : float;
+  byte_time : float;
+  net_fault : Fault.t option ref;
+}
 
 type ('req, 'resp) service = { shost : host; serve : 'req -> 'resp }
 
+type rpc_error = Rpc_timeout | Rpc_dead
+
 let create ~latency ~bandwidth ?(jitter = 0.05) () =
   if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
-  { latency; jitter; byte_time = 1. /. bandwidth }
+  { latency; jitter; byte_time = 1. /. bandwidth; net_fault = ref None }
+
+let install_fault t f = t.net_fault := Some f
+let fault t = !(t.net_fault)
 
 let add_host ?(cores = 8) t name =
   {
@@ -25,6 +36,7 @@ let add_host ?(cores = 8) t name =
     fabric_latency = t.latency;
     fabric_jitter = t.jitter;
     byte_time = t.byte_time;
+    hfault = t.net_fault;
   }
 
 let host_name h = h.hname
@@ -45,24 +57,133 @@ let transfer ~(src : host) ~(dst : host) ~bytes =
   Engine.sleep (propagation src);
   Resource.use dst.nic_in_r wire_time
 
+let crashed fault name = match fault with Some f -> Fault.is_crashed f name | None -> false
+
+(* A message that will never be answered: park the fiber forever. The
+   run discards it when the main fiber finishes (or deadlocks if the
+   main fiber depended on it — which is exactly the hang a real client
+   without timeouts experiences). *)
+let park : unit -> 'a = fun () -> Engine.suspend (fun (_ : 'a Engine.resumer) -> ())
+
 let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
-  if from == svc.shost then svc.serve req
-  else begin
-    transfer ~src:from ~dst:svc.shost ~bytes:req_bytes;
-    let resp = svc.serve req in
-    transfer ~src:svc.shost ~dst:from ~bytes:resp_bytes;
-    resp
-  end
+  match !(from.hfault) with
+  | None ->
+      if from == svc.shost then svc.serve req
+      else begin
+        transfer ~src:from ~dst:svc.shost ~bytes:req_bytes;
+        let resp = svc.serve req in
+        transfer ~src:svc.shost ~dst:from ~bytes:resp_bytes;
+        resp
+      end
+  | Some f ->
+      if Fault.is_crashed f from.hname then park ()
+      else if from == svc.shost then svc.serve req
+      else begin
+        (* The sender always pays serialization: the bytes leave the
+           NIC whether or not they arrive. *)
+        let wire = float_of_int req_bytes *. from.byte_time in
+        Resource.use from.nic_out_r wire;
+        (match Fault.judge f ~src:from.hname ~dst:svc.shost.hname with
+        | Fault.Drop -> park ()
+        | Fault.Deliver extra -> Engine.sleep (propagation from +. extra));
+        if Fault.is_crashed f svc.shost.hname then park ();
+        Resource.use svc.shost.nic_in_r wire;
+        let resp = svc.serve req in
+        if Fault.is_crashed f svc.shost.hname then park ();
+        let wire_r = float_of_int resp_bytes *. svc.shost.byte_time in
+        Resource.use svc.shost.nic_out_r wire_r;
+        (match Fault.judge f ~src:svc.shost.hname ~dst:from.hname with
+        | Fault.Drop -> park ()
+        | Fault.Deliver extra -> Engine.sleep (propagation svc.shost +. extra));
+        Resource.use from.nic_in_r wire_r;
+        resp
+      end
+
+(* The result-typed RPC. Without an installed fault controller this is
+   exactly [call] (same fiber, same event sequence), so fault-free runs
+   stay byte-identical; with one, the exchange runs in a helper fiber
+   and the caller waits for first-of(response, timeout). *)
+let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
+  let fault = !(from.hfault) in
+  match fault with
+  | None -> Ok (call ~req_bytes ~resp_bytes ~from svc req)
+  | Some f ->
+      if crashed fault from.hname then Error Rpc_dead
+      else if from == svc.shost then begin
+        match svc.serve req with
+        | resp -> Ok resp
+        | exception Resource.Failed _ -> Error Rpc_dead
+      end
+      else
+        Engine.suspend (fun resume ->
+            let settled = ref false in
+            let settle r =
+              if not !settled then begin
+                settled := true;
+                resume r
+              end
+            in
+            (match timeout_us with
+            | Some dt -> Engine.schedule ~after:dt (fun () -> settle (Error Rpc_timeout))
+            | None -> ());
+            Engine.spawn (fun () ->
+                try
+                  let wire = float_of_int req_bytes *. from.byte_time in
+                  Resource.use from.nic_out_r wire;
+                  match Fault.judge f ~src:from.hname ~dst:svc.shost.hname with
+                  | Fault.Drop -> ()
+                  | Fault.Deliver extra ->
+                      Engine.sleep (propagation from +. extra);
+                      if Fault.is_crashed f svc.shost.hname then ()
+                      else begin
+                        Resource.use svc.shost.nic_in_r wire;
+                        match svc.serve req with
+                        | exception Resource.Failed _ -> ()  (* no response: device gone *)
+                        | resp ->
+                            (* The host may have died while serving: the
+                               response is lost with it. *)
+                            if Fault.is_crashed f svc.shost.hname then ()
+                            else begin
+                              let wire_r = float_of_int resp_bytes *. svc.shost.byte_time in
+                              Resource.use svc.shost.nic_out_r wire_r;
+                              match Fault.judge f ~src:svc.shost.hname ~dst:from.hname with
+                              | Fault.Drop -> ()
+                              | Fault.Deliver extra ->
+                                  Engine.sleep (propagation svc.shost +. extra);
+                                  Resource.use from.nic_in_r wire_r;
+                                  settle (Ok resp)
+                            end
+                      end
+                with Resource.Failed _ -> ()))
 
 let send ?(req_bytes = 64) ~from svc req =
-  if from == svc.shost then Engine.spawn (fun () -> svc.serve req)
-  else begin
-    let wire_time = float_of_int req_bytes *. from.byte_time in
-    Resource.use from.nic_out_r wire_time;
-    Engine.spawn (fun () ->
-        Engine.sleep (propagation from);
-        Resource.use svc.shost.nic_in_r wire_time;
-        svc.serve req)
-  end
+  match !(from.hfault) with
+  | None ->
+      if from == svc.shost then Engine.spawn (fun () -> svc.serve req)
+      else begin
+        let wire_time = float_of_int req_bytes *. from.byte_time in
+        Resource.use from.nic_out_r wire_time;
+        Engine.spawn (fun () ->
+            Engine.sleep (propagation from);
+            Resource.use svc.shost.nic_in_r wire_time;
+            svc.serve req)
+      end
+  | Some f ->
+      if Fault.is_crashed f from.hname then ()
+      else if from == svc.shost then
+        Engine.spawn (fun () -> try svc.serve req with Resource.Failed _ -> ())
+      else begin
+        let wire_time = float_of_int req_bytes *. from.byte_time in
+        Resource.use from.nic_out_r wire_time;
+        match Fault.judge f ~src:from.hname ~dst:svc.shost.hname with
+        | Fault.Drop -> ()
+        | Fault.Deliver extra ->
+            Engine.spawn (fun () ->
+                Engine.sleep (propagation from +. extra);
+                if not (Fault.is_crashed f svc.shost.hname) then begin
+                  Resource.use svc.shost.nic_in_r wire_time;
+                  try svc.serve req with Resource.Failed _ -> ()
+                end)
+      end
 
 let one_way_delay t ~bytes = (2. *. float_of_int bytes *. t.byte_time) +. t.latency

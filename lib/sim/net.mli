@@ -7,7 +7,12 @@
     request/response endpoints; {!call} performs a blocking RPC with
     both directions paying network costs. Handler code runs in the
     calling fiber but charges its costs to the {e server's} resources,
-    so server saturation behaves correctly. *)
+    so server saturation behaves correctly.
+
+    A {!Fault.t} controller can be installed on the fabric; every
+    message direction is then judged by it (crashes, partitions,
+    per-edge drop/delay). {!call_r} is the failure-aware RPC variant
+    returning a [result] instead of hanging. *)
 
 type t
 type host
@@ -36,9 +41,43 @@ val service : host -> name:string -> ('req -> 'resp) -> ('req, 'resp) service
 
 (** [call ~from svc req] performs a blocking RPC. [req_bytes] and
     [resp_bytes] (default 64) size the two messages. Calls between a
-    host and itself skip the network entirely. *)
+    host and itself skip the network entirely.
+
+    Under an installed fault controller, a dropped message or a dead
+    peer makes the call {e hang forever} — the historical footgun this
+    models faithfully. Use {!call_r} anywhere a fault may strike. *)
 val call :
   ?req_bytes:int -> ?resp_bytes:int -> from:host -> ('req, 'resp) service -> 'req -> 'resp
+
+(** Why an RPC failed: the deadline passed with no response, or the
+    failure was evident immediately (caller/callee host crashed, or the
+    servicing device raised {!Resource.Failed} on a loopback call). *)
+type rpc_error = Rpc_timeout | Rpc_dead
+
+(** [call_r ?timeout_us ~from svc req] is {!call} with a failure path:
+    [Error Rpc_timeout] after [timeout_us] with no response (lost
+    request, lost response, dead or partitioned peer, failed device),
+    [Error Rpc_dead] when failure is known immediately. Without
+    [timeout_us] a lost exchange still hangs, like {!call}.
+
+    When no fault controller is installed the exchange runs exactly
+    like {!call} in the calling fiber (and always returns [Ok]), so
+    fault-free simulations are byte-identical with or without the
+    wrapper. *)
+val call_r :
+  ?req_bytes:int ->
+  ?resp_bytes:int ->
+  ?timeout_us:float ->
+  from:host ->
+  ('req, 'resp) service ->
+  'req ->
+  ('resp, rpc_error) result
+
+(** [install_fault t fault] attaches a fault controller to the fabric;
+    all subsequent traffic between this fabric's hosts consults it. *)
+val install_fault : t -> Fault.t -> unit
+
+val fault : t -> Fault.t option
 
 (** [send ~from svc req] is a fire-and-forget cast: the caller pays
     only its own serialization cost; delivery and handling happen in a

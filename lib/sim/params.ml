@@ -19,6 +19,7 @@ type t = {
   prefetch_max : int;
   retry_sleep_us : float;
   retry_backoff_max_us : float;
+  rpc_timeout_us : float;
 }
 
 (* Derivations (see DESIGN.md §1):
@@ -61,6 +62,11 @@ let default =
     prefetch_max = 64;
     retry_sleep_us = 200.;
     retry_backoff_max_us = 1_600.;
+    (* Worst-case queueing on a saturated chain head (64 writers, 80 µs
+       writes) is a few ms; 50 ms leaves an order of magnitude of
+       headroom while still detecting a dead node well inside the
+       100 ms fill timeout. *)
+    rpc_timeout_us = 50_000.;
   }
 
 let replica_sets_of_servers n =

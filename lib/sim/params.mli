@@ -36,6 +36,11 @@ type t = {
       (** initial sleep between undecided-commit / settle retries *)
   retry_backoff_max_us : float;
       (** bound for the exponential backoff on those retries *)
+  rpc_timeout_us : float;
+      (** client-side deadline on storage RPCs before the peer is
+          presumed dead; must exceed the worst queueing delay of a
+          saturated node, or healthy-but-busy servers get declared
+          failed *)
 }
 
 (** The paper-calibrated testbed. *)

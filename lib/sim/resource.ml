@@ -1,15 +1,26 @@
+exception Failed of string
+
 type t = {
   name : string;
   capacity : int;
   mutable in_use : int;
-  waiters : (unit -> unit) Queue.t;
+  waiters : (bool -> unit) Queue.t;  (* resumed with [false] when the station fails *)
   mutable busy_integral : float;
   mutable last_update : float;
+  mutable broken : bool;
 }
 
 let create ~name ~capacity () =
   if capacity < 1 then invalid_arg "Resource.create: capacity must be >= 1";
-  { name; capacity; in_use = 0; waiters = Queue.create (); busy_integral = 0.; last_update = 0. }
+  {
+    name;
+    capacity;
+    in_use = 0;
+    waiters = Queue.create ();
+    busy_integral = 0.;
+    last_update = 0.;
+    broken = false;
+  }
 
 let name t = t.name
 
@@ -19,11 +30,15 @@ let account t =
   t.last_update <- now
 
 let acquire t =
+  if t.broken then raise (Failed t.name);
   if t.in_use < t.capacity && Queue.is_empty t.waiters then begin
     account t;
     t.in_use <- t.in_use + 1
   end
-  else Engine.suspend (fun resume -> Queue.add (fun () -> resume ()) t.waiters)
+  else begin
+    let ok = Engine.suspend (fun resume -> Queue.add resume t.waiters) in
+    if not ok then raise (Failed t.name)
+  end
 
 let release t =
   if t.in_use = 0 then invalid_arg "Resource.release: not held";
@@ -31,7 +46,7 @@ let release t =
   | Some waiter ->
       (* Hand the server straight to the next fiber in line; [in_use]
          stays constant so no accounting boundary is needed. *)
-      waiter ()
+      waiter true
   | None ->
       account t;
       t.in_use <- t.in_use - 1
@@ -39,6 +54,23 @@ let release t =
 let use t dt =
   acquire t;
   Fun.protect ~finally:(fun () -> release t) (fun () -> Engine.sleep dt)
+
+let fail t =
+  if not t.broken then begin
+    t.broken <- true;
+    (* Waiters will never be served: wake them into the failure path. *)
+    let rec drain () =
+      match Queue.take_opt t.waiters with
+      | Some waiter ->
+          waiter false;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+
+let repair t = t.broken <- false
+let failed t = t.broken
 
 let queue_length t = Queue.length t.waiters
 

@@ -8,6 +8,11 @@
 
 type t
 
+(** Raised (with the station's name) by {!acquire}/{!use} when the
+    station has been failed by {!fail}: the hardware behind the queue
+    is gone, so the operation can never complete. *)
+exception Failed of string
+
 (** [create ~name ~capacity ()] makes a station with [capacity]
     parallel servers.
     @raise Invalid_argument if [capacity < 1]. *)
@@ -16,7 +21,9 @@ val create : name:string -> capacity:int -> unit -> t
 val name : t -> string
 
 (** [acquire t] takes one server, waiting in FIFO order if none is
-    free. *)
+    free.
+    @raise Failed if the station is failed (also raised from the wait
+    when {!fail} hits a queued fiber). *)
 val acquire : t -> unit
 
 (** [release t] frees one server, handing it to the longest-waiting
@@ -27,6 +34,18 @@ val release : t -> unit
 (** [use t dt] = acquire, hold for [dt] microseconds, release. This is
     the normal way to charge a cost to the resource. *)
 val use : t -> float -> unit
+
+(** [fail t] breaks the station: subsequent {!acquire}/{!use} raise
+    {!Failed}, and every fiber already queued is woken into that same
+    failure. Holders of in-flight service times finish normally (the
+    request was already on the device). Used by the fault plane to
+    model an SSD dying. *)
+val fail : t -> unit
+
+(** [repair t] puts a failed station back in service. *)
+val repair : t -> unit
+
+val failed : t -> bool
 
 (** [queue_length t] is the number of fibers currently waiting. *)
 val queue_length : t -> int

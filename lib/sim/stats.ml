@@ -58,6 +58,16 @@ module Series = struct
     end
 end
 
+module Counter = struct
+  type t = { cname : string; mutable n : int }
+
+  let create ~name () = { cname = name; n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let count t = t.n
+  let name t = t.cname
+end
+
 module Meter = struct
   type t = { mutable n : int; mutable since : float }
 

@@ -21,6 +21,19 @@ module Series : sig
   val stddev : t -> float
 end
 
+(** A named monotonic counter, for counting discrete incidents (failed
+    RPCs, retries, rebuild entries) that availability reports surface
+    alongside the rate meters. *)
+module Counter : sig
+  type t
+
+  val create : name:string -> unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val count : t -> int
+  val name : t -> string
+end
+
 module Meter : sig
   type t
 

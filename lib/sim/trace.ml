@@ -3,9 +3,38 @@ let state = ref (match Sys.getenv_opt "TANGO_TRACE" with Some ("1" | "true") -> 
 let set_enabled b = state := b
 let enabled () = !state
 
-let f component fmt =
+(* When capturing, lines go to a buffer instead of stderr so a test can
+   compare two runs byte for byte. *)
+let sink : Format.formatter option ref = ref None
+
+let f ?host component fmt =
   if !state then begin
-    Format.eprintf "[%12.1f] %-10s " (Engine.now ()) component;
-    Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) Format.err_formatter fmt
+    let ppf = match !sink with Some p -> p | None -> Format.err_formatter in
+    let clock = try Engine.now () with Invalid_argument _ -> 0. in
+    let fiber = try Engine.fiber_id () with Invalid_argument _ -> -1 in
+    Format.fprintf ppf "[%12.1f] f%-4d %-14s %-10s " clock fiber
+      (match host with Some h -> h | None -> "-")
+      component;
+    Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
   end
   else Format.ifprintf Format.err_formatter fmt
+
+let capture fn =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let saved_state = !state in
+  let saved_sink = !sink in
+  state := true;
+  sink := Some ppf;
+  let restore () =
+    Format.pp_print_flush ppf ();
+    state := saved_state;
+    sink := saved_sink
+  in
+  match fn () with
+  | r ->
+      restore ();
+      (r, Buffer.contents buf)
+  | exception e ->
+      restore ();
+      raise e

@@ -1,11 +1,22 @@
 (** Lightweight simulation tracing.
 
     Disabled by default; set the environment variable [TANGO_TRACE=1]
-    (or call {!set_enabled}) to print one line per event to stderr,
-    prefixed with the virtual timestamp. *)
+    (or call {!set_enabled}) to print one line per event to stderr.
+    Every line carries the virtual timestamp, the emitting fiber's id,
+    and — when the caller passes [?host] — the simulated machine the
+    event belongs to, so injected faults and recovery steps are
+    attributable. *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
-(** [f "component" fmt ...] logs one formatted line when enabled. *)
-val f : string -> ('a, Format.formatter, unit) format -> 'a
+(** [f ?host "component" fmt ...] logs one formatted line when
+    enabled. *)
+val f : ?host:string -> string -> ('a, Format.formatter, unit) format -> 'a
+
+(** [capture fn] runs [fn] with tracing force-enabled and redirected to
+    an in-memory buffer; returns [fn]'s result and the accumulated
+    trace text. Restores the previous tracing state afterwards. This is
+    the determinism probe: two same-seed runs must produce identical
+    capture strings. *)
+val capture : (unit -> 'a) -> 'a * string

@@ -949,6 +949,140 @@ let test_seq_checkpoint_appends_resume () =
         (List.init 20 string_of_int @ [ "after" ])
         (List.map snd (drain s)))
 
+(* ------------------------------------------------------------------ *)
+(* Storage-node failure recovery (§2.2)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Attach a fault controller to the cluster's fabric. *)
+let with_faulty_cluster ?seed ?servers body =
+  with_cluster ?seed ?servers (fun cluster ->
+      let f = Sim.Fault.create () in
+      Sim.Net.install_fault (Cluster.net cluster) f;
+      body cluster f)
+
+let test_recover_replace_storage_node () =
+  with_faulty_cluster (fun cluster f ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 19 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      (* kill the head of replica set 0 (even global offsets) *)
+      let dead = (Cluster.storage_nodes cluster).(0) in
+      Sim.Fault.crash f (Storage_node.name dead);
+      let epoch = Cluster.replace_storage_node cluster ~dead in
+      check_int "epoch bumped" 1 epoch;
+      check_bool "spare substituted" true
+        (Array.exists
+           (fun n -> Storage_node.name n = "storage-spare-0")
+           (Cluster.storage_nodes cluster));
+      (* every acknowledged append survives the replacement *)
+      let r = Cluster.new_client cluster ~name:"reader" in
+      for i = 0 to 19 do
+        match Client.read r i with
+        | Client.Data e -> check_string "payload" (string_of_int i) (payload_str e)
+        | _ -> Alcotest.failf "offset %d lost" i
+      done;
+      (* the sequencer was retained: the tail resumes exactly *)
+      check_int "tail resumes" 20 (Client.append w ~streams:[ 1 ] (payload "after"));
+      match Cluster.recoveries cluster with
+      | [ r ] ->
+          check_string "dead node" "storage-0" r.Cluster.rec_dead;
+          (* set 0 held the even offsets 0..18: ten local cells *)
+          check_int "copied the survivor's prefix" 10 r.Cluster.rec_copied_entries;
+          check_bool "window positive" true (r.Cluster.rec_installed_us > r.Cluster.rec_started_us)
+      | l -> Alcotest.failf "expected one recovery, got %d" (List.length l))
+
+let test_recover_monitor_detects () =
+  with_faulty_cluster (fun cluster f ->
+      Cluster.start_failure_monitor cluster;
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 9 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      Sim.Engine.sleep 100_000.;
+      check_int "no false positives" 0 (List.length (Cluster.recoveries cluster));
+      (* this time kill a chain tail: the copy source is the head *)
+      Sim.Fault.crash f "storage-1";
+      Sim.Engine.sleep 300_000.;
+      (match Cluster.recoveries cluster with
+      | [ r ] -> check_string "detected the dead tail" "storage-1" r.Cluster.rec_dead
+      | l -> Alcotest.failf "expected one recovery, got %d" (List.length l));
+      check_int "append resumes" 10 (Client.append w ~streams:[ 1 ] (payload "x"));
+      let r = Cluster.new_client cluster ~name:"reader" in
+      for i = 0 to 10 do
+        match Client.read r i with
+        | Client.Data _ -> ()
+        | _ -> Alcotest.failf "offset %d lost" i
+      done)
+
+(* An SSD failure is not a crash — the host answers, its device
+   doesn't. The failed resource raises into read/write RPCs, the
+   monitor sees the errors as a dead member, and the same replacement
+   path runs. *)
+let test_recover_ssd_failure () =
+  with_faulty_cluster (fun cluster f ->
+      Cluster.start_failure_monitor cluster;
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 9 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      let victim = (Cluster.storage_nodes cluster).(0) in
+      Sim.Fault.schedule f ~at:20_000.
+        (Sim.Fault.Custom
+           ("fail storage-0.ssd", fun () -> Sim.Resource.fail (Storage_node.ssd victim)));
+      Sim.Engine.sleep 400_000.;
+      (match Cluster.recoveries cluster with
+      | [ r ] -> check_string "replaced the node with the dead device" "storage-0" r.Cluster.rec_dead
+      | l -> Alcotest.failf "expected one recovery, got %d" (List.length l));
+      check_int "append resumes" 10 (Client.append w ~streams:[ 1 ] (payload "x"));
+      let r = Cluster.new_client cluster ~name:"reader" in
+      for i = 0 to 10 do
+        match Client.read r i with
+        | Client.Data _ -> ()
+        | _ -> Alcotest.failf "offset %d lost" i
+      done)
+
+(* The hole-fill race, forced with injected message delay: the writer's
+   link to the chain tail stalls past the fill timeout, so the filler
+   finds the torn append's data at the head and completes it. *)
+let test_fill_completes_torn_append_under_delay () =
+  with_faulty_cluster ~servers:2 (fun cluster f ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let r = Cluster.new_client cluster ~name:"reader" in
+      Sim.Fault.degrade f ~src:"writer" ~dst:"storage-1" ~delay_us:400_000. ();
+      let landed = ref (-1) in
+      Sim.Engine.spawn (fun () -> landed := Client.append w ~streams:[ 1 ] (payload "x"));
+      Sim.Engine.sleep 150_000.;
+      (match Client.fill r 0 with
+      | Client.Fill_completed e -> check_string "completed the torn append" "x" (payload_str e)
+      | Client.Filled -> Alcotest.fail "filler junked data visible at the head"
+      | Client.Fill_lost _ -> Alcotest.fail "the tail cannot have the data yet");
+      Sim.Fault.clear_edge f ~src:"writer" ~dst:"storage-1";
+      Sim.Engine.sleep 500_000.;
+      check_int "writer kept its offset" 0 !landed;
+      check_int "no duplicate allocation" 1 (Client.check r);
+      match Client.read r 0 with
+      | Client.Data e -> check_string "data" "x" (payload_str e)
+      | _ -> Alcotest.fail "offset 0 must hold the data")
+
+(* The same race when the append wins: a short delay slows the chain
+   write but both replicas land before the filler arrives, so the fill
+   changes nothing and reports the loss. *)
+let test_fill_loses_to_slow_append () =
+  with_faulty_cluster ~servers:2 (fun cluster f ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      let r = Cluster.new_client cluster ~name:"reader" in
+      Sim.Fault.degrade f ~src:"writer" ~dst:"*" ~delay_us:5_000. ();
+      let landed = ref (-1) in
+      Sim.Engine.spawn (fun () -> landed := Client.append w ~streams:[ 1 ] (payload "x"));
+      Sim.Engine.sleep 30_000.;
+      (match Client.fill r 0 with
+      | Client.Fill_lost e -> check_string "filler lost cleanly" "x" (payload_str e)
+      | Client.Fill_completed _ -> Alcotest.fail "nothing was left to repair"
+      | Client.Filled -> Alcotest.fail "data must not be junked");
+      check_int "writer unaffected" 0 !landed;
+      check_int "single allocation" 1 (Client.check r))
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1039,6 +1173,15 @@ let () =
         [
           Alcotest.test_case "replace sequencer" `Quick test_reconfig_replaces_sequencer;
           Alcotest.test_case "reconfig under load" `Quick test_reconfig_under_load;
+        ] );
+      ( "fault-recovery",
+        [
+          Alcotest.test_case "replace storage node" `Quick test_recover_replace_storage_node;
+          Alcotest.test_case "monitor detects and replaces" `Quick test_recover_monitor_detects;
+          Alcotest.test_case "ssd failure triggers replacement" `Quick test_recover_ssd_failure;
+          Alcotest.test_case "fill completes torn append under delay" `Quick
+            test_fill_completes_torn_append_under_delay;
+          Alcotest.test_case "fill loses to slow append" `Quick test_fill_loses_to_slow_append;
         ] );
       ("properties", qcheck [ prop_header_roundtrip; prop_stream_isolation ]);
     ]

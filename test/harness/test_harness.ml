@@ -141,6 +141,96 @@ let test_lin_rejects_bad_event () =
   | _ -> Alcotest.fail "finished < started must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end: linearizability across reconfigurations                *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Tango_harness.Chaos
+module Register = Tango_objects.Tango_register
+
+(* A small paced register workload: its observed history must stay
+   within the checker's 62-event budget. Writers use globally unique
+   values; [events] collects invocation/response times in virtual
+   time. *)
+let register_workload ~events ~cluster ~writes ~reads ~gap_us =
+  let done_count = ref 0 in
+  let record op started =
+    events := { Lin.started; finished = Sim.Engine.now (); op } :: !events;
+    incr done_count
+  in
+  let next_value = ref 0 in
+  let spawn_worker name n work =
+    let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name) in
+    let reg = Register.attach rt ~oid:1 in
+    Sim.Engine.spawn (fun () ->
+        for _ = 1 to n do
+          work reg;
+          Sim.Engine.sleep gap_us
+        done)
+  in
+  let write_op reg =
+    incr next_value;
+    let v = !next_value in
+    let started = Sim.Engine.now () in
+    Register.write reg v;
+    record (Lin.Write v) started
+  in
+  spawn_worker "writer-a" writes write_op;
+  spawn_worker "writer-b" writes write_op;
+  spawn_worker "reader-a" reads (fun reg ->
+      let started = Sim.Engine.now () in
+      let v = Register.read reg in
+      record (Lin.Read v) started);
+  spawn_worker "reader-b" reads (fun reg ->
+      let started = Sim.Engine.now () in
+      let v = Register.read reg in
+      record (Lin.Read v) started);
+  done_count
+
+(* Satellite: the §5 sequencer failover must be invisible to
+   correctness — appends ride through the epoch change and the full
+   observed history stays linearizable. *)
+let test_lin_across_sequencer_failover () =
+  let events, completed =
+    Sim.Engine.run ~seed:77 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:4 () in
+        let events = ref [] in
+        let done_count =
+          register_workload ~events ~cluster ~writes:12 ~reads:12 ~gap_us:3_000.
+        in
+        Sim.Engine.sleep 15_000.;
+        ignore (Corfu.Cluster.replace_sequencer cluster);
+        Sim.Engine.sleep 400_000.;
+        (!events, !done_count))
+  in
+  Alcotest.(check int) "every op completed" 48 completed;
+  check_bool "within checker budget" true (List.length events <= 62);
+  check_bool "linearizable across the epoch change" true (Lin.check_register events)
+
+(* Acceptance: crash a storage node under concurrent register traffic;
+   the monitor replaces it and the whole observed history — before,
+   during, and after the outage — linearizes. *)
+let test_lin_across_storage_crash () =
+  let events, completed, recoveries =
+    Sim.Engine.run ~seed:78 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:4 () in
+        let fault =
+          Chaos.install ~seed:5 ~plan:[ (30_000., Sim.Fault.Crash "storage-0") ] cluster
+        in
+        Corfu.Cluster.start_failure_monitor cluster;
+        let events = ref [] in
+        let done_count =
+          register_workload ~events ~cluster ~writes:12 ~reads:12 ~gap_us:8_000.
+        in
+        Sim.Engine.sleep 800_000.;
+        (!events, !done_count, Chaos.incidents fault cluster))
+  in
+  Alcotest.(check int) "one recovery" 1 (List.length recoveries);
+  let inc = List.hd recoveries in
+  check_bool "unavailability window measured" true (inc.Chaos.inc_unavailable_us > 0.);
+  Alcotest.(check int) "every op completed" 48 completed;
+  check_bool "linearizable through crash and recovery" true (Lin.check_register events)
+
 let () =
   Alcotest.run "harness"
     [
@@ -161,5 +251,12 @@ let () =
           Alcotest.test_case "concurrent flexibility" `Quick test_lin_concurrent_flexibility;
           Alcotest.test_case "write ordering" `Quick test_lin_write_order;
           Alcotest.test_case "rejects bad events" `Quick test_lin_rejects_bad_event;
+        ] );
+      ( "fault-plane",
+        [
+          Alcotest.test_case "linearizable across sequencer failover" `Quick
+            test_lin_across_sequencer_failover;
+          Alcotest.test_case "linearizable across storage crash" `Quick
+            test_lin_across_storage_crash;
         ] );
     ]

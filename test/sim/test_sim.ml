@@ -377,6 +377,143 @@ let test_net_send_is_async () =
       Alcotest.(check (list int)) "delivered" [ 1 ] !got)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_judge_crash_and_partition () =
+  Engine.run (fun () ->
+      let f = Fault.create () in
+      let deliver src dst = match Fault.judge f ~src ~dst with Fault.Deliver _ -> true | Fault.Drop -> false in
+      check_bool "idle delivers" true (deliver "a" "b");
+      Fault.crash f "b";
+      check_bool "to crashed drops" false (deliver "a" "b");
+      check_bool "from crashed drops" false (deliver "b" "a");
+      Fault.restart f "b";
+      check_bool "restart restores" true (deliver "a" "b");
+      Fault.partition f [ [ "a" ]; [ "b" ] ];
+      check_bool "across partition drops" false (deliver "a" "b");
+      (* hosts named in no component share the implicit one *)
+      check_bool "implicit component connected" true (deliver "c" "d");
+      check_bool "named to implicit drops" false (deliver "a" "c");
+      Fault.heal f;
+      check_bool "heal restores" true (deliver "a" "b"))
+
+let test_fault_edge_delay_observed () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let b = Net.add_host net "b" in
+      let f = Fault.create () in
+      Net.install_fault net f;
+      let echo = Net.service b ~name:"echo" (fun x -> x) in
+      (* quiescent controller: same cost as the fault-free path *)
+      ignore (Net.call ~from:a echo 0);
+      let base = Engine.now () in
+      check_bool "baseline sane" true (base > 100. && base < 110.);
+      Fault.degrade f ~src:"a" ~dst:"b" ~delay_us:500. ();
+      ignore (Net.call ~from:a echo 0);
+      let dt = Engine.now () -. base in
+      (* request leg pays the extra 500 µs; response leg is untouched *)
+      check_bool "delay added once" true (dt > base +. 490. && dt < base +. 520.);
+      Fault.clear_edge f ~src:"a" ~dst:"b";
+      let t2 = Engine.now () in
+      ignore (Net.call ~from:a echo 0);
+      check_bool "clear restores" true (Engine.now () -. t2 < 110.))
+
+let test_fault_resource_fail_repair () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"ssd" ~capacity:1 () in
+      Resource.acquire r;
+      (* a fiber queued behind the holder must be woken with failure *)
+      let outcome = ref "pending" in
+      Engine.spawn (fun () ->
+          match Resource.acquire r with
+          | () -> outcome := "acquired"
+          | exception Resource.Failed _ -> outcome := "failed");
+      Engine.sleep 1.;
+      Resource.fail r;
+      Engine.sleep 1.;
+      Alcotest.(check string) "waiter drained with failure" "failed" !outcome;
+      check_bool "failed flag" true (Resource.failed r);
+      (match Resource.use r 1. with
+      | () -> Alcotest.fail "use on failed resource must raise"
+      | exception Resource.Failed _ -> ());
+      Resource.release r;
+      Resource.repair r;
+      Resource.use r 1.;
+      check_bool "repaired" false (Resource.failed r))
+
+let test_fault_call_r_paths () =
+  Engine.run (fun () ->
+      let net = make_net () in
+      let a = Net.add_host net "a" in
+      let b = Net.add_host net "b" in
+      let f = Fault.create () in
+      Net.install_fault net f;
+      let echo = Net.service b ~name:"echo" (fun x -> x + 1) in
+      (match Net.call_r ~from:a echo 1 with
+      | Ok 2 -> ()
+      | _ -> Alcotest.fail "healthy call_r");
+      Fault.crash f "b";
+      let t0 = Engine.now () in
+      (match Net.call_r ~timeout_us:1_000. ~from:a echo 1 with
+      | Error Net.Rpc_timeout -> ()
+      | _ -> Alcotest.fail "dead server must time out");
+      check_float "timeout charged" 1_000. (Engine.now () -. t0);
+      Fault.restart f "b";
+      (match Net.call_r ~timeout_us:1_000. ~from:a echo 5 with
+      | Ok 6 -> ()
+      | _ -> Alcotest.fail "restart restores call_r");
+      Fault.crash f "a";
+      (match Net.call_r ~timeout_us:1_000. ~from:a echo 1 with
+      | Error Net.Rpc_dead -> ()
+      | _ -> Alcotest.fail "crashed caller fails fast"))
+
+let test_fault_schedule_is_virtual_time () =
+  Engine.run (fun () ->
+      let f = Fault.create () in
+      Fault.plan f [ (100., Fault.Crash "x"); (200., Fault.Restart "x") ];
+      check_bool "not yet" false (Fault.is_crashed f "x");
+      Engine.sleep 150.;
+      check_bool "crashed at 100" true (Fault.is_crashed f "x");
+      Engine.sleep 100.;
+      check_bool "restarted at 200" false (Fault.is_crashed f "x");
+      match Fault.events f with
+      | [ e1; e2 ] ->
+          check_float "first at 100" 100. e1.Fault.ev_time;
+          check_float "second at 200" 200. e2.Fault.ev_time
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+(* The determinism contract: same seeds, same plan => byte-identical
+   trace, including drop decisions from the controller's private rng. *)
+let test_fault_trace_deterministic () =
+  let scenario () =
+    Trace.capture (fun () ->
+        Engine.run ~seed:5 (fun () ->
+            let net = make_net ~jitter:0.05 () in
+            let a = Net.add_host net "a" in
+            let b = Net.add_host net "b" in
+            let f = Fault.create ~seed:3 () in
+            Net.install_fault net f;
+            Fault.degrade f ~src:"a" ~dst:"b" ~drop:0.3 ~delay_us:20. ~jitter_us:10. ();
+            Fault.plan f [ (3_000., Fault.Crash "b"); (6_000., Fault.Restart "b") ];
+            let echo = Net.service b ~name:"echo" (fun x -> x) in
+            let got = ref 0 in
+            for i = 1 to 40 do
+              (match Net.call_r ~timeout_us:400. ~from:a echo i with
+              | Ok _ -> incr got
+              | Error _ -> Trace.f ~host:"a" "test" "rpc %d lost" i);
+              Engine.sleep 100.
+            done;
+            (!got, Engine.now ())))
+  in
+  let r1, t1 = scenario () in
+  let r2, t2 = scenario () in
+  check_bool "some rpcs lost" true (fst r1 < 40);
+  check_bool "same result" true (r1 = r2);
+  Alcotest.(check string) "byte-identical trace" t1 t2
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -527,6 +664,18 @@ let () =
           Alcotest.test_case "bandwidth charged" `Quick test_net_bandwidth_charged;
           Alcotest.test_case "server saturation" `Quick test_net_server_saturation;
           Alcotest.test_case "async send" `Quick test_net_send_is_async;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "judge crash and partition" `Quick
+            test_fault_judge_crash_and_partition;
+          Alcotest.test_case "edge delay observed" `Quick test_fault_edge_delay_observed;
+          Alcotest.test_case "resource fail and repair" `Quick test_fault_resource_fail_repair;
+          Alcotest.test_case "call_r timeout and dead paths" `Quick test_fault_call_r_paths;
+          Alcotest.test_case "plan runs in virtual time" `Quick
+            test_fault_schedule_is_virtual_time;
+          Alcotest.test_case "trace deterministic across runs" `Quick
+            test_fault_trace_deterministic;
         ] );
       ( "stats",
         [
