@@ -271,6 +271,69 @@ let fig8_window () =
     [ 1; 2; 4; 8; 16; 32 ]
 
 (* ------------------------------------------------------------------ *)
+(* Figure 5: latency decomposition of appends and reads               *)
+(* ------------------------------------------------------------------ *)
+
+module Report = Tango_harness.Report
+
+(* The observability showcase: one view under mixed load, with the
+   metrics sampler on. The registry is read post-mortem — the text
+   table and the JSON report both come from the same snapshot, so per-
+   component histograms (sequencer grant, chain write, playback) and
+   resource-utilization series land in [bench --json] output. *)
+let fig5 () =
+  section "Figure 5: latency decomposition — appends and reads on one view";
+  let seed = 42 in
+  let servers = 6 and writers = 16 and readers = 16 in
+  let appends_s, reads_s, end_us =
+    Sim.Engine.run ~seed (fun () ->
+        let cluster = Corfu.Cluster.create ~servers () in
+        let rt = new_runtime cluster "app" in
+        let reg = Tango_register.attach rt ~oid:1 in
+        Sim.Metrics.start_sampler ();
+        let w = M.create () in
+        let r = M.create () in
+        for _ = 1 to writers do
+          M.worker w (fun () ->
+              Tango_register.write reg 1;
+              true)
+        done;
+        for _ = 1 to readers do
+          M.worker r (fun () ->
+              ignore (Tango_register.read reg);
+              true)
+        done;
+        Sim.Engine.sleep warmup_us;
+        w.M.on <- true;
+        r.M.on <- true;
+        Sim.Engine.sleep measure_us;
+        w.M.on <- false;
+        r.M.on <- false;
+        (M.tput w, M.tput r, Sim.Engine.now ()))
+  in
+  let snap = Sim.Metrics.snapshot () in
+  row "%10.1f Kappends/s  %10.1f Kreads/s" (appends_s /. 1e3) (reads_s /. 1e3);
+  row "%-22s %-10s %8s %10s %10s %10s" "histogram" "host" "count" "p50-us" "p90-us" "p99-us";
+  List.iter
+    (fun (h : Sim.Metrics.hist_view) ->
+      if h.Sim.Metrics.h_count > 0 then
+        row "%-22s %-10s %8d %10.1f %10.1f %10.1f" h.Sim.Metrics.h_name
+          (Option.value h.Sim.Metrics.h_host ~default:"-")
+          h.Sim.Metrics.h_count h.Sim.Metrics.h_p50 h.Sim.Metrics.h_p90 h.Sim.Metrics.h_p99)
+    snap.Sim.Metrics.histograms;
+  row "%d resource/gauge series sampled" (List.length snap.Sim.Metrics.series);
+  Report.add_scenario ~name:"fig5" ~seed
+    ~params:
+      [
+        ("servers", string_of_int servers);
+        ("writers", string_of_int writers);
+        ("readers", string_of_int readers);
+        ("measure_us", Printf.sprintf "%.0f" measure_us);
+      ]
+    ~summary:[ ("appends_per_s", appends_s); ("reads_per_s", reads_s) ]
+    ~virtual_end_us:end_us ~metrics_json:(Sim.Metrics.to_json ()) ()
+
+(* ------------------------------------------------------------------ *)
 (* Figure 9: transactions on a fully replicated TangoMap              *)
 (* ------------------------------------------------------------------ *)
 
@@ -929,6 +992,7 @@ let micro () =
 let experiments =
   [
     ("fig2", fig2);
+    ("fig5", fig5);
     ("fig8-left", fig8_left);
     ("fig8-mid", fig8_mid);
     ("fig8-right", fig8_right);
@@ -949,13 +1013,22 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | [] -> assert false
-  | _ :: [] ->
+  let rec split names json = function
+    | [] -> (List.rev names, json)
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 1
+    | "--json" :: path :: rest -> split names (Some path) rest
+    | x :: rest -> split (x :: names) json rest
+  in
+  let names, json = split [] None (List.tl (Array.to_list Sys.argv)) in
+  if json <> None then Report.enable ();
+  (match names with
+  | [] ->
       Printf.printf "Tango evaluation harness (quick=%b)\n%!" quick;
       List.iter (fun (_, f) -> f ()) experiments
-  | _ :: [ "micro" ] -> micro ()
-  | _ :: names ->
+  | [ "micro" ] -> micro ()
+  | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
@@ -965,4 +1038,9 @@ let () =
               Printf.eprintf "unknown experiment %S; known: %s micro\n" name
                 (String.concat " " (List.map fst experiments));
               exit 1)
-        names
+        names);
+  match json with
+  | None -> ()
+  | Some path ->
+      Report.write path;
+      Printf.printf "\nwrote JSON report to %s\n%!" path

@@ -42,7 +42,28 @@ let cluster_info servers =
         (1e3 /. p.Sim.Params.storage_write_us);
       say "  storage 4KB read    : %.1f µs" p.Sim.Params.storage_read_us;
       say "  commit batch        : %d records/entry" p.Sim.Params.commit_batch;
-      say "  backpointers (K)    : %d" p.Sim.Params.backpointer_k);
+      say "  backpointers (K)    : %d" p.Sim.Params.backpointer_k;
+      say "";
+      (* A short probe workload so the live counters below are real. *)
+      let probe = Corfu.Cluster.new_client cluster ~name:"probe" in
+      for i = 1 to 20 do
+        let off = Corfu.Client.append probe ~streams:[ 1 ] (Bytes.of_string (string_of_int i)) in
+        ignore (Corfu.Client.read_resolved probe off)
+      done;
+      let snap = Sim.Metrics.snapshot () in
+      let total name =
+        List.fold_left
+          (fun acc (c : Sim.Metrics.counter_view) ->
+            if String.equal c.Sim.Metrics.c_name name then acc + c.Sim.Metrics.c_value else acc)
+          0 snap.Sim.Metrics.counters
+      in
+      say "live counters (after a 20-append probe):";
+      say "  sequencer grants    : %d" (total "seq.increments");
+      say "  ssd writes          : %d" (total "ssd.writes");
+      say "  ssd reads           : %d" (total "ssd.reads");
+      say "  rpc failures        : %d" (total "client.rpc_failures");
+      say "  rpc retries         : %d" (total "client.retries");
+      say "  recoveries          : %d" (total "cluster.recoveries"));
   `Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +169,97 @@ let soak clients ops seed =
   `Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a small mixed workload with the sampler on, then show the
+   registry: counters, gauges and latency histograms per component.
+   [--json] dumps the raw canonical registry JSON instead. *)
+let metrics json seed =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:6 () in
+      let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app") in
+      let reg = Tango_register.attach rt ~oid:1 in
+      Sim.Metrics.start_sampler ();
+      for i = 1 to 100 do
+        Tango_register.write reg i;
+        ignore (Tango_register.read reg)
+      done);
+  if json then print_endline (Sim.Metrics.to_json ())
+  else begin
+    let snap = Sim.Metrics.snapshot () in
+    let host h = Option.value h ~default:"-" in
+    say "counters:";
+    List.iter
+      (fun (c : Sim.Metrics.counter_view) ->
+        if c.Sim.Metrics.c_value > 0 then
+          say "  %-26s %-12s %10d" c.Sim.Metrics.c_name (host c.Sim.Metrics.c_host)
+            c.Sim.Metrics.c_value)
+      snap.Sim.Metrics.counters;
+    say "";
+    say "histograms:";
+    say "  %-26s %-12s %8s %10s %10s %10s" "name" "host" "count" "p50-us" "p90-us" "p99-us";
+    List.iter
+      (fun (h : Sim.Metrics.hist_view) ->
+        if h.Sim.Metrics.h_count > 0 then
+          say "  %-26s %-12s %8d %10.1f %10.1f %10.1f" h.Sim.Metrics.h_name
+            (host h.Sim.Metrics.h_host) h.Sim.Metrics.h_count h.Sim.Metrics.h_p50
+            h.Sim.Metrics.h_p90 h.Sim.Metrics.h_p99)
+      snap.Sim.Metrics.histograms;
+    say "";
+    say "%d resource/gauge time series sampled (see --json for the points)"
+      (List.length snap.Sim.Metrics.series)
+  end;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One client appends and reads back a handful of entries with span
+   tracing on; the timeline goes to [--out] in Chrome trace_event
+   format and the first append's decomposition is printed. *)
+let trace out seed =
+  let (), dump =
+    Sim.Span.capture (fun () ->
+        Sim.Engine.run ~seed (fun () ->
+            let cluster = Corfu.Cluster.create ~servers:6 () in
+            let c = Corfu.Cluster.new_client cluster ~name:"app" in
+            let offs = ref [] in
+            for i = 1 to 5 do
+              offs := Corfu.Client.append c ~streams:[ 1 ] (Bytes.of_string (string_of_int i)) :: !offs
+            done;
+            let s = Corfu.Stream.attach c 1 in
+            ignore (Corfu.Stream.sync s);
+            let rec play () = match Corfu.Stream.readnext s with Some _ -> play () | None -> () in
+            play ()))
+  in
+  let oc = open_out out in
+  output_string oc dump;
+  output_char oc '\n';
+  close_out oc;
+  let spans = Sim.Span.spans () in
+  say "recorded %d spans -> %s (load in chrome://tracing or Perfetto)" (List.length spans) out;
+  let dur (v : Sim.Span.view) =
+    match v.Sim.Span.v_end with Some e -> e -. v.Sim.Span.v_start | None -> 0.
+  in
+  let rec print_tree indent (v : Sim.Span.view) =
+    say "  %s%-20s @%.1fus  %.1fus" indent v.Sim.Span.v_name v.Sim.Span.v_start (dur v);
+    List.iter
+      (fun (c : Sim.Span.view) ->
+        if c.Sim.Span.v_parent = Some v.Sim.Span.v_id then print_tree (indent ^ "  ") c)
+      spans
+  in
+  (match
+     List.find_opt (fun (v : Sim.Span.view) -> String.equal v.Sim.Span.v_name "append") spans
+   with
+  | Some root ->
+      say "first append decomposes into:";
+      print_tree "" root
+  | None -> say "no append span recorded");
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* command line                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -180,6 +292,28 @@ let soak_cmd =
     (Cmd.info "soak" ~doc:"Run a mixed transactional workload and report commit/abort counts.")
     Term.(ret (const soak $ clients_arg $ ops_arg $ seed_arg))
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Dump the raw metrics registry JSON instead of tables.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "spans.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the Chrome trace_event span timeline.")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Run a small workload and show the metrics registry.")
+    Term.(ret (const metrics $ json_arg $ seed_arg))
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record a causal span timeline of appends and reads.")
+    Term.(ret (const trace $ out_arg $ seed_arg))
+
 let () =
   let info = Cmd.info "tangoctl" ~doc:"Operational demos for the Tango reproduction." in
-  exit (Cmd.eval (Cmd.group info [ cluster_info_cmd; failover_cmd; gc_cmd; soak_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cluster_info_cmd; failover_cmd; gc_cmd; soak_cmd; metrics_cmd; trace_cmd ]))

@@ -25,6 +25,10 @@ type t = {
   mutable inflight_peak : int;
   mutable grants : int;
   mutable granted_entries : int;
+  grants_c : Sim.Metrics.counter;
+  records_c : Sim.Metrics.counter;
+  entries_c : Sim.Metrics.counter;
+  depth_g : Sim.Metrics.gauge;  (* sealed-batch queue depth *)
 }
 
 let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
@@ -36,12 +40,17 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     | None -> (Corfu.Client.params client).Sim.Params.append_window
   in
   if append_window < 1 then invalid_arg "Batcher.create: bad append window";
+  let hname = Sim.Net.host_name (Corfu.Client.host client) in
+  let window =
+    Sim.Resource.create ~name:(hname ^ ".append-window") ~capacity:append_window ()
+  in
+  Sim.Metrics.track_resource window;
   {
     client;
     batch_size;
     linger_us;
     append_window;
-    window = Sim.Resource.create ~name:"batcher.window" ~capacity:append_window ();
+    window;
     forming = [];
     generation = 0;
     sealed = Queue.create ();
@@ -52,6 +61,10 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     inflight_peak = 0;
     grants = 0;
     granted_entries = 0;
+    grants_c = Sim.Metrics.counter ~host:hname "batcher.grants";
+    records_c = Sim.Metrics.counter ~host:hname "batcher.records";
+    entries_c = Sim.Metrics.counter ~host:hname "batcher.entries";
+    depth_g = Sim.Metrics.gauge ~host:hname "batcher.sealed_depth";
   }
 
 (* Pop the longest run of sealed batches sharing one stream set, up to
@@ -77,20 +90,25 @@ let rec drain t =
   if Queue.is_empty t.sealed then t.drainer_busy <- false
   else begin
     let streams, group = pop_group t in
+    Sim.Metrics.set_gauge t.depth_g (float_of_int (Queue.length t.sealed));
     let grant = Corfu.Client.reserve t.client ~streams ~count:(List.length group) in
     t.grants <- t.grants + 1;
     t.granted_entries <- t.granted_entries + List.length group;
+    Sim.Metrics.incr t.grants_c;
+    let span_parent = Sim.Span.current () in
     List.iteri
       (fun index batch ->
         Sim.Resource.acquire t.window;
         t.inflight <- t.inflight + 1;
         if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
         Sim.Engine.spawn (fun () ->
+            Sim.Span.with_parent span_parent @@ fun () ->
             let payload =
               Record.encode_payload (List.map (fun w -> w.w_record) batch.b_waiters)
             in
             let off = Corfu.Client.write_granted t.client grant ~index payload in
             t.entries <- t.entries + 1;
+            Sim.Metrics.incr t.entries_c;
             List.iteri
               (fun slot w -> Sim.Ivar.fill w.w_pos (Record.pos ~offset:off ~slot))
               batch.b_waiters;
@@ -117,6 +135,7 @@ let flush t =
         List.sort_uniq Int.compare (List.concat_map (fun w -> w.w_streams) batch)
       in
       Queue.push { b_waiters = batch; b_streams = streams } t.sealed;
+      Sim.Metrics.set_gauge t.depth_g (float_of_int (Queue.length t.sealed));
       kick t
 
 let submit t ~streams record =
@@ -125,6 +144,7 @@ let submit t ~streams record =
   let was_empty = t.forming = [] in
   t.forming <- w :: t.forming;
   t.records <- t.records + 1;
+  Sim.Metrics.incr t.records_c;
   if List.length t.forming >= t.batch_size then flush t
   else if was_empty then begin
     (* First record of a fresh batch arms the linger timer. *)

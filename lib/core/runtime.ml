@@ -40,6 +40,7 @@ type txctx = {
   mutable tx_reads : (int * string option * int) list;  (* newest first *)
   mutable tx_writes : Record.update list;  (* newest first *)
   mutable tx_remote_reads : bool;  (* some read came from a peer view *)
+  tx_t0 : float;  (* virtual time at begin_tx *)
 }
 
 type remote_read_request = { rr_oid : int; rr_key : string option }
@@ -76,6 +77,12 @@ type t = {
   mutable stats_applied : int;
   mutable stats_commits : int;
   mutable stats_aborts : int;
+  applied_c : Sim.Metrics.counter;
+  commits_c : Sim.Metrics.counter;
+  aborts_c : Sim.Metrics.counter;
+  conflicts_c : Sim.Metrics.counter;
+  apply_h : Sim.Metrics.histogram;  (* one playback sweep *)
+  tx_h : Sim.Metrics.histogram;  (* begin_tx .. end_tx *)
 }
 
 let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
@@ -108,6 +115,12 @@ let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
     stats_applied = 0;
     stats_commits = 0;
     stats_aborts = 0;
+    applied_c = Sim.Metrics.counter ~host:host_name "runtime.applied";
+    commits_c = Sim.Metrics.counter ~host:host_name "runtime.commits";
+    aborts_c = Sim.Metrics.counter ~host:host_name "runtime.aborts";
+    conflicts_c = Sim.Metrics.counter ~host:host_name "runtime.version_conflicts";
+    apply_h = Sim.Metrics.histogram ~host:host_name "playback.apply_us";
+    tx_h = Sim.Metrics.histogram ~host:host_name "tx.duration_us";
   }
 
 let client t = t.cl
@@ -165,7 +178,8 @@ let apply_now t ho pos (u : Record.update) =
   ho.cb.apply ~pos ~key:u.u_key u.u_data;
   List.iter (fun (cb : callbacks) -> cb.apply ~pos ~key:u.u_key u.u_data) ho.extra_views;
   bump_version t ho.oid u.u_key pos;
-  t.stats_applied <- t.stats_applied + 1
+  t.stats_applied <- t.stats_applied + 1;
+  Sim.Metrics.incr t.applied_c
 
 let charge_apply t = Sim.Engine.sleep t.apply_record_us
 
@@ -342,6 +356,7 @@ and emit_partials t cpos =
                       roid <> oid || version_of t ~oid ?key () <= recorded)
                     c.c_reads
                 in
+                if not ok then Sim.Metrics.incr t.conflicts_c;
                 Some (oid, ok)
             | Some _ | None -> None)
           read_oids
@@ -524,7 +539,10 @@ let eager_outcome t pos (c : Record.commit) =
           | Some ho ->
               refresh_gap ho;
               if ho.gap_pending then None
-              else if version_of t ~oid ?key () > recorded then Some false
+              else if version_of t ~oid ?key () > recorded then begin
+                Sim.Metrics.incr t.conflicts_c;
+                Some false
+              end
               else if ho.blocked_on = None then check rest
               else begin
                 let conflict = ref false in
@@ -551,7 +569,12 @@ let eager_outcome t pos (c : Record.commit) =
                           end
                       | Apply_checkpoint _ -> ())
                   ho.waiting;
-                if !conflict then Some false else if !unknown then None else check rest
+                if !conflict then begin
+                  Sim.Metrics.incr t.conflicts_c;
+                  Some false
+                end
+                else if !unknown then None
+                else check rest
               end)
     in
     check c.c_reads
@@ -665,7 +688,13 @@ let sync_all t =
         hos;
       tail
 
-let play_to t upto = with_play_lock t (fun () -> play_merged t ~upto)
+let play_to t upto =
+  with_play_lock t (fun () ->
+      Sim.Span.with_span
+        ~host:(Sim.Net.host_name (Corfu.Client.host t.cl))
+        ~args:[ ("upto", string_of_int upto) ]
+        "playback.apply"
+        (fun () -> Sim.Metrics.time t.apply_h (fun () -> play_merged t ~upto)))
 
 let obj_settled ho = ho.blocked_on = None && Queue.is_empty ho.waiting
 
@@ -802,7 +831,8 @@ let begin_tx t =
      accessors inside the transaction then stay purely local (§3.2). *)
   let tail = sync_all t in
   play_to t tail;
-  Hashtbl.replace t.txs fid { tx_reads = []; tx_writes = []; tx_remote_reads = false }
+  Hashtbl.replace t.txs fid
+    { tx_reads = []; tx_writes = []; tx_remote_reads = false; tx_t0 = Sim.Engine.now () }
 
 let abort_tx t =
   let fid = Sim.Engine.fiber_id () in
@@ -888,8 +918,13 @@ let end_tx ?(stale = false) t =
   Hashtbl.remove t.txs fid;
   let finish status =
     (match status with
-    | Committed -> t.stats_commits <- t.stats_commits + 1
-    | Aborted -> t.stats_aborts <- t.stats_aborts + 1);
+    | Committed ->
+        t.stats_commits <- t.stats_commits + 1;
+        Sim.Metrics.incr t.commits_c
+    | Aborted ->
+        t.stats_aborts <- t.stats_aborts + 1;
+        Sim.Metrics.incr t.aborts_c);
+    Sim.Metrics.observe t.tx_h (Sim.Engine.now () -. ctx.tx_t0);
     status
   in
   match (List.rev ctx.tx_reads, List.rev ctx.tx_writes) with
@@ -898,7 +933,11 @@ let end_tx ?(stale = false) t =
       (* Read-only: no commit record. Stale mode decides against the
          local snapshot; otherwise play to the tail first (one
          sequencer round trip when the system is quiet, §3.2). *)
-      if stale then finish (if check_reads t reads then Committed else Aborted)
+      if stale then begin
+        let ok = check_reads t reads in
+        if not ok then Sim.Metrics.incr t.conflicts_c;
+        finish (if ok then Committed else Aborted)
+      end
       else begin
         let rec settle backoff =
           let tail = sync_all t in
@@ -910,7 +949,9 @@ let end_tx ?(stale = false) t =
           end
         in
         settle t.retry_sleep_us;
-        finish (if check_reads t reads then Committed else Aborted)
+        let ok = check_reads t reads in
+        if not ok then Sim.Metrics.incr t.conflicts_c;
+        finish (if ok then Committed else Aborted)
       end
   | reads, writes ->
       let collaborative = ctx.tx_remote_reads && reads <> [] in

@@ -14,9 +14,17 @@ type t = {
          backpointers when appending without the sequencer *)
   mutable cache_floor : Types.offset;
   mutable cache_high : Types.offset;  (* highest cached offset *)
-  rpc_failures : Sim.Stats.Counter.t;
+  rpc_failures : Sim.Metrics.counter;
       (* storage RPCs that timed out or hit a dead node; the
          availability reports read this as "failed ops" *)
+  retries : Sim.Metrics.counter;
+  fills_c : Sim.Metrics.counter;
+  cache_hits_c : Sim.Metrics.counter;
+  cache_misses_c : Sim.Metrics.counter;
+  append_h : Sim.Metrics.histogram;
+  grant_h : Sim.Metrics.histogram;
+  chain_h : Sim.Metrics.histogram;
+  read_h : Sim.Metrics.histogram;
 }
 
 and read_ivar = read_outcome Sim.Ivar.t
@@ -40,6 +48,7 @@ let cache_insert t off entry =
   end
 
 let create ~host ~aux ~params =
+  let hname = Sim.Net.host_name host in
   {
     client_host = host;
     aux;
@@ -51,15 +60,25 @@ let create ~host ~aux ~params =
     probe_tails = Hashtbl.create 16;
     cache_floor = 0;
     cache_high = -1;
-    rpc_failures = Sim.Stats.Counter.create ~name:"client.rpc-failures" ();
+    rpc_failures = Sim.Metrics.counter ~host:hname "client.rpc_failures";
+    retries = Sim.Metrics.counter ~host:hname "client.retries";
+    fills_c = Sim.Metrics.counter ~host:hname "client.fills";
+    cache_hits_c = Sim.Metrics.counter ~host:hname "client.cache_hits";
+    cache_misses_c = Sim.Metrics.counter ~host:hname "client.cache_misses";
+    append_h = Sim.Metrics.histogram ~host:hname "append.e2e_us";
+    grant_h = Sim.Metrics.histogram ~host:hname "sequencer.grant_us";
+    chain_h = Sim.Metrics.histogram ~host:hname "chain.write_us";
+    read_h = Sim.Metrics.histogram ~host:hname "read.fetch_us";
   }
 
 let host t = t.client_host
 let params t = t.p
 let projection t = t.proj
-let rpc_failures t = Sim.Stats.Counter.count t.rpc_failures
+let hname t = Sim.Net.host_name t.client_host
+let rpc_failures t = Sim.Metrics.counter_value t.rpc_failures
 
-let note_failure t = Sim.Stats.Counter.incr t.rpc_failures
+let note_failure t = Sim.Metrics.incr t.rpc_failures
+let note_retry t = Sim.Metrics.incr t.retries
 
 let refresh t =
   t.proj <- Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
@@ -86,6 +105,10 @@ type chain_write = Chain_ok | Chain_lost of Types.cell | Chain_sealed | Chain_do
    reconfiguration copied it) and we must keep completing the chain
    rather than declare the slot lost and append a duplicate. *)
 let write_chain t off cell =
+  Sim.Span.with_span ~host:(hname t) ~args:[ ("offset", string_of_int off) ] "chain.write"
+  @@ fun () ->
+  Sim.Metrics.time t.chain_h
+  @@ fun () ->
   let set = Projection.replica_set t.proj off in
   let loff = Projection.local_offset t.proj off in
   let req = { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell } in
@@ -115,9 +138,18 @@ let write_chain t off cell =
 (* Back off, learn the current projection, and grow the next backoff:
    the shared shape of every ride-through-reconfiguration retry. *)
 let down_retry t backoff =
+  note_retry t;
   Sim.Engine.sleep backoff;
   refresh t;
   Float.min (backoff *. 2.) t.p.retry_backoff_max_us
+
+(* The sequencer round trip, wrapped in its span and latency
+   histogram; shared by single appends, range grants, and checks. *)
+let seq_grant t f =
+  Sim.Span.with_span ~host:(hname t) "sequencer.grant" @@ fun () -> Sim.Metrics.time t.grant_h f
+
+let commit_marker t f =
+  Sim.Span.with_span ~host:(hname t) "commit" @@ fun () -> f ()
 
 (* Remember our own appends per stream so probing appends (below) can
    chain onto them if the sequencer disappears. *)
@@ -129,16 +161,18 @@ let note_own_append t ~streams off =
       Hashtbl.replace t.probe_tails sid (take t.p.backpointer_k (off :: prev)))
     streams
 
-let rec append t ~streams payload =
+let rec append_inner t ~streams payload =
   let resp =
-    Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-      (Sequencer.increment_service t.proj.Projection.sequencer)
-      { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = 1 }
+    seq_grant t (fun () ->
+        Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+          (Sequencer.increment_service t.proj.Projection.sequencer)
+          { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = 1 })
   in
   match resp with
   | Sequencer.Seq_sealed _ ->
+      note_retry t;
       refresh t;
-      append t ~streams payload
+      append_inner t ~streams payload
   | Sequencer.Seq_ok { base = off; stream_tails } ->
       let headers =
         Stream_header.encode_block ~k:t.p.backpointer_k ~current:off
@@ -161,16 +195,18 @@ and append_at t ~streams ~payload off entry =
   let rec attempt backoff =
     match write_chain t off (Types.Data entry) with
     | Chain_ok ->
-        (* Our own playback will want this entry next; save the round
-           trip. *)
-        cache_insert t off entry;
-        note_own_append t ~streams off;
+        commit_marker t (fun () ->
+            (* Our own playback will want this entry next; save the
+               round trip. *)
+            cache_insert t off entry;
+            note_own_append t ~streams off);
         off
     | Chain_lost _ ->
         (* Our offset was filled before we reached the head (we were
            slow past the hole timeout). Grab a fresh offset. *)
-        append t ~streams payload
+        append_inner t ~streams payload
     | Chain_sealed ->
+        note_retry t;
         refresh t;
         attempt backoff
     | Chain_down ->
@@ -178,6 +214,15 @@ and append_at t ~streams ~payload off entry =
         attempt backoff
   in
   attempt t.p.retry_sleep_us
+
+(* The public append: one root span covering the whole operation —
+   sequencer.grant, chain.write attempts, and the commit marker appear
+   as its children — plus the end-to-end latency observation. *)
+let append t ~streams payload =
+  Sim.Span.with_span ~host:(hname t)
+    ~args:[ ("streams", String.concat "," (List.map string_of_int streams)) ]
+    "append"
+  @@ fun () -> Sim.Metrics.time t.append_h @@ fun () -> append_inner t ~streams payload
 
 (* ------------------------------------------------------------------ *)
 (* Range grants: windowed appends                                     *)
@@ -194,12 +239,14 @@ type grant = {
 let rec reserve t ~streams ~count =
   if count < 1 then invalid_arg "Client.reserve: count must be >= 1";
   let resp =
-    Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-      (Sequencer.increment_service t.proj.Projection.sequencer)
-      { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = count }
+    seq_grant t (fun () ->
+        Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
+          (Sequencer.increment_service t.proj.Projection.sequencer)
+          { Sequencer.iepoch = t.proj.Projection.epoch; istreams = streams; icount = count })
   in
   match resp with
   | Sequencer.Seq_sealed _ ->
+      note_retry t;
       refresh t;
       reserve t ~streams ~count
   | Sequencer.Seq_ok { base; stream_tails } ->
@@ -224,20 +271,28 @@ let grant_headers t g ~index off =
 let write_granted t g ~index payload =
   if index < 0 || index >= g.g_count then invalid_arg "Client.write_granted: index out of range";
   let off = g.g_base + index in
+  Sim.Span.with_span ~host:(hname t)
+    ~args:[ ("granted", "true"); ("offset", string_of_int off) ]
+    "append"
+  @@ fun () ->
+  Sim.Metrics.time t.append_h
+  @@ fun () ->
   let entry = { Types.headers = grant_headers t g ~index off; payload } in
   let rec attempt backoff =
     match write_chain t off (Types.Data entry) with
     | Chain_ok ->
-        cache_insert t off entry;
-        note_own_append t ~streams:g.g_streams off;
+        commit_marker t (fun () ->
+            cache_insert t off entry;
+            note_own_append t ~streams:g.g_streams off);
         off
     | Chain_lost _ ->
         (* The granted offset was filled (we blew the hole timeout).
            The junked slot breaks nothing: stream readers treat offsets
            the sequencer issued but that carry no header as junk and
            scan backward. Land the payload at a fresh offset. *)
-        append t ~streams:g.g_streams payload
+        append_inner t ~streams:g.g_streams payload
     | Chain_sealed ->
+        note_retry t;
         refresh t;
         attempt backoff
     | Chain_down ->
@@ -257,10 +312,12 @@ let append_range t ~streams payloads =
       let all_done = Sim.Ivar.create () in
       (* Overlapped chain writes: offset n+1 hits the chain head while
          n is still propagating down-chain. *)
+      let span_parent = Sim.Span.current () in
       List.iteri
         (fun i payload ->
           Sim.Engine.spawn (fun () ->
-              results.(i) <- write_granted t g ~index:i payload;
+              Sim.Span.with_parent span_parent (fun () ->
+                  results.(i) <- write_granted t g ~index:i payload);
               decr remaining;
               if !remaining = 0 then Sim.Ivar.fill all_done ()))
         payloads;
@@ -330,6 +387,8 @@ let rec read t off =
 (* ------------------------------------------------------------------ *)
 
 let rec peek_streams t sids =
+  Sim.Span.with_span ~host:(hname t) "check_tail"
+  @@ fun () ->
   let resp =
     Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
       (Sequencer.peek_service t.proj.Projection.sequencer)
@@ -337,6 +396,7 @@ let rec peek_streams t sids =
   in
   match resp with
   | Sequencer.Seq_sealed _ ->
+      note_retry t;
       refresh t;
       peek_streams t sids
   | Sequencer.Seq_ok { base; stream_tails } -> (base, stream_tails)
@@ -391,14 +451,17 @@ let append_probing t ~streams payload =
     let entry = { Types.headers; payload } in
     match write_chain t guess (Types.Data entry) with
     | Chain_ok ->
-        cache_insert t guess entry;
-        record_probe guess;
+        commit_marker t (fun () ->
+            cache_insert t guess entry;
+            record_probe guess);
         guess
     | Chain_lost _ -> attempt (guess + 1)
     | Chain_sealed ->
+        note_retry t;
         refresh t;
         attempt guess
     | Chain_down ->
+        note_retry t;
         Sim.Engine.sleep t.p.retry_sleep_us;
         refresh t;
         attempt guess
@@ -410,6 +473,9 @@ let append_probing t ~streams payload =
 (* ------------------------------------------------------------------ *)
 
 let fill t off =
+  Sim.Metrics.incr t.fills_c;
+  Sim.Span.with_span ~host:(hname t) ~args:[ ("offset", string_of_int off) ] "fill"
+  @@ fun () ->
   let rec attempt backoff =
     let set = Projection.replica_set t.proj off in
     let loff = Projection.local_offset t.proj off in
@@ -495,14 +561,17 @@ let read_resolved t off =
    waiters; Data results are cached for the streaming layer. *)
 let read_shared t off =
   match Hashtbl.find_opt t.cache off with
-  | Some e -> Data e
+  | Some e ->
+      Sim.Metrics.incr t.cache_hits_c;
+      Data e
   | None -> (
       match Hashtbl.find_opt t.inflight off with
       | Some iv -> Sim.Ivar.read iv
       | None ->
+          Sim.Metrics.incr t.cache_misses_c;
           let iv = Sim.Ivar.create () in
           Hashtbl.replace t.inflight off iv;
-          let outcome = read_resolved t off in
+          let outcome = Sim.Metrics.time t.read_h (fun () -> read_resolved t off) in
           (match outcome with
           | Data e -> cache_insert t off e
           | Junk | Trimmed | Unwritten -> ());
@@ -511,8 +580,11 @@ let read_shared t off =
           outcome)
 
 let prefetch t off =
-  if not (Hashtbl.mem t.cache off) && not (Hashtbl.mem t.inflight off) then
-    Sim.Engine.spawn (fun () -> ignore (read_shared t off))
+  if not (Hashtbl.mem t.cache off) && not (Hashtbl.mem t.inflight off) then begin
+    let span_parent = Sim.Span.current () in
+    Sim.Engine.spawn (fun () ->
+        Sim.Span.with_parent span_parent (fun () -> ignore (read_shared t off)))
+  end
 
 let trim t off =
   let set = Projection.replica_set t.proj off in

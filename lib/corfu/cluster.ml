@@ -122,6 +122,9 @@ let start_checkpoint_scribe t ~interval_us =
       tick ())
 
 let replace_sequencer t =
+  Sim.Span.with_span ~host:"reconfig-agent" "recovery.sequencer"
+  @@ fun () ->
+  Sim.Metrics.incr (Sim.Metrics.counter "cluster.seq_replacements");
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
   (* 1. Seal the old sequencer so no stale backpointers escape. *)
@@ -175,6 +178,7 @@ let replace_sequencer t =
   in
   scan (tail - 1);
   t.rebuild_scan <- !scanned;
+  Sim.Metrics.add (Sim.Metrics.counter "cluster.rebuild_scanned") !scanned;
   Sim.Trace.f "reconfig" "epoch %d: tail %d rebuilt after scanning %d entries" epoch tail
     !scanned;
   (* 4. Fresh sequencer seeded with the reconstructed state. *)
@@ -202,6 +206,10 @@ let replace_sequencer t =
 let recoveries t = List.rev t.recoveries
 
 let replace_storage_node ?(copy_window = 16) t ~dead =
+  Sim.Span.with_span ~host:"reconfig-agent"
+    ~args:[ ("dead", Storage_node.name dead) ]
+    "recovery"
+  @@ fun () ->
   let started = Sim.Engine.now () in
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
@@ -222,25 +230,30 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
      projection — storage replacement does not lose allocation state —
      so this only forces every client through a projection refresh,
      closing the old epoch before the membership changes. *)
-  Sim.Net.call ~from:t.reconfig_host (Sequencer.seal_service old_proj.Projection.sequencer) epoch;
+  Sim.Span.with_span "recovery.seal" (fun () ->
+      Sim.Net.call ~from:t.reconfig_host
+        (Sequencer.seal_service old_proj.Projection.sequencer)
+        epoch);
   (* 2. Seal every storage node, collecting each survivor's local
      tail. The dead node gets a short-deadline attempt: if the monitor
      was wrong and it still answers, sealing it prevents stale-epoch
      clients from completing chains through it. *)
   let tails = Hashtbl.create 16 in
-  Array.iter
-    (fun chain ->
+  Sim.Span.with_span "recovery.seal" (fun () ->
       Array.iter
-        (fun node ->
-          let timeout_us = if node == dead then 10_000. else t.p.rpc_timeout_us in
-          match
-            Sim.Net.call_r ~timeout_us ~from:t.reconfig_host (Storage_node.seal_service node)
-              epoch
-          with
-          | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
-          | Error _ -> ())
-        chain)
-    old_proj.Projection.replica_sets;
+        (fun chain ->
+          Array.iter
+            (fun node ->
+              Sim.Metrics.incr (Sim.Metrics.counter "cluster.seals");
+              let timeout_us = if node == dead then 10_000. else t.p.rpc_timeout_us in
+              match
+                Sim.Net.call_r ~timeout_us ~from:t.reconfig_host
+                  (Storage_node.seal_service node) epoch
+              with
+              | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
+              | Error _ -> ())
+            chain)
+        old_proj.Projection.replica_sets);
   (* 3. Bring up the spare, pre-sealed at the new epoch. *)
   let spare_name = Printf.sprintf "storage-spare-%d" t.spare_count in
   t.spare_count <- t.spare_count + 1;
@@ -265,7 +278,8 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
   in
   let copied_entries = ref 0 in
   let copied_bytes = ref 0 in
-  (match survivor with
+  Sim.Span.with_span "recovery.copy" (fun () ->
+  match survivor with
   | None -> Sim.Trace.f "reconfig" "set %d has no surviving replica: spare starts empty" set_idx
   | Some src ->
       let src_tail =
@@ -313,8 +327,10 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
         let workers = min copy_window (src_tail + 1) in
         let remaining = ref workers in
         let all_done = Sim.Ivar.create () in
+        let span_parent = Sim.Span.current () in
         for w = 0 to workers - 1 do
           Sim.Engine.spawn (fun () ->
+              Sim.Span.with_parent span_parent @@ fun () ->
               let loff = ref w in
               while !loff <= src_tail do
                 copy_one !loff;
@@ -325,6 +341,7 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
         done;
         Sim.Ivar.read all_done
       end);
+  Sim.Metrics.add (Sim.Metrics.counter "cluster.copied_entries") !copied_entries;
   (* 5. Substitute the spare into the membership and install the new
      view. A single reconfiguration agent runs at a time, so a
      conflict is a bug. *)
@@ -334,9 +351,12 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
    t.nodes.(!slot) <- spare);
   let chain_length = Array.length old_proj.Projection.replica_sets.(0) in
   let proj = make_projection ~epoch ~chain_length t.nodes old_proj.Projection.sequencer in
-  (match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
-  | Auxiliary.Installed -> ()
-  | Auxiliary.Conflict _ -> failwith "Cluster.replace_storage_node: concurrent reconfiguration");
+  Sim.Span.with_span "recovery.install" (fun () ->
+      match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
+      | Auxiliary.Installed -> ()
+      | Auxiliary.Conflict _ ->
+          failwith "Cluster.replace_storage_node: concurrent reconfiguration");
+  Sim.Metrics.incr (Sim.Metrics.counter "cluster.recoveries");
   let installed = Sim.Engine.now () in
   t.recoveries <-
     {
@@ -361,13 +381,16 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
 let start_failure_monitor ?(probe_interval_us = 20_000.) ?(probe_timeout_us = 10_000.) t =
   Sim.Engine.spawn (fun () ->
       let probe epoch node =
+        Sim.Metrics.incr (Sim.Metrics.counter "cluster.probes");
         match
           Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
             ~timeout_us:probe_timeout_us ~from:t.reconfig_host (Storage_node.read_service node)
             { Storage_node.repoch = epoch; roffset = 0 }
         with
         | Ok _ -> true (* any answer, even a sealed error, proves liveness *)
-        | Error _ -> false
+        | Error _ ->
+            Sim.Metrics.incr (Sim.Metrics.counter "cluster.probe_failures");
+            false
       in
       let rec loop () =
         Sim.Engine.sleep probe_interval_us;

@@ -22,6 +22,10 @@ type t = {
   mutable tail : Types.offset;
   mutable epoch : Types.epoch;
   streams : (Types.stream_id, Types.offset list) Hashtbl.t;
+  incr_c : Sim.Metrics.counter;
+  granted_c : Sim.Metrics.counter;
+  peeks_c : Sim.Metrics.counter;
+  seals_c : Sim.Metrics.counter;
   incr_svc : (increment_request, response) Sim.Net.service;
   peek_svc : (peek_request, response) Sim.Net.service;
   seal_svc : (Types.epoch, unit) Sim.Net.service;
@@ -39,6 +43,8 @@ let record_issue t sid off = Hashtbl.replace t.streams sid (truncate t.k (off ::
 let handle_increment t { iepoch; istreams; icount } =
   if iepoch < t.epoch then Seq_sealed t.epoch
   else begin
+    Sim.Metrics.incr t.incr_c;
+    Sim.Metrics.add t.granted_c (max 1 icount);
     let base = t.tail in
     let count = max 1 icount in
     let stream_tails = List.map (fun sid -> (sid, last_k t sid)) istreams in
@@ -69,12 +75,15 @@ let handle_dump t epoch =
 
 let handle_peek t { pepoch; pstreams } =
   if pepoch < t.epoch then Seq_sealed t.epoch
-  else
+  else begin
+    Sim.Metrics.incr t.peeks_c;
     Seq_ok { base = t.tail; stream_tails = List.map (fun sid -> (sid, last_k t sid)) pstreams }
+  end
 
 let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_streams = []) () =
   let seq_host = Sim.Net.add_host ~cores:32 net name in
   let counter_cpu = Sim.Resource.create ~name:(name ^ ".counter") ~capacity:1 () in
+  Sim.Metrics.track_resource counter_cpu;
   let service_us = params.sequencer_service_us in
   let rec t =
     lazy
@@ -89,6 +98,10 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
           (let h = Hashtbl.create 256 in
            List.iter (fun (sid, offs) -> Hashtbl.replace h sid offs) initial_streams;
            h);
+        incr_c = Sim.Metrics.counter ~host:name "seq.increments";
+        granted_c = Sim.Metrics.counter ~host:name "seq.granted_offsets";
+        peeks_c = Sim.Metrics.counter ~host:name "seq.peeks";
+        seals_c = Sim.Metrics.counter ~host:name "seq.seals";
         incr_svc =
           Sim.Net.service seq_host ~name:"increment" (fun r ->
               Sim.Resource.use counter_cpu service_us;
@@ -100,6 +113,7 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
         seal_svc =
           Sim.Net.service seq_host ~name:"seal" (fun e ->
               let t = Lazy.force t in
+              Sim.Metrics.incr t.seals_c;
               if e > t.epoch then t.epoch <- e);
         dump_svc =
           Sim.Net.service seq_host ~name:"dump" (fun e ->

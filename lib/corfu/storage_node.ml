@@ -13,6 +13,9 @@ type t = {
   mutable local_tail : Types.offset;  (* highest written local offset, -1 if none *)
   mutable trim_watermark : Types.offset;  (* everything below is reclaimed *)
   mutable writes_seen : int;
+  writes_c : Sim.Metrics.counter;
+  reads_c : Sim.Metrics.counter;
+  seals_c : Sim.Metrics.counter;
   write_svc : (write_request, Types.write_result) Sim.Net.service;
   read_svc : (read_request, Types.read_result) Sim.Net.service;
   trim_svc : (read_request, unit) Sim.Net.service;
@@ -29,6 +32,7 @@ let handle_write t { wepoch; woffset; wcell } =
   if wepoch < t.epoch then Types.Sealed_at t.epoch
   else if woffset >= t.capacity_entries then Types.Out_of_space
   else begin
+    Sim.Metrics.incr t.writes_c;
     Sim.Resource.use t.ssd t.write_us;
     match (lookup t woffset, wcell) with
     | Types.Unwritten, (Types.Data _ | Types.Junk) ->
@@ -46,6 +50,7 @@ let handle_write t { wepoch; woffset; wcell } =
 let handle_read t { repoch; roffset } =
   if repoch < t.epoch then Types.Read_sealed t.epoch
   else begin
+    Sim.Metrics.incr t.reads_c;
     Sim.Resource.use t.ssd t.read_us;
     match lookup t roffset with
     | Types.Data e -> Types.Read_data e
@@ -66,12 +71,14 @@ let handle_prefix_trim t { roffset; _ } =
   end
 
 let handle_seal t epoch =
+  Sim.Metrics.incr t.seals_c;
   if epoch > t.epoch then t.epoch <- epoch;
   t.local_tail
 
 let create ~net ~name ~(params : Sim.Params.t) ?(capacity_entries = max_int) () =
   let node_host = Sim.Net.add_host net name in
   let ssd = Sim.Resource.create ~name:(name ^ ".ssd") ~capacity:params.storage_capacity () in
+  Sim.Metrics.track_resource ssd;
   let rec t =
     lazy
       {
@@ -86,6 +93,9 @@ let create ~net ~name ~(params : Sim.Params.t) ?(capacity_entries = max_int) () 
         local_tail = -1;
         trim_watermark = 0;
         writes_seen = 0;
+        writes_c = Sim.Metrics.counter ~host:name "ssd.writes";
+        reads_c = Sim.Metrics.counter ~host:name "ssd.reads";
+        seals_c = Sim.Metrics.counter ~host:name "node.seals";
         write_svc = Sim.Net.service node_host ~name:"write" (fun r -> handle_write (Lazy.force t) r);
         read_svc = Sim.Net.service node_host ~name:"read" (fun r -> handle_read (Lazy.force t) r);
         trim_svc = Sim.Net.service node_host ~name:"trim" (fun r -> handle_trim (Lazy.force t) r);

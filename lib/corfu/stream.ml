@@ -109,6 +109,11 @@ let header_for t off entry =
    degrades to a linear backward scan (§5, Failure Handling). *)
 let sync_with t ~tail ~ptrs =
   if tail > t.horizon then begin
+    Sim.Span.with_span
+      ~host:(Sim.Net.host_name (Client.host t.cl))
+      ~args:[ ("stream", string_of_int t.sid); ("tail", string_of_int tail) ]
+      "backpointer.walk"
+    @@ fun () ->
     let floor = known_max t in
     let visited = Hashtbl.create 64 in
     let members = ref [] in

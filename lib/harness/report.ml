@@ -1,0 +1,59 @@
+module Jout = Sim.Jout
+
+let schema_version = 1
+
+type scenario = {
+  sc_name : string;
+  sc_seed : int;
+  sc_params : (string * string) list;
+  sc_summary : (string * float) list;
+  sc_virtual_end_us : float;
+  sc_metrics_json : string;
+}
+
+let on = ref false
+let scenarios : scenario list ref = ref []  (* newest first *)
+
+let enable () = on := true
+let enabled () = !on
+let clear () = scenarios := []
+
+let add_scenario ~name ~seed ?(params = []) ?(summary = []) ~virtual_end_us ~metrics_json () =
+  if !on then
+    scenarios :=
+      {
+        sc_name = name;
+        sc_seed = seed;
+        sc_params = params;
+        sc_summary = summary;
+        sc_virtual_end_us = virtual_end_us;
+        sc_metrics_json = metrics_json;
+      }
+      :: !scenarios
+
+let scenario_json sc =
+  Jout.obj
+    [
+      ("name", Jout.str sc.sc_name);
+      ("seed", string_of_int sc.sc_seed);
+      ("params", Jout.obj (List.map (fun (k, v) -> (k, Jout.str v)) sc.sc_params));
+      ("summary", Jout.obj (List.map (fun (k, v) -> (k, Jout.flt v)) sc.sc_summary));
+      ("virtual_end_us", Jout.flt sc.sc_virtual_end_us);
+      ("metrics", sc.sc_metrics_json);
+    ]
+
+let to_json ?(tool = "tango-bench") () =
+  Jout.obj
+    [
+      ("schema_version", string_of_int schema_version);
+      ("tool", Jout.str tool);
+      ("scenarios", Jout.arr (List.rev_map scenario_json !scenarios));
+    ]
+
+let write ?tool path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ?tool ());
+      output_char oc '\n')

@@ -1,0 +1,54 @@
+(** Versioned, machine-readable run reports.
+
+    A report aggregates one or more {e scenarios} — each a single
+    [Engine.run] of a bench experiment — into one JSON document:
+
+    {v
+    { "schema_version": 1,
+      "tool": "tango-bench",
+      "scenarios": [
+        { "name": "fig5", "seed": 42,
+          "params": { "servers": "6", ... },
+          "summary": { "appends_per_s": 12345.0, ... },
+          "virtual_end_us": 400000.0,
+          "metrics": { "counters": [...], "gauges": [...],
+                       "histograms": [...], "series": [...] } } ] }
+    v}
+
+    The embedded ["metrics"] object is {!Sim.Metrics.to_json} captured
+    right after the scenario's run, so per-component histograms carry
+    their percentile fields ([p50_us]/[p90_us]/[p99_us]) and resource
+    time series ride along verbatim.
+
+    The collector is global and disabled by default so experiments can
+    call {!add_scenario} unconditionally: without {!enable} (set when
+    the bench driver sees [--json]) every call is a no-op. *)
+
+(** Bumped on any incompatible change to the document layout. *)
+val schema_version : int
+
+val enable : unit -> unit
+val enabled : unit -> bool
+
+(** [add_scenario ~name ~seed ... ()] appends one scenario record.
+    [metrics_json] must be a complete JSON object (normally
+    [Sim.Metrics.to_json ()]); it is embedded unquoted. No-op while
+    the collector is disabled. *)
+val add_scenario :
+  name:string ->
+  seed:int ->
+  ?params:(string * string) list ->
+  ?summary:(string * float) list ->
+  virtual_end_us:float ->
+  metrics_json:string ->
+  unit ->
+  unit
+
+(** The whole report document. [tool] defaults to ["tango-bench"]. *)
+val to_json : ?tool:string -> unit -> string
+
+(** [write path] saves {!to_json} to [path] (trailing newline added). *)
+val write : ?tool:string -> string -> unit
+
+(** Drop all collected scenarios (the enabled flag is untouched). *)
+val clear : unit -> unit

@@ -74,6 +74,12 @@ type world = {
 
 let current : world option ref = ref None
 
+(* Monotonic count of worlds ever started, readable outside a run.
+   Registries that outlive [run] (Metrics, Span) compare it to decide
+   when to lazily reset. *)
+let runs = ref 0
+let run_count () = !runs
+
 let get_world () =
   match !current with
   | Some w -> w
@@ -156,6 +162,7 @@ let run ?(seed = 1) ?until main =
     }
   in
   current := Some w;
+  incr runs;
   Fun.protect ~finally:(fun () -> current := None) @@ fun () ->
   let result = ref None in
   let fid = w.next_fiber in

@@ -65,3 +65,10 @@ val fiber_id : unit -> int
 (** [schedule ~after f] runs the thunk [f] (not a fiber: it must not
     sleep or suspend) after [after] microseconds. *)
 val schedule : after:float -> (unit -> unit) -> unit
+
+(** [run_count ()] is the number of simulation worlds ever started in
+    this process (incremented at the top of each {!run}). Unlike the
+    other accessors it is usable outside a run. Global registries such
+    as {!Metrics} and {!Span} use it to reset themselves lazily at the
+    start of a new run while staying readable after a run ends. *)
+val run_count : unit -> int

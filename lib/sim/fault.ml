@@ -97,6 +97,7 @@ let apply t action =
   | Clear_edge (s, d) -> Hashtbl.remove t.edges (s, d)
   | Custom (_, run) -> run ());
   let what = label action in
+  Metrics.incr (Metrics.counter ?host:(host_of action) "fault.injected");
   t.log <- { ev_time = Engine.now (); ev_label = what } :: t.log;
   Trace.f ?host:(host_of action) "fault" "%s" what
 

@@ -16,7 +16,7 @@ type t = {
   net_fault : Fault.t option ref;
 }
 
-type ('req, 'resp) service = { shost : host; serve : 'req -> 'resp }
+type ('req, 'resp) service = { shost : host; sname : string; serve : 'req -> 'resp }
 
 type rpc_error = Rpc_timeout | Rpc_dead
 
@@ -28,23 +28,30 @@ let install_fault t f = t.net_fault := Some f
 let fault t = !(t.net_fault)
 
 let add_host ?(cores = 8) t name =
-  {
-    hname = name;
-    nic_in_r = Resource.create ~name:(name ^ ".nic-in") ~capacity:1 ();
-    nic_out_r = Resource.create ~name:(name ^ ".nic-out") ~capacity:1 ();
-    cpu = Resource.create ~name:(name ^ ".cpu") ~capacity:cores ();
-    fabric_latency = t.latency;
-    fabric_jitter = t.jitter;
-    byte_time = t.byte_time;
-    hfault = t.net_fault;
-  }
+  let h =
+    {
+      hname = name;
+      nic_in_r = Resource.create ~name:(name ^ ".nic-in") ~capacity:1 ();
+      nic_out_r = Resource.create ~name:(name ^ ".nic-out") ~capacity:1 ();
+      cpu = Resource.create ~name:(name ^ ".cpu") ~capacity:cores ();
+      fabric_latency = t.latency;
+      fabric_jitter = t.jitter;
+      byte_time = t.byte_time;
+      hfault = t.net_fault;
+    }
+  in
+  Metrics.track_resource h.nic_in_r;
+  Metrics.track_resource h.nic_out_r;
+  Metrics.track_resource h.cpu;
+  h
 
 let host_name h = h.hname
 let host_cpu h = h.cpu
 let nic_in h = h.nic_in_r
 let nic_out h = h.nic_out_r
 
-let service shost ~name:_ serve = { shost; serve }
+let service shost ~name serve = { shost; sname = name; serve }
+let service_name svc = svc.sname
 
 let propagation h =
   let base = h.fabric_latency in
@@ -66,6 +73,10 @@ let crashed fault name = match fault with Some f -> Fault.is_crashed f name | No
 let park : unit -> 'a = fun () -> Engine.suspend (fun (_ : 'a Engine.resumer) -> ())
 
 let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
+  Span.with_span ~host:from.hname
+    ~args:[ ("dst", svc.shost.hname) ]
+    ("rpc." ^ svc.sname)
+  @@ fun () ->
   match !(from.hfault) with
   | None ->
       if from == svc.shost then svc.serve req
@@ -108,6 +119,10 @@ let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
   match fault with
   | None -> Ok (call ~req_bytes ~resp_bytes ~from svc req)
   | Some f ->
+      Span.with_span ~host:from.hname
+        ~args:[ ("dst", svc.shost.hname) ]
+        ("rpc." ^ svc.sname)
+      @@ fun () ->
       if crashed fault from.hname then Error Rpc_dead
       else if from == svc.shost then begin
         match svc.serve req with
@@ -115,6 +130,7 @@ let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
         | exception Resource.Failed _ -> Error Rpc_dead
       end
       else
+        let span_parent = Span.current () in
         Engine.suspend (fun resume ->
             let settled = ref false in
             let settle r =
@@ -127,6 +143,7 @@ let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
             | Some dt -> Engine.schedule ~after:dt (fun () -> settle (Error Rpc_timeout))
             | None -> ());
             Engine.spawn (fun () ->
+                Span.with_parent span_parent @@ fun () ->
                 try
                   let wire = float_of_int req_bytes *. from.byte_time in
                   Resource.use from.nic_out_r wire;
@@ -157,13 +174,16 @@ let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
                 with Resource.Failed _ -> ()))
 
 let send ?(req_bytes = 64) ~from svc req =
+  let span_parent = Span.current () in
   match !(from.hfault) with
   | None ->
-      if from == svc.shost then Engine.spawn (fun () -> svc.serve req)
+      if from == svc.shost then
+        Engine.spawn (fun () -> Span.with_parent span_parent (fun () -> svc.serve req))
       else begin
         let wire_time = float_of_int req_bytes *. from.byte_time in
         Resource.use from.nic_out_r wire_time;
         Engine.spawn (fun () ->
+            Span.with_parent span_parent @@ fun () ->
             Engine.sleep (propagation from);
             Resource.use svc.shost.nic_in_r wire_time;
             svc.serve req)
@@ -171,7 +191,9 @@ let send ?(req_bytes = 64) ~from svc req =
   | Some f ->
       if Fault.is_crashed f from.hname then ()
       else if from == svc.shost then
-        Engine.spawn (fun () -> try svc.serve req with Resource.Failed _ -> ())
+        Engine.spawn (fun () ->
+            Span.with_parent span_parent @@ fun () ->
+            try svc.serve req with Resource.Failed _ -> ())
       else begin
         let wire_time = float_of_int req_bytes *. from.byte_time in
         Resource.use from.nic_out_r wire_time;
@@ -179,6 +201,7 @@ let send ?(req_bytes = 64) ~from svc req =
         | Fault.Drop -> ()
         | Fault.Deliver extra ->
             Engine.spawn (fun () ->
+                Span.with_parent span_parent @@ fun () ->
                 Engine.sleep (propagation from +. extra);
                 if not (Fault.is_crashed f svc.shost.hname) then begin
                   Resource.use svc.shost.nic_in_r wire_time;

@@ -39,6 +39,10 @@ type ('req, 'resp) service
     via {!Resource.use}. *)
 val service : host -> name:string -> ('req -> 'resp) -> ('req, 'resp) service
 
+(** [service_name svc] is the name the endpoint was registered under.
+    RPC spans are labelled ["rpc.<service_name>"]. *)
+val service_name : ('req, 'resp) service -> string
+
 (** [call ~from svc req] performs a blocking RPC. [req_bytes] and
     [resp_bytes] (default 64) size the two messages. Calls between a
     host and itself skip the network entirely.

@@ -23,6 +23,7 @@ let create ~name ~capacity () =
   }
 
 let name t = t.name
+let capacity t = t.capacity
 
 let account t =
   let now = Engine.now () in

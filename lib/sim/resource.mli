@@ -20,6 +20,10 @@ val create : name:string -> capacity:int -> unit -> t
 
 val name : t -> string
 
+(** [capacity t] is the number of parallel servers, for utilization
+    reporting ([busy_time] / (interval × capacity)). *)
+val capacity : t -> int
+
 (** [acquire t] takes one server, waiting in FIFO order if none is
     free.
     @raise Failed if the station is failed (also raised from the wait

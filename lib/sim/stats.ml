@@ -33,14 +33,26 @@ module Series = struct
       !sum /. float_of_int t.len
     end
 
+  let percentile_opt t p =
+    if Float.is_nan p || p < 0. || p > 100. then
+      invalid_arg "Series.percentile: p must be in [0, 100]";
+    if t.len = 0 then None
+    else begin
+      ensure_sorted t;
+      let rank = p /. 100. *. float_of_int (t.len - 1) in
+      (* Clamp both indices so float round-off (and the 1-sample case,
+         where rank = 0 for every p) can never index past the end. *)
+      let clamp i = Stdlib.min (t.len - 1) (Stdlib.max 0 i) in
+      let lo = clamp (int_of_float (Float.floor rank)) in
+      let hi = clamp (int_of_float (Float.ceil rank)) in
+      let frac = rank -. float_of_int lo in
+      Some ((t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac))
+    end
+
   let percentile t p =
-    if t.len = 0 then invalid_arg "Series.percentile: empty series";
-    ensure_sorted t;
-    let rank = p /. 100. *. float_of_int (t.len - 1) in
-    let lo = int_of_float (Float.floor rank) in
-    let hi = int_of_float (Float.ceil rank) in
-    let frac = rank -. float_of_int lo in
-    (t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac)
+    match percentile_opt t p with
+    | Some v -> v
+    | None -> invalid_arg "Series.percentile: empty series"
 
   let min t = percentile t 0.
   let max t = percentile t 100.

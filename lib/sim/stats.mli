@@ -13,8 +13,16 @@ module Series : sig
   val mean : t -> float
 
   (** [percentile t p] with [p] in [\[0,100\]]; 50.0 is the median.
-      @raise Invalid_argument if the series is empty. *)
+      Linear interpolation between order statistics; a 1-sample series
+      returns that sample for every [p].
+      @raise Invalid_argument if the series is empty or [p] is outside
+      [\[0,100\]]. *)
   val percentile : t -> float -> float
+
+  (** Raise-free variant: [None] on an empty series. Still raises
+      [Invalid_argument] on [p] outside [\[0,100\]] — that is a caller
+      bug, not a data condition. *)
+  val percentile_opt : t -> float -> float option
 
   val min : t -> float
   val max : t -> float

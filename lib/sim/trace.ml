@@ -12,7 +12,14 @@ let f ?host component fmt =
     let ppf = match !sink with Some p -> p | None -> Format.err_formatter in
     let clock = try Engine.now () with Invalid_argument _ -> 0. in
     let fiber = try Engine.fiber_id () with Invalid_argument _ -> -1 in
-    Format.fprintf ppf "[%12.1f] f%-4d %-14s %-10s " clock fiber
+    let span =
+      if not (Span.enabled ()) then ""
+      else
+        match (try Span.current () with Invalid_argument _ -> None) with
+        | Some id -> Printf.sprintf " s%-5d" (Span.id_int id)
+        | None -> Printf.sprintf " %-6s" "-"
+    in
+    Format.fprintf ppf "[%12.1f] f%-4d%s %-14s %-10s " clock fiber span
       (match host with Some h -> h | None -> "-")
       component;
     Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt

@@ -11,7 +11,9 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 (** [f ?host "component" fmt ...] logs one formatted line when
-    enabled. *)
+    enabled. When {!Span} tracing is also on, the line carries the
+    calling fiber's innermost span id, tying text traces to the span
+    timeline. *)
 val f : ?host:string -> string -> ('a, Format.formatter, unit) format -> 'a
 
 (** [capture fn] runs [fn] with tracing force-enabled and redirected to

@@ -555,6 +555,161 @@ let test_meter_rate () =
       Stats.Meter.reset m;
       check_int "reset" 0 (Stats.Meter.count m))
 
+let expect_invalid_arg what f =
+  match f () with
+  | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_series_percentile_edges () =
+  let s = Stats.Series.create () in
+  check_bool "empty percentile_opt" true (Stats.Series.percentile_opt s 50. = None);
+  expect_invalid_arg "empty percentile" (fun () -> Stats.Series.percentile s 50.);
+  Stats.Series.add s 7.;
+  check_float "1-sample p0" 7. (Stats.Series.percentile s 0.);
+  check_float "1-sample p50" 7. (Stats.Series.percentile s 50.);
+  check_float "1-sample p100" 7. (Stats.Series.percentile s 100.);
+  List.iter (Stats.Series.add s) [ 1.; 3. ];
+  check_float "p0 is min" 1. (Stats.Series.percentile s 0.);
+  check_float "p50 is median" 3. (Stats.Series.percentile s 50.);
+  check_float "p100 is max" 7. (Stats.Series.percentile s 100.);
+  expect_invalid_arg "p > 100" (fun () -> Stats.Series.percentile s 101.);
+  expect_invalid_arg "p < 0" (fun () -> Stats.Series.percentile_opt s (-1.));
+  expect_invalid_arg "p nan" (fun () -> Stats.Series.percentile s Float.nan)
+
+let test_meter_zero_window () =
+  Engine.run (fun () ->
+      let m = Stats.Meter.create () in
+      Stats.Meter.mark_n m 5;
+      (* no virtual time has passed since create: rate must be 0, not
+         a division blow-up *)
+      check_float "zero-elapsed rate" 0. (Stats.Meter.rate m))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_get_or_create () =
+  Engine.run (fun () ->
+      let c1 = Metrics.counter ~host:"h" "ops" in
+      let c2 = Metrics.counter ~host:"h" "ops" in
+      Metrics.incr c1;
+      Metrics.add c2 2;
+      check_int "same underlying counter" 3 (Metrics.counter_value c1);
+      (* a different host label is a different counter *)
+      check_int "host-qualified distinct" 0 (Metrics.counter_value (Metrics.counter "ops"));
+      let g = Metrics.gauge "depth" in
+      Metrics.set_gauge g 4.;
+      check_float "gauge readback" 4. (Metrics.gauge_value g);
+      let h = Metrics.histogram ~host:"h" "lat_us" in
+      Metrics.observe h 10.;
+      Metrics.observe h 1_000.;
+      check_int "hist count" 2 (Metrics.hist_count h);
+      check_bool "p50 within observed range" true
+        (Metrics.hist_percentile h 50. >= 10. && Metrics.hist_percentile h 50. <= 1_000.))
+
+let test_metrics_reset_across_runs () =
+  Engine.run (fun () -> Metrics.incr (Metrics.counter "a"));
+  (* readable post-mortem: the registry survives the end of the run *)
+  check_int "post-run readback" 1 (Metrics.counter_value (Metrics.counter "a"));
+  Engine.run (fun () ->
+      check_int "fresh registry in new run" 0 (Metrics.counter_value (Metrics.counter "a")))
+
+let test_metrics_sampler_series () =
+  Engine.run (fun () ->
+      let r = Resource.create ~name:"dev" ~capacity:1 () in
+      Metrics.track_resource r;
+      Metrics.start_sampler ~interval_us:100. ();
+      Engine.spawn (fun () ->
+          for _ = 1 to 5 do
+            Resource.use r 50.
+          done);
+      Engine.sleep 1_000.);
+  let snap = Metrics.snapshot () in
+  let find name =
+    List.find_opt (fun (s : Metrics.series_view) -> String.equal s.Metrics.s_name name)
+      snap.Metrics.series
+  in
+  (match find "util:dev" with
+  | Some s ->
+      check_bool "util points recorded" true (Array.length s.Metrics.s_points > 0);
+      check_bool "busy interval sampled" true
+        (Array.exists (fun (_, v) -> v > 0.) s.Metrics.s_points)
+  | None -> Alcotest.fail "util:dev series missing");
+  check_bool "qlen series present" true (find "qlen:dev" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_spans_on f =
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) f
+
+let test_span_nesting () =
+  with_spans_on (fun () ->
+      Engine.run (fun () ->
+          Span.with_span ~host:"h" "outer" (fun () ->
+              Engine.sleep 10.;
+              Span.with_span "inner" (fun () -> Engine.sleep 5.))));
+  match Span.spans () with
+  | [ outer; inner ] ->
+      check_bool "inner's parent is outer" true (inner.Span.v_parent = Some outer.Span.v_id);
+      check_bool "host inherited" true (inner.Span.v_host = Some "h");
+      check_float "outer starts at 0" 0. outer.Span.v_start;
+      check_float "inner starts after sleep" 10. inner.Span.v_start;
+      check_bool "intervals nest" true
+        (match (outer.Span.v_end, inner.Span.v_end) with
+        | Some oe, Some ie -> ie <= oe && outer.Span.v_start <= inner.Span.v_start
+        | _ -> false)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l))
+
+let test_span_cross_fiber_parent () =
+  with_spans_on (fun () ->
+      Engine.run (fun () ->
+          Span.with_span ~host:"h" "root" (fun () ->
+              let p = Span.current () in
+              Engine.spawn (fun () ->
+                  Span.with_parent p (fun () ->
+                      Span.with_span "child" (fun () -> Engine.sleep 1.)));
+              Engine.sleep 10.)));
+  let spans = Span.spans () in
+  let find n = List.find (fun (v : Span.view) -> String.equal v.Span.v_name n) spans in
+  let root = find "root" in
+  let child = find "child" in
+  check_bool "cross-fiber parent" true (child.Span.v_parent = Some root.Span.v_id);
+  check_bool "distinct fibers" true (child.Span.v_fiber <> root.Span.v_fiber);
+  check_bool "host carried across fibers" true (child.Span.v_host = Some "h")
+
+let test_span_disabled_records_nothing () =
+  Engine.run (fun () -> Span.with_span ~host:"h" "ghost" (fun () -> Engine.sleep 1.));
+  check_int "nothing recorded while off" 0 (List.length (Span.spans ()))
+
+(* Two same-seed runs of an instrumented scenario must dump
+   byte-identical span timelines and metric snapshots: observability
+   never perturbs the schedule, and its own output is canonical. *)
+let test_observability_determinism () =
+  let scenario () =
+    Span.capture (fun () ->
+        Engine.run ~seed:11 (fun () ->
+            let net = make_net ~jitter:0.1 () in
+            let a = Net.add_host net "a" in
+            let b = Net.add_host net "b" in
+            let svc = Net.service b ~name:"echo" (fun x -> x * 2) in
+            Metrics.start_sampler ~interval_us:500. ();
+            let h = Metrics.histogram ~host:"a" "echo_us" in
+            for i = 1 to 25 do
+              Span.with_span ~host:"a" "op" (fun () ->
+                  ignore (Metrics.time h (fun () -> Net.call ~from:a svc i)));
+              Engine.sleep 50.
+            done);
+        Metrics.to_json ())
+  in
+  let m1, s1 = scenario () in
+  let m2, s2 = scenario () in
+  check_bool "spans non-trivial" true (String.length s1 > 100);
+  Alcotest.(check string) "metrics byte-identical" m1 m2;
+  Alcotest.(check string) "span dump byte-identical" s1 s2
+
 (* ------------------------------------------------------------------ *)
 (* Rng properties                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -684,6 +839,21 @@ let () =
           Alcotest.test_case "series grows" `Quick test_series_grows;
           Alcotest.test_case "add after percentile" `Quick test_series_add_after_percentile;
           Alcotest.test_case "meter rate" `Quick test_meter_rate;
+          Alcotest.test_case "percentile edge cases" `Quick test_series_percentile_edges;
+          Alcotest.test_case "meter zero window" `Quick test_meter_zero_window;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "get-or-create handles" `Quick test_metrics_get_or_create;
+          Alcotest.test_case "reset across runs" `Quick test_metrics_reset_across_runs;
+          Alcotest.test_case "sampler records series" `Quick test_metrics_sampler_series;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting and inheritance" `Quick test_span_nesting;
+          Alcotest.test_case "cross-fiber parenting" `Quick test_span_cross_fiber_parent;
+          Alcotest.test_case "disabled records nothing" `Quick test_span_disabled_records_nothing;
+          Alcotest.test_case "deterministic dumps" `Quick test_observability_determinism;
         ] );
       ( "properties",
         qcheck
