@@ -3,7 +3,8 @@
      dune exec bin/tangoctl.exe -- cluster-info --servers 18
      dune exec bin/tangoctl.exe -- failover
      dune exec bin/tangoctl.exe -- gc
-     dune exec bin/tangoctl.exe -- soak --clients 4 --ops 200 *)
+     dune exec bin/tangoctl.exe -- soak --clients 4 --ops 200
+     dune exec bin/tangoctl.exe -- projection --servers 6 --add-servers 12 *)
 
 open Cmdliner
 open Tango_objects
@@ -25,12 +26,12 @@ let cluster_info servers =
       say "  epoch           : %d" proj.Corfu.Projection.epoch;
       say "  sequencer       : %s" (Corfu.Sequencer.name proj.Corfu.Projection.sequencer);
       say "";
-      say "offset -> (replica set, local offset) mapping samples:";
+      say "offset -> (segment, replica set, local offset) mapping samples:";
       List.iter
         (fun off ->
-          let set = off mod Corfu.Projection.num_sets proj in
-          say "  global %6d -> set %d, local %d" off set
-            (Corfu.Projection.local_offset proj off))
+          match Corfu.Projection.resolve proj off with
+          | Some (seg, set, local) -> say "  global %6d -> seg %d, set %d, local %d" off seg set local
+          | None -> say "  global %6d -> retired (prefix-trimmed)" off)
         [ 0; 1; 17; 1_000_000 ];
       say "";
       let p = Corfu.Cluster.params cluster in
@@ -260,6 +261,56 @@ let trace out seed =
   `Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* projection                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Show the segmented layout map evolving through a live scale-out:
+   append, scale, append again, then print the epoch-versioned layout
+   and how offsets on either side of the seal boundary resolve. *)
+let projection servers add_servers seed =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers () in
+      let c = Corfu.Cluster.new_client cluster ~name:"app" in
+      for i = 1 to 20 do
+        ignore (Corfu.Client.append c ~streams:[ 1 ] (Bytes.of_string (string_of_int i)))
+      done;
+      let aux = Corfu.Cluster.auxiliary cluster in
+      say "layout before scale-out:";
+      say "%s"
+        (Format.asprintf "%a" Corfu.Projection.pp_layout
+           (Corfu.Projection.layout (Corfu.Auxiliary.latest aux)));
+      let epoch = Corfu.Cluster.scale_out cluster ~add_servers in
+      for i = 21 to 30 do
+        ignore (Corfu.Client.append c ~streams:[ 1 ] (Bytes.of_string (string_of_int i)))
+      done;
+      let proj = Corfu.Auxiliary.latest aux in
+      say "";
+      say "layout after scale-out to epoch %d (+%d servers, no data copied):" epoch add_servers;
+      say "%s" (Format.asprintf "%a" Corfu.Projection.pp_layout (Corfu.Projection.layout proj));
+      (match Corfu.Cluster.scale_events cluster with
+      | [ e ] ->
+          say "sealed the old tail segment at offset %d; installed in %.0f us"
+            e.Corfu.Cluster.sc_boundary
+            (e.Corfu.Cluster.sc_installed_us -. e.Corfu.Cluster.sc_started_us)
+      | _ -> ());
+      say "";
+      say "offsets resolve through the segment that wrote them:";
+      List.iter
+        (fun off ->
+          match Corfu.Projection.resolve proj off with
+          | Some (seg, set, local) ->
+              let r =
+                match Corfu.Client.read_resolved c off with
+                | Corfu.Client.Data _ -> "data"
+                | Corfu.Client.Junk -> "junk"
+                | _ -> "?"
+              in
+              say "  global %4d -> seg %d, set %d, local %d  (%s)" off seg set local r
+          | None -> say "  global %4d -> retired (prefix-trimmed)" off)
+        [ 0; 7; 19; 20; 29 ]);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* command line                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -311,9 +362,29 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Record a causal span timeline of appends and reads.")
     Term.(ret (const trace $ out_arg $ seed_arg))
 
+let proj_servers_arg =
+  Arg.(value & opt int 6 & info [ "servers" ] ~docv:"N" ~doc:"Storage servers before the scale-out.")
+
+let add_servers_arg =
+  Arg.(value & opt int 12 & info [ "add-servers" ] ~docv:"N" ~doc:"Servers added by the scale-out.")
+
+let projection_cmd =
+  Cmd.v
+    (Cmd.info "projection"
+       ~doc:"Print the segmented layout map through a live scale-out (§2.2 reconfiguration).")
+    Term.(ret (const projection $ proj_servers_arg $ add_servers_arg $ seed_arg))
+
 let () =
   let info = Cmd.info "tangoctl" ~doc:"Operational demos for the Tango reproduction." in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cluster_info_cmd; failover_cmd; gc_cmd; soak_cmd; metrics_cmd; trace_cmd ]))
+          [
+            cluster_info_cmd;
+            failover_cmd;
+            gc_cmd;
+            soak_cmd;
+            metrics_cmd;
+            trace_cmd;
+            projection_cmd;
+          ]))

@@ -24,24 +24,18 @@ type t =
 
 (* ------------------------------------------------------------------ *)
 (* Wire format: fixed-width big-endian integers, length-prefixed      *)
-(* byte strings. One byte of record count, then length-prefixed       *)
-(* records so a reader can skip unknown slots.                        *)
+(* byte strings, via the shared Corfu.Wire codec. One byte of record  *)
+(* count, then length-prefixed records so a reader can skip unknown   *)
+(* slots.                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let put_u8 b v = Buffer.add_uint8 b v
-let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
-let put_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
+module Wire = Corfu.Wire
 
-let put_bytes b s =
-  put_u32 b (Bytes.length s);
-  Buffer.add_bytes b s
-
-let put_key b = function
-  | None -> put_u8 b 0
-  | Some k ->
-      put_u8 b 1;
-      put_u32 b (String.length k);
-      Buffer.add_string b k
+let put_u8 = Wire.put_u8
+let put_u32 = Wire.put_u32
+let put_u64 = Wire.put_u64
+let put_bytes = Wire.put_bytes
+let put_key = Wire.put_opt_string
 
 let put_update b { u_oid; u_key; u_data } =
   put_u64 b u_oid;
@@ -83,47 +77,11 @@ let encode_one b = function
           put_u8 b (if ok then 1 else 0))
         p_verdicts
 
-type cursor = { buf : bytes; mutable at : int }
-
-let need c n =
-  if c.at + n > Bytes.length c.buf then invalid_arg "Record.decode: truncated payload"
-
-let get_u8 c =
-  need c 1;
-  let v = Bytes.get_uint8 c.buf c.at in
-  c.at <- c.at + 1;
-  v
-
-let get_u32 c =
-  need c 4;
-  let v = Int32.to_int (Bytes.get_int32_be c.buf c.at) in
-  c.at <- c.at + 4;
-  v
-
-let get_u64 c =
-  need c 8;
-  let v = Int64.to_int (Bytes.get_int64_be c.buf c.at) in
-  c.at <- c.at + 8;
-  v
-
-let get_bytes c =
-  let n = get_u32 c in
-  if n < 0 then invalid_arg "Record.decode: negative length";
-  need c n;
-  let v = Bytes.sub c.buf c.at n in
-  c.at <- c.at + n;
-  v
-
-let get_key c =
-  match get_u8 c with
-  | 0 -> None
-  | 1 ->
-      let n = get_u32 c in
-      need c n;
-      let v = Bytes.sub_string c.buf c.at n in
-      c.at <- c.at + n;
-      Some v
-  | _ -> invalid_arg "Record.decode: bad key tag"
+let get_u8 = Wire.get_u8
+let get_u32 = Wire.get_u32
+let get_u64 = Wire.get_u64
+let get_bytes = Wire.get_bytes
+let get_key = Wire.get_opt_string
 
 let get_update c =
   let u_oid = get_u64 c in
@@ -183,13 +141,13 @@ let encode_payload records =
   Buffer.to_bytes b
 
 let decode_payload buf =
-  let c = { buf; at = 0 } in
+  let c = Wire.reader buf in
   let n = get_u8 c in
   List.init n (fun _ ->
       let len = get_u32 c in
-      let stop = c.at + len in
+      let stop = Wire.at c + len in
       let r = decode_one c in
-      if c.at <> stop then invalid_arg "Record.decode: record length mismatch";
+      if Wire.at c <> stop then invalid_arg "Record.decode: record length mismatch";
       r)
 
 let streams_of = function

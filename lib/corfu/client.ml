@@ -109,6 +109,11 @@ let write_chain t off cell =
   @@ fun () ->
   Sim.Metrics.time t.chain_h
   @@ fun () ->
+  if Projection.locate t.proj off = Projection.Retired then
+    (* The offset's segment was retired from the map: its data was
+       prefix-trimmed away, so the slot is permanently lost to us. *)
+    Chain_lost Types.Trimmed
+  else
   let set = Projection.replica_set t.proj off in
   let loff = Projection.local_offset t.proj off in
   let req = { Storage_node.wepoch = t.proj.Projection.epoch; woffset = loff; wcell = cell } in
@@ -336,6 +341,8 @@ let read_replica t node off =
     { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff }
 
 let rec read t off =
+  if Projection.locate t.proj off = Projection.Retired then Trimmed
+  else
   let set = Projection.replica_set t.proj off in
   let n = Array.length set in
   let start = Sim.Rng.int t.rng n in
@@ -405,14 +412,17 @@ let check t = fst (peek_streams t [])
 
 let check_slow t =
   let proj = t.proj in
-  let nsets = Projection.num_sets proj in
+  (* Only the live tail segment can grow, so only its chains need
+     probing; bounded segments end below the tail by construction. *)
+  let tail_seg = Projection.tail_segment proj in
+  let nsets = Array.length tail_seg.Projection.seg_sets in
   let locals =
     Array.init nsets (fun set ->
         (* The head is written first, so it carries the highest local
            tail of the chain; a dead member falls back to the next one
            (whose tail is a lower bound — safe, the probing append's
            write-once race absorbs an under-estimate). *)
-        let chain = proj.Projection.replica_sets.(set) in
+        let chain = tail_seg.Projection.seg_sets.(set) in
         let rec probe i =
           if i >= Array.length chain then -1
           else
@@ -477,6 +487,11 @@ let fill t off =
   Sim.Span.with_span ~host:(hname t) ~args:[ ("offset", string_of_int off) ] "fill"
   @@ fun () ->
   let rec attempt backoff =
+    if Projection.locate t.proj off = Projection.Retired then
+      (* Retired: the hole was prefix-trimmed out of existence along
+         with its whole segment — nothing left to patch. *)
+      Filled
+    else
     let set = Projection.replica_set t.proj off in
     let loff = Projection.local_offset t.proj off in
     let wr cell i =
@@ -587,6 +602,8 @@ let prefetch t off =
   end
 
 let trim t off =
+  if Projection.locate t.proj off = Projection.Retired then ()
+  else
   let set = Projection.replica_set t.proj off in
   let loff = Projection.local_offset t.proj off in
   Array.iter
@@ -604,17 +621,33 @@ let cache_drop_below_impl t off =
 
 let prefix_trim t off =
   let proj = t.proj in
-  let nsets = Projection.num_sets proj in
-  for set = 0 to nsets - 1 do
-    (* Local offsets l with l*nsets + set < off are reclaimable. *)
-    let watermark = if off <= set then 0 else ((off - set) + nsets - 1) / nsets in
-    if watermark > 0 then
-      Array.iter
-        (fun node ->
-          Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes ~from:t.client_host
-            (Storage_node.prefix_trim_service node)
-            { Storage_node.repoch = proj.Projection.epoch; roffset = watermark })
-        proj.Projection.replica_sets.(set)
+  (* Each segment overlapping [0, off) gets its own per-set watermark:
+     local offsets holding cells whose global offset is below [off].
+     Retired segments need nothing — their nodes already trimmed past
+     their whole range (that is what retired them). *)
+  for si = 0 to Projection.num_segments proj - 1 do
+    let seg = Projection.segment proj si in
+    let hi =
+      match seg.Projection.seg_limit with
+      | Some limit -> min off limit
+      | None -> off
+    in
+    let rel = hi - seg.Projection.seg_base in
+    if rel > 0 then
+      Array.iteri
+        (fun set chain ->
+          let cells = Projection.seg_cells_below seg ~set ~rel in
+          if cells > 0 then begin
+            let watermark = seg.Projection.seg_local_base + cells in
+            Array.iter
+              (fun node ->
+                Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes
+                  ~from:t.client_host
+                  (Storage_node.prefix_trim_service node)
+                  { Storage_node.repoch = proj.Projection.epoch; roffset = watermark })
+              chain
+          end)
+        seg.Projection.seg_sets
   done;
   cache_drop_below_impl t off
 

@@ -8,28 +8,70 @@ type recovery = {
   rec_copied_bytes : int;
 }
 
+type scale_kind = Scale_out | Scale_in | Segments_retired
+
+type scale_event = {
+  sc_epoch : Types.epoch;
+  sc_kind : scale_kind;
+  sc_boundary : Types.offset;
+  sc_servers_before : int;
+  sc_servers_after : int;
+  sc_segments : int;
+  sc_released : string list;
+  sc_started_us : float;
+  sc_installed_us : float;
+}
+
 type t = {
   cluster_net : Sim.Net.t;
   p : Sim.Params.t;
-  nodes : Storage_node.t array;
+  mutable nodes : Storage_node.t array;
   aux : Auxiliary.t;
   reconfig_host : Sim.Net.host;
   mutable sequencer_count : int;
   mutable rebuild_scan : int;
   mutable spare_count : int;
+  mutable storage_count : int;  (* names the next provisioned storage-N *)
   mutable recoveries : recovery list;  (* newest first *)
+  mutable scale_events : scale_event list;  (* newest first *)
 }
 
-let make_projection ~epoch ~chain_length nodes sequencer =
-  let nsets = Array.length nodes / chain_length in
-  let replica_sets =
-    Array.init nsets (fun set -> Array.init chain_length (fun i -> nodes.((set * chain_length) + i)))
-  in
-  Projection.v ~epoch ~replica_sets ~sequencer
+(* Group [nodes] into replica chains: uniform [chain_length] by
+   default, or explicit per-chain lengths via [chains] — which is how
+   a segment accepts any server count. *)
+let chains_of ~context ?(chain_length = 2) ?chains nodes =
+  let count = Array.length nodes in
+  if count <= 0 then invalid_arg (context ^ ": the segment needs at least one server");
+  match chains with
+  | Some lengths ->
+      List.iter
+        (fun l -> if l < 1 then invalid_arg (context ^ ": chain lengths must be at least 1"))
+        lengths;
+      let total = List.fold_left ( + ) 0 lengths in
+      if total <> count then
+        invalid_arg
+          (Printf.sprintf "%s: chain lengths sum to %d but the segment has %d servers" context
+             total count);
+      let at = ref 0 in
+      Array.of_list
+        (List.map
+           (fun l ->
+             let chain = Array.sub nodes !at l in
+             at := !at + l;
+             chain)
+           lengths)
+  | None ->
+      if chain_length < 1 then invalid_arg (context ^ ": chain length must be at least 1");
+      if count mod chain_length <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "%s: cannot split %d servers into chains of length %d — pass ~chains with explicit \
+              per-chain lengths for uneven geometry"
+             context count chain_length);
+      Array.init (count / chain_length)
+        (fun set -> Array.init chain_length (fun i -> nodes.((set * chain_length) + i)))
 
-let create ?(params = Sim.Params.default) ?(chain_length = 2) ~servers () =
-  if servers <= 0 || servers mod chain_length <> 0 then
-    invalid_arg "Cluster.create: servers must be a positive multiple of the chain length";
+let create ?(params = Sim.Params.default) ?(chain_length = 2) ?chains ~servers () =
   let cluster_net =
     Sim.Net.create ~latency:params.net_latency_us ~bandwidth:params.nic_bandwidth
       ~jitter:params.net_jitter ()
@@ -38,8 +80,9 @@ let create ?(params = Sim.Params.default) ?(chain_length = 2) ~servers () =
     Array.init servers (fun i ->
         Storage_node.create ~net:cluster_net ~name:(Printf.sprintf "storage-%d" i) ~params ())
   in
+  let replica_sets = chains_of ~context:"Cluster.create" ~chain_length ?chains nodes in
   let sequencer = Sequencer.create ~net:cluster_net ~name:"sequencer-0" ~params () in
-  let initial = make_projection ~epoch:0 ~chain_length nodes sequencer in
+  let initial = Projection.flat ~epoch:0 ~replica_sets ~sequencer in
   let aux = Auxiliary.create ~net:cluster_net ~initial in
   let reconfig_host = Sim.Net.add_host cluster_net "reconfig-agent" in
   {
@@ -51,7 +94,9 @@ let create ?(params = Sim.Params.default) ?(chain_length = 2) ~servers () =
     sequencer_count = 1;
     rebuild_scan = 0;
     spare_count = 0;
+    storage_count = servers;
     recoveries = [];
+    scale_events = [];
   }
 
 let params t = t.p
@@ -121,6 +166,31 @@ let start_checkpoint_scribe t ~interval_us =
       in
       tick ())
 
+(* Seal every distinct storage node of [proj] at [epoch], collecting
+   each reachable node's local tail by name. Sealing {e every}
+   segment's nodes — not just the tail's — is what makes stale clients
+   safe across a segment-map change: a client still on the old epoch
+   that maps a new-segment offset through the old geometry hits a
+   sealed node, refreshes, and retries under the new map. [dead] gets
+   a short-deadline attempt: if the monitor was wrong and it still
+   answers, sealing it prevents stale-epoch clients from completing
+   chains through it. *)
+let seal_storage ?dead t proj ~epoch =
+  let tails = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      Sim.Metrics.incr (Sim.Metrics.counter "cluster.seals");
+      let timeout_us =
+        match dead with Some d when node == d -> 10_000. | _ -> t.p.rpc_timeout_us
+      in
+      match
+        Sim.Net.call_r ~timeout_us ~from:t.reconfig_host (Storage_node.seal_service node) epoch
+      with
+      | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
+      | Error _ -> ())
+    (Projection.servers proj);
+  tails
+
 let replace_sequencer t =
   Sim.Span.with_span ~host:"reconfig-agent" "recovery.sequencer"
   @@ fun () ->
@@ -128,25 +198,29 @@ let replace_sequencer t =
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
   (* 1. Seal the old sequencer so no stale backpointers escape. *)
-  Sim.Net.call ~from:t.reconfig_host (Sequencer.seal_service old_proj.Projection.sequencer) epoch;
-  (* 2. Seal storage nodes, collecting local tails. *)
-  let nsets = Projection.num_sets old_proj in
+  ignore
+    (Sim.Net.call ~from:t.reconfig_host
+       (Sequencer.seal_service old_proj.Projection.sequencer)
+       epoch
+      : Types.offset);
+  (* 2. Seal every storage node, collecting local tails; the tail
+     segment's chain heads carry the highest local tails. *)
+  let tails = seal_storage t old_proj ~epoch in
+  let tail_seg = Projection.tail_segment old_proj in
   let locals =
-    Array.init nsets (fun set ->
-        let chain = old_proj.Projection.replica_sets.(set) in
-        let tails =
-          Array.map
-            (fun node ->
-              Sim.Net.call ~from:t.reconfig_host (Storage_node.seal_service node) epoch)
-            chain
-        in
-        (* The head holds the chain's highest local tail. *)
-        tails.(0))
+    Array.map
+      (fun chain ->
+        match Hashtbl.find_opt tails (Storage_node.name chain.(0)) with
+        | Some tl -> tl
+        | None -> -1)
+      tail_seg.Projection.seg_sets
   in
   let tail = Projection.global_tail_from_locals old_proj locals in
   (* 3. Rebuild per-stream backpointer state by scanning backward,
      stopping at the most recent sequencer checkpoint if one exists
-     (§5's proposed optimization, via the scribe). *)
+     (§5's proposed optimization, via the scribe) — or at the retired
+     boundary, below which everything was prefix-trimmed anyway. *)
+  let floor = (Projection.segment old_proj 0).Projection.seg_base in
   let k = t.p.backpointer_k in
   let streams : (Types.stream_id, Types.offset list) Hashtbl.t = Hashtbl.create 64 in
   let scanned = ref 0 in
@@ -158,7 +232,7 @@ let replace_sequencer t =
       (Stream_header.decode_block ~k ~current:off e.Types.headers)
   in
   let rec scan off =
-    if off >= 0 then begin
+    if off >= floor then begin
       incr scanned;
       match raw_read t old_proj ~epoch off with
       | Types.Read_data e ->
@@ -188,10 +262,10 @@ let replace_sequencer t =
   let sequencer =
     Sequencer.create ~net:t.cluster_net ~name ~params:t.p ~initial_tail:tail ~initial_streams ()
   in
-  (* 5. Install the new view. A single reconfiguration agent runs at a
-     time in the simulation, so a conflict is a bug. *)
-  let chain_length = Array.length old_proj.Projection.replica_sets.(0) in
-  let proj = make_projection ~epoch ~chain_length t.nodes sequencer in
+  (* 5. Install the new view: the same segment map under the new
+     sequencer. A single reconfiguration agent runs at a time in the
+     simulation, so a conflict is a bug. *)
+  let proj = Projection.v ~epoch ~segments:old_proj.Projection.segments ~sequencer in
   (match
      Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj
    with
@@ -213,144 +287,162 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
   let started = Sim.Engine.now () in
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
-  (* Locate the dead member's chain slot. *)
-  let set_idx, pos =
-    let found = ref None in
+  (* The dead member may serve chains in several segments (scale-out
+     reuses the old tail's nodes); collect every (segment, set) slot. *)
+  let slots =
+    let found = ref [] in
     Array.iteri
-      (fun s chain ->
-        Array.iteri (fun i node -> if node == dead then found := Some (s, i)) chain)
-      old_proj.Projection.replica_sets;
-    match !found with
-    | Some loc -> loc
-    | None -> invalid_arg "Cluster.replace_storage_node: node not in the current projection"
+      (fun si seg ->
+        Array.iteri
+          (fun s chain -> if Array.exists (fun node -> node == dead) chain then
+              found := (si, s) :: !found)
+          seg.Projection.seg_sets)
+      old_proj.Projection.segments;
+    List.rev !found
   in
-  Sim.Trace.f ~host:(Storage_node.name dead) "reconfig" "replacing chain member %d of set %d at epoch %d"
-    pos set_idx epoch;
+  if slots = [] then invalid_arg "Cluster.replace_storage_node: node not in the current projection";
+  Sim.Trace.f ~host:(Storage_node.name dead) "reconfig"
+    "replacing a member of %d segment chain(s) at epoch %d" (List.length slots) epoch;
   (* 1. Seal the sequencer at the new epoch. It stays in the next
      projection — storage replacement does not lose allocation state —
      so this only forces every client through a projection refresh,
      closing the old epoch before the membership changes. *)
   Sim.Span.with_span "recovery.seal" (fun () ->
-      Sim.Net.call ~from:t.reconfig_host
-        (Sequencer.seal_service old_proj.Projection.sequencer)
-        epoch);
+      ignore
+        (Sim.Net.call ~from:t.reconfig_host
+           (Sequencer.seal_service old_proj.Projection.sequencer)
+           epoch
+          : Types.offset));
   (* 2. Seal every storage node, collecting each survivor's local
-     tail. The dead node gets a short-deadline attempt: if the monitor
-     was wrong and it still answers, sealing it prevents stale-epoch
-     clients from completing chains through it. *)
-  let tails = Hashtbl.create 16 in
-  Sim.Span.with_span "recovery.seal" (fun () ->
-      Array.iter
-        (fun chain ->
-          Array.iter
-            (fun node ->
-              Sim.Metrics.incr (Sim.Metrics.counter "cluster.seals");
-              let timeout_us = if node == dead then 10_000. else t.p.rpc_timeout_us in
-              match
-                Sim.Net.call_r ~timeout_us ~from:t.reconfig_host
-                  (Storage_node.seal_service node) epoch
-              with
-              | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
-              | Error _ -> ())
-            chain)
-        old_proj.Projection.replica_sets);
+     tail. *)
+  let tails = Sim.Span.with_span "recovery.seal" (fun () -> seal_storage ~dead t old_proj ~epoch) in
   (* 3. Bring up the spare, pre-sealed at the new epoch. *)
   let spare_name = Printf.sprintf "storage-spare-%d" t.spare_count in
   t.spare_count <- t.spare_count + 1;
   let spare = Storage_node.create ~net:t.cluster_net ~name:spare_name ~params:t.p () in
   ignore (Sim.Net.call ~from:t.reconfig_host (Storage_node.seal_service spare) epoch : Types.offset);
-  (* 4. Copy the surviving prefix onto the spare, [copy_window] local
-     offsets in flight so the rebuild is bounded by SSD bandwidth, not
-     round trips. The head-most survivor is authoritative: anything
+  (* 4. Copy the surviving prefix onto the spare, per segment the dead
+     member served, [copy_window] local offsets in flight so the
+     rebuild is bounded by SSD bandwidth, not round trips. The
+     head-most survivor of each chain is authoritative: anything
      acknowledged to a client reached it before the seal. Data present
      only on the dead node (a torn append's head when the head died) is
      unrecoverable, exactly like a replica loss on the real system —
      the slot reads as unwritten and gets hole-filled. *)
-  let survivor =
-    let chain = old_proj.Projection.replica_sets.(set_idx) in
-    let rec first i =
-      if i >= Array.length chain then None
-      else if chain.(i) != dead && Hashtbl.mem tails (Storage_node.name chain.(i)) then
-        Some chain.(i)
-      else first (i + 1)
-    in
-    first 0
-  in
   let copied_entries = ref 0 in
   let copied_bytes = ref 0 in
+  let copy_range ~src ~lo ~hi =
+    let copy_one loff =
+      match
+        Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+          ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host (Storage_node.read_service src)
+          { Storage_node.repoch = epoch; roffset = loff }
+      with
+      | Error _ | Ok (Types.Read_sealed _) ->
+          () (* survivor unreachable: the next monitor round handles it *)
+      | Ok Types.Read_unwritten -> ()
+      | Ok Types.Read_trimmed ->
+          ignore
+            (Sim.Net.call_r ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+               (Storage_node.trim_service spare)
+               { Storage_node.repoch = epoch; roffset = loff }
+              : (unit, Sim.Net.rpc_error) result)
+      | Ok (Types.Read_data e) -> (
+          match
+            Sim.Net.call_r ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes
+              ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+              (Storage_node.write_service spare)
+              { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Data e }
+          with
+          | Ok Types.Write_ok ->
+              incr copied_entries;
+              copied_bytes := !copied_bytes + t.p.entry_bytes
+          | Ok _ | Error _ -> ())
+      | Ok Types.Read_junk -> (
+          match
+            Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes
+              ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+              (Storage_node.write_service spare)
+              { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Junk }
+          with
+          | Ok Types.Write_ok ->
+              incr copied_entries;
+              copied_bytes := !copied_bytes + t.p.rpc_bytes
+          | Ok _ | Error _ -> ())
+    in
+    if hi >= lo then begin
+      let workers = min copy_window (hi - lo + 1) in
+      let remaining = ref workers in
+      let all_done = Sim.Ivar.create () in
+      let span_parent = Sim.Span.current () in
+      for w = 0 to workers - 1 do
+        Sim.Engine.spawn (fun () ->
+            Sim.Span.with_parent span_parent @@ fun () ->
+            let loff = ref (lo + w) in
+            while !loff <= hi do
+              copy_one !loff;
+              loff := !loff + workers
+            done;
+            decr remaining;
+            if !remaining = 0 then Sim.Ivar.fill all_done ())
+      done;
+      Sim.Ivar.read all_done
+    end
+  in
   Sim.Span.with_span "recovery.copy" (fun () ->
-  match survivor with
-  | None -> Sim.Trace.f "reconfig" "set %d has no surviving replica: spare starts empty" set_idx
-  | Some src ->
-      let src_tail =
-        match Hashtbl.find_opt tails (Storage_node.name src) with Some tl -> tl | None -> -1
-      in
-      let copy_one loff =
-        match
-          Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
-            ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host (Storage_node.read_service src)
-            { Storage_node.repoch = epoch; roffset = loff }
-        with
-        | Error _ | Ok (Types.Read_sealed _) ->
-            () (* survivor unreachable: the next monitor round handles it *)
-        | Ok Types.Read_unwritten -> ()
-        | Ok (Types.Read_trimmed) ->
-            ignore
-              (Sim.Net.call_r ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
-                 (Storage_node.trim_service spare)
-                 { Storage_node.repoch = epoch; roffset = loff }
-                : (unit, Sim.Net.rpc_error) result)
-        | Ok (Types.Read_data e) -> (
-            match
-              Sim.Net.call_r ~req_bytes:t.p.entry_bytes ~resp_bytes:t.p.rpc_bytes
-                ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
-                (Storage_node.write_service spare)
-                { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Data e }
-            with
-            | Ok Types.Write_ok ->
-                incr copied_entries;
-                copied_bytes := !copied_bytes + t.p.entry_bytes
-            | Ok _ | Error _ -> ())
-        | Ok Types.Read_junk -> (
-            match
-              Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.rpc_bytes
-                ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
-                (Storage_node.write_service spare)
-                { Storage_node.wepoch = epoch; woffset = loff; wcell = Types.Junk }
-            with
-            | Ok Types.Write_ok ->
-                incr copied_entries;
-                copied_bytes := !copied_bytes + t.p.rpc_bytes
-            | Ok _ | Error _ -> ())
-      in
-      if src_tail >= 0 then begin
-        let workers = min copy_window (src_tail + 1) in
-        let remaining = ref workers in
-        let all_done = Sim.Ivar.create () in
-        let span_parent = Sim.Span.current () in
-        for w = 0 to workers - 1 do
-          Sim.Engine.spawn (fun () ->
-              Sim.Span.with_parent span_parent @@ fun () ->
-              let loff = ref w in
-              while !loff <= src_tail do
-                copy_one !loff;
-                loff := !loff + workers
-              done;
-              decr remaining;
-              if !remaining = 0 then Sim.Ivar.fill all_done ())
-        done;
-        Sim.Ivar.read all_done
-      end);
+      List.iter
+        (fun (si, s) ->
+          let seg = Projection.segment old_proj si in
+          let chain = seg.Projection.seg_sets.(s) in
+          let survivor =
+            let rec first i =
+              if i >= Array.length chain then None
+              else if chain.(i) != dead && Hashtbl.mem tails (Storage_node.name chain.(i)) then
+                Some chain.(i)
+              else first (i + 1)
+            in
+            first 0
+          in
+          match survivor with
+          | None ->
+              Sim.Trace.f "reconfig" "set %d of segment %d has no surviving replica: spare holds no prefix"
+                s si
+          | Some src ->
+              let src_tail =
+                match Hashtbl.find_opt tails (Storage_node.name src) with
+                | Some tl -> tl
+                | None -> -1
+              in
+              let lo = seg.Projection.seg_local_base in
+              let hi =
+                match seg.Projection.seg_limit with
+                | None -> src_tail
+                | Some limit ->
+                    min src_tail
+                      (lo + Projection.seg_cells_below seg ~set:s ~rel:(limit - seg.Projection.seg_base) - 1)
+              in
+              copy_range ~src ~lo ~hi)
+        slots);
   Sim.Metrics.add (Sim.Metrics.counter "cluster.copied_entries") !copied_entries;
-  (* 5. Substitute the spare into the membership and install the new
-     view. A single reconfiguration agent runs at a time, so a
-     conflict is a bug. *)
+  (* 5. Substitute the spare into every chain slot the dead member
+     held and install the new view. A single reconfiguration agent
+     runs at a time, so a conflict is a bug. *)
   (let slot = ref (-1) in
    Array.iteri (fun j n -> if n == dead then slot := j) t.nodes;
-   if !slot < 0 then invalid_arg "Cluster.replace_storage_node: node not in the cluster";
-   t.nodes.(!slot) <- spare);
-  let chain_length = Array.length old_proj.Projection.replica_sets.(0) in
-  let proj = make_projection ~epoch ~chain_length t.nodes old_proj.Projection.sequencer in
+   if !slot >= 0 then t.nodes.(!slot) <- spare);
+  let segments =
+    Array.map
+      (fun seg ->
+        {
+          seg with
+          Projection.seg_sets =
+            Array.map
+              (Array.map (fun node -> if node == dead then spare else node))
+              seg.Projection.seg_sets;
+        })
+      old_proj.Projection.segments
+  in
+  let proj = Projection.v ~epoch ~segments ~sequencer:old_proj.Projection.sequencer in
   Sim.Span.with_span "recovery.install" (fun () ->
       match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
       | Auxiliary.Installed -> ()
@@ -375,6 +467,234 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
   epoch
 
 (* ------------------------------------------------------------------ *)
+(* Online scale-out / scale-in (segment-map reconfiguration)          *)
+(* ------------------------------------------------------------------ *)
+
+let scale_events t = List.rev t.scale_events
+
+(* Distinct members of the tail segment, in set order. *)
+let tail_members proj =
+  let seg = Projection.tail_segment proj in
+  let seen = ref [] in
+  Array.iter
+    (Array.iter (fun node -> if not (List.memq node !seen) then seen := node :: !seen))
+    seg.Projection.seg_sets;
+  Array.of_list (List.rev !seen)
+
+(* First local offset past every segment's local range, with the tail
+   segment's extent fixed by the seal point. *)
+let next_local_base segments ~seal_tail =
+  Array.fold_left
+    (fun acc seg ->
+      let span =
+        match seg.Projection.seg_limit with
+        | Some limit -> limit - seg.Projection.seg_base
+        | None -> max 0 (seal_tail - seg.Projection.seg_base)
+      in
+      max acc (seg.Projection.seg_local_base + Projection.seg_local_span seg ~span))
+    0 segments
+
+(* The shared §2.2 core of scale_out/scale_in: seal the sequencer at
+   the new epoch — its tail is the boundary — seal every storage node
+   of every segment, bound the old tail segment at the boundary (drop
+   it if nothing was ever appended there), open a new unbounded tail
+   segment over [new_sets], and propose. No data moves: old offsets
+   keep resolving through the segment that wrote them. *)
+let reseal_with_tail t ~kind ~started new_sets_of =
+  let old_proj = Auxiliary.latest t.aux in
+  let epoch = old_proj.Projection.epoch + 1 in
+  let servers_before = Projection.num_servers old_proj in
+  let boundary =
+    Sim.Span.with_span "scale.seal" (fun () ->
+        let boundary =
+          Sim.Net.call ~from:t.reconfig_host
+            (Sequencer.seal_service old_proj.Projection.sequencer)
+            epoch
+        in
+        ignore (seal_storage t old_proj ~epoch : (string, Types.offset) Hashtbl.t);
+        boundary)
+  in
+  let new_sets = new_sets_of ~epoch in
+  let old_segments = old_proj.Projection.segments in
+  let last = Array.length old_segments - 1 in
+  let kept =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i seg ->
+              if i < last then [ seg ]
+              else if boundary > seg.Projection.seg_base then
+                (* Bound the old tail at the seal point. *)
+                [ { seg with Projection.seg_limit = Some boundary } ]
+              else [ (* never appended into: drop the empty segment *) ])
+            old_segments))
+  in
+  let tail_seg =
+    {
+      Projection.seg_base = boundary;
+      seg_limit = None;
+      seg_local_base = next_local_base old_segments ~seal_tail:boundary;
+      seg_sets = new_sets;
+    }
+  in
+  let segments = Array.of_list (kept @ [ tail_seg ]) in
+  let proj = Projection.v ~epoch ~segments ~sequencer:old_proj.Projection.sequencer in
+  Sim.Span.with_span "scale.install" (fun () ->
+      match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
+      | Auxiliary.Installed -> ()
+      | Auxiliary.Conflict _ -> failwith "Cluster.scale: concurrent reconfiguration");
+  t.nodes <- Array.of_list (Projection.servers proj);
+  let installed = Sim.Engine.now () in
+  let event =
+    {
+      sc_epoch = epoch;
+      sc_kind = kind;
+      sc_boundary = boundary;
+      sc_servers_before = servers_before;
+      sc_servers_after = Projection.num_servers proj;
+      sc_segments = Projection.num_segments proj;
+      sc_released = [];
+      sc_started_us = started;
+      sc_installed_us = installed;
+    }
+  in
+  t.scale_events <- event :: t.scale_events;
+  Sim.Trace.f "reconfig" "epoch %d: tail segment sealed at %d, %d -> %d servers, %d segments"
+    epoch boundary servers_before event.sc_servers_after event.sc_segments;
+  epoch
+
+let scale_out ?chain_length ?chains t ~add_servers =
+  if add_servers < 1 then invalid_arg "Cluster.scale_out: add_servers must be at least 1";
+  Sim.Span.with_span ~host:"reconfig-agent"
+    ~args:[ ("add", string_of_int add_servers) ]
+    "scale.out"
+  @@ fun () ->
+  Sim.Metrics.incr (Sim.Metrics.counter "cluster.scale_outs");
+  let started = Sim.Engine.now () in
+  let old_proj = Auxiliary.latest t.aux in
+  let chain_length =
+    match chain_length with
+    | Some c -> c
+    | None -> Array.length (Projection.tail_segment old_proj).Projection.seg_sets.(0)
+  in
+  reseal_with_tail t ~kind:Scale_out ~started (fun ~epoch ->
+      (* Provision the new nodes pre-sealed at the new epoch, then
+         stripe the new tail segment over the enlarged set: the old
+         tail's nodes plus the fresh ones. *)
+      let fresh =
+        Array.init add_servers (fun _ ->
+            let name = Printf.sprintf "storage-%d" t.storage_count in
+            t.storage_count <- t.storage_count + 1;
+            let node = Storage_node.create ~net:t.cluster_net ~name ~params:t.p () in
+            ignore
+              (Sim.Net.call ~from:t.reconfig_host (Storage_node.seal_service node) epoch
+                : Types.offset);
+            node)
+      in
+      let members = Array.append (tail_members old_proj) fresh in
+      chains_of ~context:"Cluster.scale_out" ~chain_length ?chains members)
+
+let scale_in ?chain_length ?chains t ~remove_servers =
+  Sim.Span.with_span ~host:"reconfig-agent"
+    ~args:[ ("remove", string_of_int remove_servers) ]
+    "scale.in"
+  @@ fun () ->
+  Sim.Metrics.incr (Sim.Metrics.counter "cluster.scale_ins");
+  let started = Sim.Engine.now () in
+  let old_proj = Auxiliary.latest t.aux in
+  let members = tail_members old_proj in
+  if remove_servers < 1 || remove_servers >= Array.length members then
+    invalid_arg "Cluster.scale_in: must remove at least one server and keep at least one";
+  let keep = Array.sub members 0 (Array.length members - remove_servers) in
+  let chain_length =
+    match chain_length with
+    | Some c -> c
+    | None ->
+        min (Array.length keep)
+          (Array.length (Projection.tail_segment old_proj).Projection.seg_sets.(0))
+  in
+  (* The removed nodes stay in the cluster as long as a bounded
+     segment still maps onto them; {!retire_trimmed_segments} releases
+     them once their data is prefix-trimmed away. *)
+  reseal_with_tail t ~kind:Scale_in ~started (fun ~epoch:_ ->
+      chains_of ~context:"Cluster.scale_in" ~chain_length ?chains keep)
+
+(* A bounded segment is disposable once every node of every chain has
+   prefix-trimmed past the segment's local range. *)
+let segment_fully_trimmed seg =
+  match seg.Projection.seg_limit with
+  | None -> false
+  | Some limit ->
+      let rel = limit - seg.Projection.seg_base in
+      let ok = ref true in
+      Array.iteri
+        (fun s chain ->
+          let watermark =
+            seg.Projection.seg_local_base + Projection.seg_cells_below seg ~set:s ~rel
+          in
+          Array.iter
+            (fun node -> if Storage_node.trimmed_below node < watermark then ok := false)
+            chain)
+        seg.Projection.seg_sets;
+      !ok
+
+let retire_trimmed_segments t =
+  let old_proj = Auxiliary.latest t.aux in
+  let segments = old_proj.Projection.segments in
+  (* Only a prefix of the map can retire: segments tile the offset
+     space, so dropping one from the middle would tear a hole. *)
+  let retire = ref 0 in
+  while
+    !retire < Array.length segments - 1 && segment_fully_trimmed segments.(!retire)
+  do
+    incr retire
+  done;
+  if !retire = 0 then None
+  else begin
+    Sim.Span.with_span ~host:"reconfig-agent" "scale.retire"
+    @@ fun () ->
+    let started = Sim.Engine.now () in
+    let epoch = old_proj.Projection.epoch + 1 in
+    let servers_before = Projection.num_servers old_proj in
+    let kept = Array.sub segments !retire (Array.length segments - !retire) in
+    (* No seal needed: the mapping of every live offset is unchanged,
+       and a stale client touching a retired offset gets Trimmed from
+       the old nodes — the same answer the new map gives. *)
+    let proj = Projection.v ~epoch ~segments:kept ~sequencer:old_proj.Projection.sequencer in
+    (match Sim.Net.call ~from:t.reconfig_host (Auxiliary.propose_service t.aux) proj with
+    | Auxiliary.Installed -> ()
+    | Auxiliary.Conflict _ ->
+        failwith "Cluster.retire_trimmed_segments: concurrent reconfiguration");
+    let survivors = Projection.servers proj in
+    let released =
+      List.filter_map
+        (fun node ->
+          if List.memq node survivors then None else Some (Storage_node.name node))
+        (Projection.servers old_proj)
+    in
+    t.nodes <- Array.of_list survivors;
+    let installed = Sim.Engine.now () in
+    let event =
+      {
+        sc_epoch = epoch;
+        sc_kind = Segments_retired;
+        sc_boundary = kept.(0).Projection.seg_base;
+        sc_servers_before = servers_before;
+        sc_servers_after = Projection.num_servers proj;
+        sc_segments = Projection.num_segments proj;
+        sc_released = released;
+        sc_started_us = started;
+        sc_installed_us = installed;
+      }
+    in
+    t.scale_events <- event :: t.scale_events;
+    Sim.Metrics.incr (Sim.Metrics.counter "cluster.segment_retirements");
+    Sim.Trace.f "reconfig" "epoch %d: retired %d segment(s) below %d, released [%s]" epoch
+      !retire event.sc_boundary (String.concat "; " released);
+    Some epoch
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Failure monitor                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -396,13 +716,11 @@ let start_failure_monitor ?(probe_interval_us = 20_000.) ?(probe_timeout_us = 10
         Sim.Engine.sleep probe_interval_us;
         let proj = Auxiliary.latest t.aux in
         let epoch = proj.Projection.epoch in
-        (* Scan the current membership; a second probe confirms before
-           declaring death, so one unlucky timeout cannot trigger a
-           reconfiguration. After a replacement the projection is
-           stale, so stop this round and rescan. *)
-        let members =
-          List.concat_map Array.to_list (Array.to_list proj.Projection.replica_sets)
-        in
+        (* Scan the current membership across every segment; a second
+           probe confirms before declaring death, so one unlucky
+           timeout cannot trigger a reconfiguration. After a
+           replacement the projection is stale, so stop this round and
+           rescan. *)
         let rec scan = function
           | [] -> ()
           | node :: rest ->
@@ -412,7 +730,7 @@ let start_failure_monitor ?(probe_interval_us = 20_000.) ?(probe_timeout_us = 10
                 ignore (replace_storage_node t ~dead:node : Types.epoch)
               end
         in
-        scan members;
+        scan (Projection.servers proj);
         loop ()
       in
       loop ())

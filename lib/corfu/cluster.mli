@@ -3,20 +3,28 @@
     sequencer, the auxiliary — and hands out clients.
 
     The default geometry follows the paper's testbed: chains of
-    length 2 ("9×2 configuration", §6), so [servers] must be a
-    multiple of the chain length. *)
+    length 2 ("9×2 configuration", §6). Any server count works when
+    the per-chain lengths are given explicitly with [~chains]. *)
 
 type t
 
-(** [create ?params ?chain_length ~servers ()] brings up the log.
-    @raise Invalid_argument if [servers] is not a positive multiple of
-    [chain_length] (default 2). *)
-val create : ?params:Sim.Params.t -> ?chain_length:int -> servers:int -> unit -> t
+(** [create ?params ?chain_length ?chains ~servers ()] brings up the
+    log with a single-segment (flat) projection. By default the
+    servers split into uniform chains of [chain_length] (default 2);
+    [~chains] gives explicit per-chain lengths instead, so any server
+    count — including uneven chains — forms a valid segment.
+    @raise Invalid_argument when the geometry does not cover exactly
+    [servers] nodes; the message names the offending segment. *)
+val create :
+  ?params:Sim.Params.t -> ?chain_length:int -> ?chains:int list -> servers:int -> unit -> t
 
 val params : t -> Sim.Params.t
 val net : t -> Sim.Net.t
 val auxiliary : t -> Auxiliary.t
+
+(** Every storage node currently in the projection (all segments). *)
 val storage_nodes : t -> Storage_node.t array
+
 val sequencer : t -> Sequencer.t
 
 (** [new_client t ~name] registers a fresh application-server host and
@@ -31,9 +39,10 @@ val client_on : t -> Sim.Net.host -> Client.t
     sequencer and every storage node at the next epoch, rebuild the
     tail and per-stream backpointer state by scanning the log
     backward — stopping early at the most recent sequencer checkpoint
-    when the scribe is running — and install a fresh sequencer in a
-    new projection. Returns the new epoch. Clients discover the change
-    through sealed errors and retry transparently. *)
+    when the scribe is running, or at the retired boundary — and
+    install a fresh sequencer in a new projection. Returns the new
+    epoch. Clients discover the change through sealed errors and retry
+    transparently. *)
 val replace_sequencer : t -> Types.epoch
 
 (** [start_checkpoint_scribe t ~interval_us] runs the §5 optimization:
@@ -52,10 +61,11 @@ val last_rebuild_scan : t -> int
     freshly provisioned spare: seal the sequencer and every storage
     node at the next epoch (the sequencer survives — allocation state
     is not lost), copy the head-most surviving replica's prefix onto
-    the spare ([copy_window] cells in flight, default 16), substitute
-    the spare into the dead member's chain slot, and install the new
-    projection. Clients ride through on sealed errors and retry their
-    in-flight offsets under the new view. Returns the new epoch.
+    the spare ([copy_window] cells in flight, default 16) for {e every}
+    segment the dead member served, substitute the spare into each of
+    the dead member's chain slots, and install the new projection.
+    Clients ride through on sealed errors and retry their in-flight
+    offsets under the new view. Returns the new epoch.
 
     Data that reached {e only} the dead node (the head of a torn
     append) is unrecoverable and resolves as a hole, matching the
@@ -78,11 +88,65 @@ type recovery = {
 (** Completed recoveries, oldest first. *)
 val recoveries : t -> recovery list
 
+(** {2 Online scale-out / scale-in (§2.2 segment reconfiguration)}
+
+    The log changes shape {e without copying any data}: the sequencer
+    is sealed at the next epoch and its tail at the seal point becomes
+    the boundary; every storage node is sealed (so stale clients
+    cannot map a new-segment offset through the old geometry); the old
+    tail segment is bounded at the boundary and a new unbounded tail
+    segment opens over the new node set. Old offsets keep resolving
+    through the segment that wrote them. *)
+
+(** [scale_out t ~add_servers] provisions [add_servers] fresh storage
+    nodes (pre-sealed at the new epoch) and opens a new tail segment
+    striped over the old tail's nodes {e plus} the fresh ones —
+    [chain_length] (default: the old tail's head-chain length) or
+    explicit [~chains] set the new geometry. Returns the new epoch. *)
+val scale_out : ?chain_length:int -> ?chains:int list -> t -> add_servers:int -> Types.epoch
+
+(** [scale_in t ~remove_servers] opens a new tail segment over all but
+    the last [remove_servers] of the old tail's members. The removed
+    nodes keep serving the bounded segments that map onto them until
+    {!retire_trimmed_segments} releases them.
+    @raise Invalid_argument unless [0 < remove_servers <] the old
+    tail's member count. *)
+val scale_in : ?chain_length:int -> ?chains:int list -> t -> remove_servers:int -> Types.epoch
+
+(** [retire_trimmed_segments t] drops every fully prefix-trimmed
+    segment from the front of the map (contiguity allows only a prefix
+    to go) and releases nodes no remaining segment maps onto. No
+    sealing: live offsets keep their mapping, and a stale client
+    touching a retired offset reads [Trimmed] from the old nodes — the
+    same answer the new map gives. Returns the new epoch, or [None]
+    when the first segment is not yet fully trimmed. *)
+val retire_trimmed_segments : t -> Types.epoch option
+
+type scale_kind = Scale_out | Scale_in | Segments_retired
+
+(** One completed segment-map reconfiguration. *)
+type scale_event = {
+  sc_epoch : Types.epoch;
+  sc_kind : scale_kind;
+  sc_boundary : Types.offset;
+      (** seal point: first offset of the new tail segment (for
+          [Segments_retired], the new first live offset) *)
+  sc_servers_before : int;
+  sc_servers_after : int;
+  sc_segments : int;  (** segments in the installed map *)
+  sc_released : string list;  (** nodes dropped from the cluster *)
+  sc_started_us : float;
+  sc_installed_us : float;
+}
+
+(** Completed scale events, oldest first. *)
+val scale_events : t -> scale_event list
+
 (** [start_failure_monitor t] spawns the detector fiber: every
-    [probe_interval_us] (default 20 ms) it probes each chain member of
-    the current projection with a [probe_timeout_us]-bounded read
-    (default 10 ms); a member failing two consecutive probes is
-    declared dead and replaced via {!replace_storage_node}. A sealed
-    answer counts as alive, so the monitor never fires on
-    reconfiguration itself. *)
+    [probe_interval_us] (default 20 ms) it probes each storage node of
+    the current projection (every segment) with a
+    [probe_timeout_us]-bounded read (default 10 ms); a member failing
+    two consecutive probes is declared dead and replaced via
+    {!replace_storage_node}. A sealed answer counts as alive, so the
+    monitor never fires on reconfiguration itself. *)
 val start_failure_monitor : ?probe_interval_us:float -> ?probe_timeout_us:float -> t -> unit

@@ -28,7 +28,7 @@ type t = {
   seals_c : Sim.Metrics.counter;
   incr_svc : (increment_request, response) Sim.Net.service;
   peek_svc : (peek_request, response) Sim.Net.service;
-  seal_svc : (Types.epoch, unit) Sim.Net.service;
+  seal_svc : (Types.epoch, Types.offset) Sim.Net.service;
   dump_svc : (Types.epoch, dump option) Sim.Net.service;
 }
 
@@ -114,7 +114,12 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
           Sim.Net.service seq_host ~name:"seal" (fun e ->
               let t = Lazy.force t in
               Sim.Metrics.incr t.seals_c;
-              if e > t.epoch then t.epoch <- e);
+              if e > t.epoch then t.epoch <- e;
+              (* The tail at the seal point: every offset below it has
+                 been granted, nothing at or above it ever will be
+                 under the old epoch — the boundary a reconfiguration
+                 closes the current tail segment at. *)
+              t.tail);
         dump_svc =
           Sim.Net.service seq_host ~name:"dump" (fun e ->
               Sim.Resource.use counter_cpu service_us;

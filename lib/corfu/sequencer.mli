@@ -57,8 +57,12 @@ val increment_service : t -> (increment_request, response) Sim.Net.service
     a stream on startup (§5). *)
 val peek_service : t -> (peek_request, response) Sim.Net.service
 
-(** [seal epoch]: refuse every request carrying a lower epoch. *)
-val seal_service : t -> (Types.epoch, unit) Sim.Net.service
+(** [seal epoch]: refuse every request carrying a lower epoch. Returns
+    the tail at the seal point — every offset below it was granted
+    under the old epoch, nothing at or above it ever will be — which
+    is the boundary a reconfiguration seals the tail segment at
+    ({!Cluster.scale_out}). *)
+val seal_service : t -> (Types.epoch, Types.offset) Sim.Net.service
 
 (** A consistent dump of the sequencer's soft state, taken while
     {e reserving} the next offset for the snapshot entry itself — so

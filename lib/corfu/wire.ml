@@ -1,0 +1,73 @@
+let to_bytes build =
+  let b = Buffer.create 64 in
+  build b;
+  Buffer.to_bytes b
+
+let put_u8 = Buffer.add_uint8
+let put_bool b v = put_u8 b (if v then 1 else 0)
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let put_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_bytes b s =
+  put_u32 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_opt_string b = function
+  | None -> put_u8 b 0
+  | Some s ->
+      put_u8 b 1;
+      put_string b s
+
+type cursor = { buf : bytes; mutable at : int }
+
+let reader buf = { buf; at = 0 }
+
+let need c n =
+  if n < 0 || c.at + n > Bytes.length c.buf then invalid_arg "Wire.decode: truncated payload"
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.at in
+  c.at <- c.at + 1;
+  v
+
+let get_bool c = get_u8 c = 1
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.at) in
+  c.at <- c.at + 4;
+  v
+
+let get_u64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_be c.buf c.at) in
+  c.at <- c.at + 8;
+  v
+
+let get_bytes c =
+  let n = get_u32 c in
+  need c n;
+  let v = Bytes.sub c.buf c.at n in
+  c.at <- c.at + n;
+  v
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let v = Bytes.sub_string c.buf c.at n in
+  c.at <- c.at + n;
+  v
+
+let get_opt_string c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get_string c)
+  | tag -> invalid_arg (Printf.sprintf "Wire.decode: bad option tag %d" tag)
+
+let at c = c.at
+let remaining c = Bytes.length c.buf - c.at

@@ -1,0 +1,50 @@
+(** The one binary codec for every wire format in the tree: big-endian
+    fixed-width integers, length-prefixed strings/bytes, a tagged
+    option, over [Buffer] (writing) and a bounds-checked cursor
+    (reading).
+
+    {!Projection.encode_layout}, {!Tango.Record} and
+    {!Tango_objects.Codec} all build their formats from these
+    primitives; the primitives themselves are not a stable on-disk
+    contract — the formats defined on top of them are. *)
+
+(** [to_bytes build] runs [build] against a fresh buffer and returns
+    its contents. *)
+val to_bytes : (Buffer.t -> unit) -> bytes
+
+val put_u8 : Buffer.t -> int -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_u32 : Buffer.t -> int -> unit
+val put_u64 : Buffer.t -> int -> unit
+
+(** Length-prefixed (u32) byte string. *)
+val put_bytes : Buffer.t -> bytes -> unit
+
+(** Length-prefixed (u32) string. *)
+val put_string : Buffer.t -> string -> unit
+
+(** One tag byte (0 = absent, 1 = present) then {!put_string}. *)
+val put_opt_string : Buffer.t -> string option -> unit
+
+type cursor
+
+(** [reader b] starts a cursor at offset 0. Every getter raises
+    [Invalid_argument] on out-of-bounds access instead of reading
+    garbage. *)
+val reader : bytes -> cursor
+
+val get_u8 : cursor -> int
+val get_bool : cursor -> bool
+val get_u32 : cursor -> int
+val get_u64 : cursor -> int
+val get_bytes : cursor -> bytes
+val get_string : cursor -> string
+
+(** Raises [Invalid_argument] on a tag byte other than 0 or 1. *)
+val get_opt_string : cursor -> string option
+
+(** Current cursor position (bytes consumed so far). *)
+val at : cursor -> int
+
+(** Bytes left to read. *)
+val remaining : cursor -> int

@@ -1,47 +1,22 @@
-(** Tiny binary codec shared by the object library's update records.
-    Big-endian fixed-width integers and length-prefixed strings over
-    [Buffer]/[Bytes]; mirrors the style of {!Tango.Record}. *)
+(** Binary codec for the object library's update records: thin aliases
+    over {!Corfu.Wire}, the shared big-endian codec, plus the
+    [int]-flavoured names the object wire formats were written
+    against. *)
 
-let to_bytes build =
-  let b = Buffer.create 64 in
-  build b;
-  Buffer.to_bytes b
+module Wire = Corfu.Wire
 
-let put_u8 = Buffer.add_uint8
-let put_bool b v = put_u8 b (if v then 1 else 0)
-let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let to_bytes = Wire.to_bytes
+let put_u8 = Wire.put_u8
+let put_bool = Wire.put_bool
+let put_int = Wire.put_u64
+let put_string = Wire.put_string
+let put_opt_string = Wire.put_opt_string
 
-let put_string b s =
-  Buffer.add_int32_be b (Int32.of_int (String.length s));
-  Buffer.add_string b s
+type cursor = Wire.cursor
 
-let put_opt_string b = function
-  | None -> put_u8 b 0
-  | Some s ->
-      put_u8 b 1;
-      put_string b s
-
-type cursor = { buf : bytes; mutable at : int }
-
-let reader buf = { buf; at = 0 }
-
-let get_u8 c =
-  let v = Bytes.get_uint8 c.buf c.at in
-  c.at <- c.at + 1;
-  v
-
-let get_bool c = get_u8 c = 1
-
-let get_int c =
-  let v = Int64.to_int (Bytes.get_int64_be c.buf c.at) in
-  c.at <- c.at + 8;
-  v
-
-let get_string c =
-  let n = Int32.to_int (Bytes.get_int32_be c.buf c.at) in
-  c.at <- c.at + 4;
-  let s = Bytes.sub_string c.buf c.at n in
-  c.at <- c.at + n;
-  s
-
-let get_opt_string c = match get_u8 c with 0 -> None | _ -> Some (get_string c)
+let reader = Wire.reader
+let get_u8 = Wire.get_u8
+let get_bool = Wire.get_bool
+let get_int = Wire.get_u64
+let get_string = Wire.get_string
+let get_opt_string = Wire.get_opt_string

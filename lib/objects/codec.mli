@@ -1,7 +1,9 @@
 (** Internal: the binary codec shared by the object library's update
     records (big-endian fixed-width integers, length-prefixed
-    strings). Not a stable interface — objects define their wire
-    formats with it, and only those formats are contracts. *)
+    strings) — thin aliases over {!Corfu.Wire}, kept so the object
+    wire formats read in the vocabulary they were written in. Not a
+    stable interface — objects define their wire formats with it, and
+    only those formats are contracts. *)
 
 (** [to_bytes build] runs [build] against a fresh buffer and returns
     its contents. *)

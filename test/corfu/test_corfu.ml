@@ -10,6 +10,11 @@ let check_string = Alcotest.(check string)
 let payload s = Bytes.of_string s
 let payload_str (e : Types.entry) = Bytes.to_string e.Types.payload
 
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 (* Run a simulation body against a fresh cluster. *)
 let with_cluster ?(seed = 11) ?(servers = 4) ?(chain_length = 2) body =
   Sim.Engine.run ~seed (fun () ->
@@ -314,7 +319,7 @@ let test_sequencer_range_grant_records_streams () =
 let test_sequencer_seal () =
   with_sequencer (fun seq incr _ me ->
       ignore (incr []);
-      Sim.Net.call ~from:me (Sequencer.seal_service seq) 3;
+      ignore (Sim.Net.call ~from:me (Sequencer.seal_service seq) 3 : Types.offset);
       (match incr ~epoch:2 [] with
       | Sequencer.Seq_sealed 3 -> ()
       | _ -> Alcotest.fail "stale increment must be rejected");
@@ -380,7 +385,7 @@ let test_projection_mapping () =
       check_int "servers" 6 (Projection.num_servers proj);
       (* offset o -> set o mod 3, local o / 3 *)
       check_int "local of 7" 2 (Projection.local_offset proj 7);
-      check_int "roundtrip" 7 (Projection.global_offset proj ~set:(7 mod 3) ~local:2))
+      check_int "roundtrip" 7 (Projection.global_offset proj ~seg:0 ~set:(7 mod 3) ~local:2))
 
 let test_projection_global_tail () =
   with_cluster ~servers:4 (fun cluster ->
@@ -398,15 +403,23 @@ let test_projection_validation () =
       let n2 = Storage_node.create ~net ~name:"n2" ~params () in
       let n3 = Storage_node.create ~net ~name:"n3" ~params () in
       let seq = Sequencer.create ~net ~name:"s" ~params () in
-      (match Projection.v ~epoch:0 ~replica_sets:[||] ~sequencer:seq with
+      (match Projection.flat ~epoch:0 ~replica_sets:[||] ~sequencer:seq with
       | _ -> Alcotest.fail "empty projection must be rejected"
       | exception Invalid_argument _ -> ());
-      (match Projection.v ~epoch:0 ~replica_sets:[| [| n1; n2 |]; [| n3 |] |] ~sequencer:seq with
-      | _ -> Alcotest.fail "ragged replica sets must be rejected"
+      (match Projection.flat ~epoch:0 ~replica_sets:[| [| n1; n2 |]; [||] |] ~sequencer:seq with
+      | _ -> Alcotest.fail "empty replica set must be rejected"
       | exception Invalid_argument _ -> ());
-      match Cluster.create ~servers:3 ~chain_length:2 () with
-      | _ -> Alcotest.fail "odd server count must be rejected"
-      | exception Invalid_argument _ -> ())
+      (* Ragged chains are now legal geometry (explicit ~chains). *)
+      let ragged = Projection.flat ~epoch:0 ~replica_sets:[| [| n1; n2 |]; [| n3 |] |] ~sequencer:seq in
+      check_int "ragged projection accepted" 2 (Projection.num_sets ragged);
+      (match Cluster.create ~servers:3 ~chain_length:2 () with
+      | _ -> Alcotest.fail "odd server count without ~chains must be rejected"
+      | exception Invalid_argument msg ->
+          check_bool "error names the fix" true
+            (string_contains msg "~chains"));
+      (* ... but the same server count with explicit geometry works. *)
+      let uneven = Cluster.create ~servers:3 ~chains:[ 2; 1 ] () in
+      check_int "uneven cluster" 3 (Projection.num_servers (Auxiliary.latest (Cluster.auxiliary uneven))))
 
 (* ------------------------------------------------------------------ *)
 (* Client: append / read / check / fill                               *)
@@ -814,9 +827,11 @@ let test_probing_bridges_sequencer_outage () =
         ignore (Client.append w ~streams:[ 1 ] (payload (Printf.sprintf "pre%d" i)))
       done;
       (* sequencer dies *)
-      Sim.Net.call ~from:(Client.host w)
-        (Sequencer.seal_service (Cluster.sequencer cluster))
-        ((Client.projection w).Projection.epoch + 1);
+      ignore
+        (Sim.Net.call ~from:(Client.host w)
+           (Sequencer.seal_service (Cluster.sequencer cluster))
+           ((Client.projection w).Projection.epoch + 1)
+          : Types.offset);
       (* appends continue by probing *)
       for i = 0 to 4 do
         ignore (Client.append_probing w ~streams:[ 1 ] (payload (Printf.sprintf "mid%d" i)))
@@ -883,6 +898,238 @@ let test_reconfig_under_load () =
       ignore (Stream.sync sr);
       let got = List.map snd (drain sr) in
       check_int "no duplicates, no losses" 50 (List.length (List.sort_uniq compare got)))
+
+(* ------------------------------------------------------------------ *)
+(* Online scale-out / scale-in (segmented projections)                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_scale_out_basic () =
+  with_cluster ~servers:4 (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 9 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      let epoch = Cluster.scale_out cluster ~add_servers:4 in
+      check_int "epoch bumped" 1 epoch;
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      check_int "two segments" 2 (Projection.num_segments proj);
+      check_int "servers doubled" 8 (Projection.num_servers proj);
+      check_int "tail stripes wider" 4 (Projection.num_sets proj);
+      (match Cluster.scale_events cluster with
+      | [ e ] ->
+          check_bool "kind" true (e.Cluster.sc_kind = Cluster.Scale_out);
+          check_int "sealed at the old tail" 10 e.Cluster.sc_boundary;
+          check_int "before" 4 e.Cluster.sc_servers_before;
+          check_int "after" 8 e.Cluster.sc_servers_after
+      | l -> Alcotest.failf "expected one scale event, got %d" (List.length l));
+      (* the writer rides the seal: its next append lands exactly at
+         the boundary, in the new segment *)
+      check_int "append resumes at the boundary" 10
+        (Client.append w ~streams:[ 1 ] (payload "after"));
+      (* no data moved *)
+      check_int "no copy" 0 (List.length (Cluster.recoveries cluster));
+      (* reads span the boundary: old offsets through the old chains,
+         new ones through the new segment *)
+      let r = Cluster.new_client cluster ~name:"reader" in
+      for i = 0 to 9 do
+        match Client.read r i with
+        | Client.Data e -> check_string "old segment data" (string_of_int i) (payload_str e)
+        | _ -> Alcotest.failf "offset %d lost across scale_out" i
+      done;
+      (match Client.read r 10 with
+      | Client.Data e -> check_string "new segment data" "after" (payload_str e)
+      | _ -> Alcotest.fail "new-segment offset lost");
+      (* stream playback walks backpointers across the segment boundary *)
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      Alcotest.(check (list string)) "stream spans segments"
+        (List.init 10 string_of_int @ [ "after" ])
+        (List.map snd (drain sr)))
+
+let test_scale_out_under_load () =
+  with_cluster ~servers:4 (fun cluster ->
+      let c = Cluster.new_client cluster ~name:"app" in
+      let done_count = ref 0 in
+      Sim.Engine.spawn (fun () ->
+          for i = 0 to 49 do
+            ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)));
+            incr done_count
+          done);
+      Sim.Engine.sleep 2_000.;
+      ignore (Cluster.scale_out cluster ~add_servers:4 : Types.epoch);
+      Sim.Engine.sleep 1_000_000.;
+      check_int "all appends completed" 50 !done_count;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      let sr = Stream.attach r 1 in
+      ignore (Stream.sync sr);
+      let got = List.map snd (drain sr) in
+      check_int "no duplicates, no losses" 50 (List.length (List.sort_uniq compare got)))
+
+let test_scale_in_and_retire () =
+  with_cluster ~servers:6 (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 11 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      let epoch = Cluster.scale_in cluster ~remove_servers:2 in
+      check_int "epoch bumped" 1 epoch;
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      check_int "two segments" 2 (Projection.num_segments proj);
+      check_int "tail stripes narrower" 2 (Projection.num_sets proj);
+      (* the removed nodes still serve the bounded segment *)
+      check_int "nothing released yet" 6 (Projection.num_servers proj);
+      check_int "append resumes at the boundary" 12
+        (Client.append w ~streams:[ 1 ] (payload "after"));
+      (* nothing trimmed yet: the bounded segment cannot retire *)
+      check_bool "not retirable yet" true (Cluster.retire_trimmed_segments cluster = None);
+      (* reclaim the whole old segment, then retire it *)
+      Client.prefix_trim w 12;
+      (match Cluster.retire_trimmed_segments cluster with
+      | Some e -> check_int "retire bumps the epoch" 2 e
+      | None -> Alcotest.fail "fully trimmed segment must retire");
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      check_int "one segment left" 1 (Projection.num_segments proj);
+      check_int "removed nodes released" 4 (Projection.num_servers proj);
+      (match Cluster.scale_events cluster with
+      | [ _; retire ] ->
+          check_bool "retire event" true (retire.Cluster.sc_kind = Cluster.Segments_retired);
+          Alcotest.(check (list string)) "released the scaled-in nodes"
+            [ "storage-4"; "storage-5" ]
+            (List.sort compare retire.Cluster.sc_released)
+      | l -> Alcotest.failf "expected two scale events, got %d" (List.length l));
+      (* retired offsets read as trimmed; live ones still resolve *)
+      let r = Cluster.new_client cluster ~name:"reader" in
+      check_bool "retired offset is trimmed" true (Client.read r 0 = Client.Trimmed);
+      match Client.read r 12 with
+      | Client.Data e -> check_string "live data" "after" (payload_str e)
+      | _ -> Alcotest.fail "post-boundary offset lost")
+
+let test_scale_out_then_storage_failure () =
+  (* After a scale-out the old tail's nodes serve chains in TWO
+     segments; replacing one must rebuild its slots in both. *)
+  with_cluster ~servers:4 (fun cluster ->
+      let f = Sim.Fault.create () in
+      Sim.Net.install_fault (Cluster.net cluster) f;
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 9 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      ignore (Cluster.scale_out cluster ~add_servers:4 : Types.epoch);
+      for i = 10 to 19 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      (* storage-0 heads chains in both segments *)
+      let dead = (Cluster.storage_nodes cluster).(0) in
+      check_string "victim" "storage-0" (Storage_node.name dead);
+      Sim.Fault.crash f (Storage_node.name dead);
+      let epoch = Cluster.replace_storage_node cluster ~dead in
+      check_int "epoch" 2 epoch;
+      let r = Cluster.new_client cluster ~name:"reader" in
+      for i = 0 to 19 do
+        match Client.read r i with
+        | Client.Data e -> check_string "payload" (string_of_int i) (payload_str e)
+        | _ -> Alcotest.failf "offset %d lost after cross-segment replacement" i
+      done;
+      match Cluster.recoveries cluster with
+      | [ rc ] -> check_bool "copied both segments' slots" true (rc.Cluster.rec_copied_entries > 0)
+      | l -> Alcotest.failf "expected one recovery, got %d" (List.length l))
+
+let test_scale_determinism () =
+  (* The reconfiguration path uses only deterministic simulation
+     primitives: two runs with one seed give byte-identical traces. *)
+  let run () =
+    Sim.Trace.capture (fun () ->
+        Sim.Engine.run ~seed:7 (fun () ->
+            let cluster = Cluster.create ~servers:4 () in
+            let c = Cluster.new_client cluster ~name:"app" in
+            let done_count = ref 0 in
+            Sim.Engine.spawn (fun () ->
+                for i = 0 to 29 do
+                  ignore (Client.append c ~streams:[ 1 ] (payload (string_of_int i)));
+                  incr done_count
+                done);
+            Sim.Engine.sleep 1_500.;
+            ignore (Cluster.scale_out cluster ~add_servers:4 : Types.epoch);
+            Sim.Engine.sleep 500_000.;
+            !done_count))
+  in
+  let n1, trace1 = run () in
+  let n2, trace2 = run () in
+  check_int "all appends completed" 30 n1;
+  check_int "same count" n1 n2;
+  check_bool "byte-identical traces" true (String.equal trace1 trace2)
+
+let test_projection_layout_roundtrip () =
+  with_cluster ~servers:4 (fun cluster ->
+      let w = Cluster.new_client cluster ~name:"writer" in
+      for i = 0 to 5 do
+        ignore (Client.append w ~streams:[ 1 ] (payload (string_of_int i)))
+      done;
+      ignore (Cluster.scale_out cluster ~add_servers:2 ~chains:[ 3; 3 ] : Types.epoch);
+      let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+      let l = Projection.layout proj in
+      check_bool "layout roundtrips through the wire" true
+        (Projection.decode_layout (Projection.encode_layout proj) = l);
+      (* truncated payloads are rejected, not misread *)
+      let b = Projection.encode_layout proj in
+      match Projection.decode_layout (Bytes.sub b 0 (Bytes.length b - 3)) with
+      | _ -> Alcotest.fail "truncated layout must be rejected"
+      | exception Invalid_argument _ -> ())
+
+let prop_segment_mapping_roundtrip =
+  (* resolve and global_offset are inverse over arbitrary multi-segment
+     maps with mixed stripe widths and a retired prefix. *)
+  QCheck.Test.make ~name:"segment mapping is a bijection" ~count:100
+    QCheck.(
+      pair (int_range 0 5)
+        (list_of_size Gen.(1 -- 4) (pair (int_range 1 4) (int_range 1 24))))
+    (fun (first_base, segs) ->
+      Sim.Engine.run ~seed:5 (fun () ->
+          let params = Sim.Params.default in
+          let net = Sim.Net.create ~latency:10. ~bandwidth:125. ~jitter:0. () in
+          let fresh =
+            let n = ref 0 in
+            fun () ->
+              incr n;
+              Storage_node.create ~net ~name:(Printf.sprintf "n%d" !n) ~params ()
+          in
+          let seq = Sequencer.create ~net ~name:"s" ~params () in
+          let nsegs = List.length segs in
+          let base = ref first_base and local_base = ref 0 in
+          let segments =
+            Array.of_list
+              (List.mapi
+                 (fun i (nsets, span) ->
+                   let seg =
+                     {
+                       Projection.seg_base = !base;
+                       seg_limit = (if i = nsegs - 1 then None else Some (!base + span));
+                       seg_local_base = !local_base;
+                       seg_sets = Array.init nsets (fun _ -> [| fresh () |]);
+                     }
+                   in
+                   base := !base + span;
+                   local_base := !local_base + Projection.seg_local_span seg ~span;
+                   seg)
+                 segs)
+          in
+          let proj = Projection.v ~epoch:0 ~segments ~sequencer:seq in
+          let top = !base + 10 in
+          let ok = ref true in
+          for off = 0 to top do
+            match Projection.resolve proj off with
+            | None -> if off >= first_base then ok := false
+            | Some (seg, set, local) ->
+                if off < first_base then ok := false;
+                if Projection.global_offset proj ~seg ~set ~local <> off then ok := false;
+                (* the public accessors agree with resolve *)
+                if Projection.local_offset proj off <> local then ok := false;
+                if
+                  Projection.replica_set proj off
+                  != (Projection.segment proj seg).Projection.seg_sets.(set)
+                then ok := false
+          done;
+          !ok))
 
 (* ------------------------------------------------------------------ *)
 (* Sequencer checkpoints (§5 optimization)                             *)
@@ -1174,6 +1421,16 @@ let () =
           Alcotest.test_case "replace sequencer" `Quick test_reconfig_replaces_sequencer;
           Alcotest.test_case "reconfig under load" `Quick test_reconfig_under_load;
         ] );
+      ( "scale",
+        [
+          Alcotest.test_case "scale-out basic" `Quick test_scale_out_basic;
+          Alcotest.test_case "scale-out under load" `Quick test_scale_out_under_load;
+          Alcotest.test_case "scale-in and retire" `Quick test_scale_in_and_retire;
+          Alcotest.test_case "storage failure across segments" `Quick
+            test_scale_out_then_storage_failure;
+          Alcotest.test_case "scale-out determinism" `Quick test_scale_determinism;
+          Alcotest.test_case "layout wire roundtrip" `Quick test_projection_layout_roundtrip;
+        ] );
       ( "fault-recovery",
         [
           Alcotest.test_case "replace storage node" `Quick test_recover_replace_storage_node;
@@ -1183,5 +1440,6 @@ let () =
             test_fill_completes_torn_append_under_delay;
           Alcotest.test_case "fill loses to slow append" `Quick test_fill_loses_to_slow_append;
         ] );
-      ("properties", qcheck [ prop_header_roundtrip; prop_stream_isolation ]);
+      ( "properties",
+        qcheck [ prop_header_roundtrip; prop_stream_isolation; prop_segment_mapping_roundtrip ] );
     ]

@@ -426,6 +426,41 @@ let prop_register_linearizable =
           Sim.Engine.sleep 10_000_000.;
           Lin.check_register ~initial:0 !events))
 
+let test_linearizable_across_scale_out () =
+  (* Register histories must stay linearizable while the log scales
+     out underneath the clients: writers and readers straddle the
+     epoch bump, and reads span both segments' offsets. *)
+  Sim.Engine.run ~seed:31 (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:4 () in
+      let events = ref [] in
+      let record started finished op = events := { Lin.started; finished; op } :: !events in
+      for i = 1 to 3 do
+        let rt = runtime cluster (Printf.sprintf "c%d" i) in
+        let reg = Tango_register.attach rt ~oid:1 in
+        Sim.Engine.spawn (fun () ->
+            for n = 1 to 8 do
+              let t0 = Sim.Engine.now () in
+              if n mod 2 = i mod 2 then begin
+                let v = (i * 100) + n in
+                Tango_register.write reg v;
+                record t0 (Sim.Engine.now ()) (Lin.Write v)
+              end
+              else begin
+                let v = Tango_register.read reg in
+                record t0 (Sim.Engine.now ()) (Lin.Read v)
+              end;
+              Sim.Engine.sleep 300.
+            done)
+      done;
+      Sim.Engine.sleep 2_000.;
+      ignore (Corfu.Cluster.scale_out cluster ~add_servers:4 : Corfu.Types.epoch);
+      Sim.Engine.sleep 10_000_000.;
+      check_int "all ops finished" 24 (List.length !events);
+      let proj = Corfu.Auxiliary.latest (Corfu.Cluster.auxiliary cluster) in
+      check_int "map is segmented" 2 (Corfu.Projection.num_segments proj);
+      check_bool "history linearizable across the scale-out" true
+        (Lin.check_register ~initial:0 !events))
+
 let () =
   Alcotest.run "integration"
     [
@@ -437,6 +472,8 @@ let () =
           Alcotest.test_case "gc under load" `Quick test_gc_under_load;
           Alcotest.test_case "remote-write storm" `Quick test_remote_write_storm;
           Alcotest.test_case "whole-system determinism" `Quick test_whole_system_determinism;
+          Alcotest.test_case "linearizable across scale-out" `Quick
+            test_linearizable_across_scale_out;
         ] );
       ("multiplexing", [ Alcotest.test_case "object zoo on one log" `Quick test_object_zoo_on_one_log ]);
       ( "collaborative-remote-reads",
