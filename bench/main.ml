@@ -902,6 +902,55 @@ let chaos_smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz sweep: randomized fault plans against the invariant oracles   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small always-on fuzz campaign (DESIGN.md §9): each seed draws a
+   fresh make-whole fault plan and a randomized workload, then judges
+   the settled system against every global oracle. A clean build
+   produces zero violations on every seed; any violation fails the
+   bench run, and the campaign's per-seed numbers land in the JSON
+   report for trending. *)
+let fuzz_sweep () =
+  let module Fuzz = Tango_harness.Fuzz in
+  section "Fuzz sweep: randomized fault plans vs. global invariant oracles";
+  let seeds = if quick then 3 else 8 in
+  let config = Fuzz.default_config in
+  row "%6s %8s %8s %10s %10s %10s %11s" "seed" "events" "acked" "committed" "aborted" "end-ms"
+    "violations";
+  let bad = ref 0 in
+  for seed = 1 to seeds do
+    let plan = Fuzz.gen_plan ~seed config in
+    let oc = Fuzz.run ~seed config ~plan in
+    let nv = List.length oc.Fuzz.oc_violations in
+    bad := !bad + nv;
+    row "%6d %8d %8d %10d %10d %10.1f %11d" seed oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked
+      oc.Fuzz.oc_committed oc.Fuzz.oc_aborted (oc.Fuzz.oc_end_us /. 1e3) nv;
+    List.iter
+      (fun v -> row "    %s" (Format.asprintf "%a" Tango_harness.Verifier.pp_violation v))
+      oc.Fuzz.oc_violations;
+    Report.add_scenario ~name:(Printf.sprintf "fuzz-%d" seed) ~seed
+      ~params:
+        [
+          ("servers", string_of_int config.Fuzz.f_servers);
+          ("clients", string_of_int config.Fuzz.f_clients);
+          ("events", string_of_int config.Fuzz.f_events);
+        ]
+      ~summary:
+        [
+          ("violations", float_of_int nv);
+          ("acked_appends", float_of_int oc.Fuzz.oc_acked);
+          ("committed_txs", float_of_int oc.Fuzz.oc_committed);
+          ("fault_events", float_of_int oc.Fuzz.oc_fault_events);
+        ]
+      ~virtual_end_us:oc.Fuzz.oc_end_us ~metrics_json:oc.Fuzz.oc_metrics_json ()
+  done;
+  if !bad > 0 then begin
+    Printf.eprintf "fuzz-sweep FAILED: %d violation(s)\n" !bad;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scale-out: live segment reconfiguration under constant load        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1161,6 +1210,7 @@ let experiments =
     ("ablation-seqckpt", ablation_seqckpt);
     ("chaos-crash", chaos_crash);
     ("chaos-smoke", chaos_smoke);
+    ("fuzz-sweep", fuzz_sweep);
     ("scale-out", scale_out_bench);
   ]
 

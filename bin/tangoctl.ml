@@ -311,6 +311,126 @@ let projection servers add_servers seed =
   `Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Tango_harness.Fuzz
+module Verifier = Tango_harness.Verifier
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fuzz_config servers clients events appends txs =
+  {
+    Fuzz.default_config with
+    f_servers = servers;
+    f_clients = clients;
+    f_events = events;
+    f_appends = appends;
+    f_txs = txs;
+  }
+
+let print_violations violations =
+  List.iter (fun v -> say "  %s" (Format.asprintf "%a" Verifier.pp_violation v)) violations
+
+let dump_outcome ~metrics_out ~spans_out (oc : Fuzz.outcome) =
+  Option.iter (fun path -> write_file path oc.Fuzz.oc_metrics_json) metrics_out;
+  match (spans_out, oc.Fuzz.oc_spans_json) with
+  | Some path, Some spans -> write_file path spans
+  | Some path, None -> say "warning: no span dump captured for %s" path
+  | None, _ -> ()
+
+(* Explore [seeds] consecutive cases from [seed]. The first violating
+   case is shrunk to a minimal reproducer and written to [plan_out] as
+   a replayable artifact; the campaign report (schema_version 1) goes
+   to [report]. Metrics/span dumps of the first case support the CI
+   determinism gate: a replay of the same artifact must reproduce them
+   byte for byte. *)
+let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out spans_out report
+    failpoint =
+  let config = fuzz_config servers clients events appends txs in
+  let capture = Option.is_some spans_out in
+  let runs = ref [] in
+  let failed = ref None in
+  let s = ref seed in
+  while Option.is_none !failed && !s < seed + seeds do
+    let plan = Fuzz.gen_plan ~seed:!s config in
+    let oc = Fuzz.run ?failpoint ~capture_spans:(capture && !s = seed) ~seed:!s config ~plan in
+    runs := (!s, oc) :: !runs;
+    if !s = seed then dump_outcome ~metrics_out ~spans_out oc;
+    say "seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations" !s
+      oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
+      (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
+      (List.length oc.Fuzz.oc_violations);
+    print_violations oc.Fuzz.oc_violations;
+    (match oc.Fuzz.oc_violations with
+    | [] -> ()
+    | v :: _ -> failed := Some (!s, plan, v.Verifier.v_oracle));
+    incr s
+  done;
+  Option.iter (fun path -> write_file path (Fuzz.report_json ~runs:(List.rev !runs))) report;
+  match !failed with
+  | None ->
+      say "%d seed(s) explored, no violations" seeds;
+      `Ok ()
+  | Some (seed, plan, oracle) ->
+      say "shrinking the seed-%d reproducer (oracle: %s)..." seed oracle;
+      let sh = Fuzz.shrink ?failpoint ~seed config plan ~oracle in
+      say "minimal plan after %d re-runs (%d -> %d events):" sh.Fuzz.sh_runs (List.length plan)
+        (List.length sh.Fuzz.sh_plan);
+      say "%s" (Format.asprintf "%a" Sim.Fault.pp_plan sh.Fuzz.sh_plan);
+      Option.iter
+        (fun path ->
+          write_file path (Fuzz.encode_artifact ~seed config sh.Fuzz.sh_plan);
+          say "replayable artifact -> %s" path)
+        plan_out;
+      exit 1
+
+let fuzz_replay plan_file metrics_out spans_out failpoint =
+  let seed, config, plan = Fuzz.decode_artifact (read_file plan_file) in
+  let oc = Fuzz.run ?failpoint ~capture_spans:(Option.is_some spans_out) ~seed config ~plan in
+  dump_outcome ~metrics_out ~spans_out oc;
+  say "replayed seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations"
+    seed oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
+    (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
+    (List.length oc.Fuzz.oc_violations);
+  print_violations oc.Fuzz.oc_violations;
+  if oc.Fuzz.oc_violations = [] then `Ok () else exit 1
+
+let fuzz_shrink plan_file out oracle failpoint =
+  let seed, config, plan = Fuzz.decode_artifact (read_file plan_file) in
+  let oracle =
+    match oracle with
+    | Some o -> o
+    | None -> (
+        (* no oracle named: re-run the artifact and minimize against
+           whatever fires first *)
+        let oc = Fuzz.run ?failpoint ~seed config ~plan in
+        match oc.Fuzz.oc_violations with
+        | [] ->
+            say "artifact no longer reproduces any violation; nothing to shrink";
+            exit 1
+        | v :: _ -> v.Verifier.v_oracle)
+  in
+  let sh = Fuzz.shrink ?failpoint ~seed config plan ~oracle in
+  say "minimal plan after %d re-runs (%d -> %d events), oracle %s:" sh.Fuzz.sh_runs
+    (List.length plan) (List.length sh.Fuzz.sh_plan) sh.Fuzz.sh_oracle;
+  say "%s" (Format.asprintf "%a" Sim.Fault.pp_plan sh.Fuzz.sh_plan);
+  write_file out (Fuzz.encode_artifact ~seed config sh.Fuzz.sh_plan);
+  say "shrunk artifact -> %s" out;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* command line                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -374,6 +494,105 @@ let projection_cmd =
        ~doc:"Print the segmented layout map through a live scale-out (§2.2 reconfiguration).")
     Term.(ret (const projection $ proj_servers_arg $ add_servers_arg $ seed_arg))
 
+let fuzz_seeds_arg =
+  Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc:"Consecutive seeds to explore.")
+
+let fuzz_servers_arg =
+  Arg.(value & opt int 6 & info [ "servers" ] ~docv:"N" ~doc:"Storage servers at boot.")
+
+let fuzz_clients_arg =
+  Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N" ~doc:"Workload clients.")
+
+let fuzz_events_arg =
+  Arg.(value & opt int 6 & info [ "events" ] ~docv:"N" ~doc:"Primary fault events per plan.")
+
+let fuzz_appends_arg =
+  Arg.(value & opt int 18 & info [ "appends" ] ~docv:"N" ~doc:"Raw appends per client.")
+
+let fuzz_txs_arg =
+  Arg.(value & opt int 8 & info [ "txs" ] ~docv:"N" ~doc:"Transactions per client.")
+
+let plan_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-out" ] ~docv:"FILE" ~doc:"Write the shrunk reproducer artifact here.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the first case's canonical metrics JSON (determinism gate).")
+
+let spans_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans-out" ] ~docv:"FILE"
+        ~doc:"Capture and write the first case's span timeline (determinism gate).")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE" ~doc:"Write the machine-readable campaign report here.")
+
+let failpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failpoint" ] ~docv:"NAME"
+        ~doc:
+          "Enable a cluster failpoint for every run (sensitivity testing): skip-rebuild-scan, \
+           forget-seal-tail or skip-storage-seal.")
+
+let plan_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "plan" ] ~docv:"FILE" ~doc:"Replayable fuzz artifact to load.")
+
+let shrink_out_arg =
+  Arg.(
+    value
+    & opt string "shrunk-plan.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk artifact.")
+
+let oracle_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "oracle" ] ~docv:"NAME"
+        ~doc:"Oracle to preserve while shrinking (default: whatever fires first on a re-run).")
+
+let fuzz_run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Explore random fault plans; shrink and save the first violation.")
+    Term.(
+      ret
+        (const fuzz_run $ seed_arg $ fuzz_seeds_arg $ fuzz_servers_arg $ fuzz_clients_arg
+       $ fuzz_events_arg $ fuzz_appends_arg $ fuzz_txs_arg $ plan_out_arg $ metrics_out_arg
+       $ spans_out_arg $ report_arg $ failpoint_arg))
+
+let fuzz_replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run a saved fuzz artifact; deterministic down to the span dump.")
+    Term.(ret (const fuzz_replay $ plan_arg $ metrics_out_arg $ spans_out_arg $ failpoint_arg))
+
+let fuzz_shrink_cmd =
+  Cmd.v
+    (Cmd.info "shrink" ~doc:"Minimize a saved fuzz artifact while its oracle keeps firing.")
+    Term.(ret (const fuzz_shrink $ plan_arg $ shrink_out_arg $ oracle_arg $ failpoint_arg))
+
+let fuzz_cmd =
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:
+         "Simulation fuzzer: randomized fault plans, global invariant oracles, automatic plan \
+          shrinking (DESIGN.md §9).")
+    [ fuzz_run_cmd; fuzz_replay_cmd; fuzz_shrink_cmd ]
+
 let () =
   let info = Cmd.info "tangoctl" ~doc:"Operational demos for the Tango reproduction." in
   exit
@@ -387,4 +606,5 @@ let () =
             metrics_cmd;
             trace_cmd;
             projection_cmd;
+            fuzz_cmd;
           ]))

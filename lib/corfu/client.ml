@@ -148,6 +148,46 @@ let down_retry t backoff =
   refresh t;
   Float.min (backoff *. 2.) t.p.retry_backoff_max_us
 
+(* One replica read under the current projection; shared by the read
+   path below and the stale-grant probe. *)
+let read_replica t node off =
+  let loff = Projection.local_offset t.proj off in
+  Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+    ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
+    (Storage_node.read_service node)
+    { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff }
+
+(* A chain write whose projection gained a {e new sequencer} mid-flight
+   needs a verdict on its granted offset. The replacement rebuilt the
+   backpointer state by scanning chain heads after every storage node
+   was sealed, so head-visibility at the handoff is exactly
+   scan-visibility:
+
+   - our entry at the head (physical equality, as in {!write_chain}):
+     the scan recorded the offset's stream membership, so completing
+     the chain under the new projection is correct — and required,
+     since readers may already be chaining through it;
+   - anything else (unwritten, junk, a foreign winner, trimmed): the
+     grant died with the old sequencer. The offset is unknown to the
+     rebuilt state, so writing it now would land an entry no stream
+     sync could ever discover; the payload must move to a fresh offset
+     and the abandoned slot resolves as junk through readers' fills. *)
+let probe_stale_grant t off entry =
+  let rec go backoff =
+    if Projection.locate t.proj off = Projection.Retired then `Abandon
+    else
+      let set = Projection.replica_set t.proj off in
+      match read_replica t set.(0) off with
+      | Error _ ->
+          note_failure t;
+          go (down_retry t backoff)
+      | Ok (Types.Read_sealed _) -> go (down_retry t backoff)
+      | Ok (Types.Read_data e) when e == entry -> `Complete
+      | Ok (Types.Read_data _ | Types.Read_junk | Types.Read_trimmed | Types.Read_unwritten) ->
+          `Abandon
+  in
+  go t.p.retry_sleep_us
+
 (* The sequencer round trip, wrapped in its span and latency
    histogram; shared by single appends, range grants, and checks. *)
 let seq_grant t f =
@@ -186,39 +226,48 @@ let rec append_inner t ~streams payload =
              stream_tails)
       in
       let entry = { Types.headers; payload } in
-      append_at t ~streams ~payload off entry
+      append_at t ~seq:t.proj.Projection.sequencer ~streams ~payload off entry
 
 (* Drive one entry's chain write to a decision. A sealed or unreachable
-   chain retries the {e same} offset under the refreshed projection:
-   the offset is still ours (reconfigurations that keep the sequencer
-   preserve the allocation, and a sequencer swap hands it out again
-   only if we never wrote it — in which case the write-once race picks
-   one winner). Only a genuine loss of the slot (someone filled it)
-   moves the payload to a fresh offset; retrying with a fresh offset on
-   seal, as we used to, could commit the entry twice. *)
-and append_at t ~streams ~payload off entry =
-  let rec attempt backoff =
-    match write_chain t off (Types.Data entry) with
-    | Chain_ok ->
-        commit_marker t (fun () ->
-            (* Our own playback will want this entry next; save the
-               round trip. *)
-            cache_insert t off entry;
-            note_own_append t ~streams off);
-        off
-    | Chain_lost _ ->
-        (* Our offset was filled before we reached the head (we were
-           slow past the hole timeout). Grab a fresh offset. *)
-        append_inner t ~streams payload
-    | Chain_sealed ->
-        note_retry t;
-        refresh t;
-        attempt backoff
-    | Chain_down ->
-        let backoff = down_retry t backoff in
-        attempt backoff
+   chain retries the {e same} offset under the refreshed projection —
+   as long as the sequencer that granted it ([seq]) is still the
+   projection's sequencer, the allocation is preserved and the offset
+   is still ours. Once a handoff replaced the sequencer, the grant's
+   fate is decided by {!probe_stale_grant}: complete a torn write the
+   rebuild scan saw, abandon an unwritten slot for a fresh offset.
+   Only a genuine loss of the slot (someone filled it) moves the
+   payload to a fresh offset; retrying with a fresh offset on seal, as
+   we used to, could commit the entry twice. *)
+and append_at t ~seq ~streams ~payload off entry =
+  let rec attempt ~seq backoff =
+    if t.proj.Projection.sequencer != seq then
+      match probe_stale_grant t off entry with
+      | `Complete -> attempt ~seq:t.proj.Projection.sequencer backoff
+      | `Abandon ->
+          note_retry t;
+          append_inner t ~streams payload
+    else
+      match write_chain t off (Types.Data entry) with
+      | Chain_ok ->
+          commit_marker t (fun () ->
+              (* Our own playback will want this entry next; save the
+                 round trip. *)
+              cache_insert t off entry;
+              note_own_append t ~streams off);
+          off
+      | Chain_lost _ ->
+          (* Our offset was filled before we reached the head (we were
+             slow past the hole timeout). Grab a fresh offset. *)
+          append_inner t ~streams payload
+      | Chain_sealed ->
+          note_retry t;
+          refresh t;
+          attempt ~seq backoff
+      | Chain_down ->
+          let backoff = down_retry t backoff in
+          attempt ~seq backoff
   in
-  attempt t.p.retry_sleep_us
+  attempt ~seq t.p.retry_sleep_us
 
 (* The public append: one root span covering the whole operation —
    sequencer.grant, chain.write attempts, and the commit marker appear
@@ -239,6 +288,9 @@ type grant = {
   g_streams : Types.stream_id list;
   g_tails : (Types.stream_id * Types.offset list) list;
       (* per-stream last-K as of the grant, i.e. excluding the grant *)
+  g_seq : Sequencer.t;
+      (* the issuing sequencer: a later projection carrying a different
+         one voids the unwritten remainder of the grant *)
 }
 
 let rec reserve t ~streams ~count =
@@ -255,7 +307,13 @@ let rec reserve t ~streams ~count =
       refresh t;
       reserve t ~streams ~count
   | Sequencer.Seq_ok { base; stream_tails } ->
-      { g_base = base; g_count = count; g_streams = streams; g_tails = stream_tails }
+      {
+        g_base = base;
+        g_count = count;
+        g_streams = streams;
+        g_tails = stream_tails;
+        g_seq = t.proj.Projection.sequencer;
+      }
 
 (* Backpointers for offset [g_base + index]: the grant's earlier
    offsets (all on every granted stream, newest first) followed by the
@@ -283,28 +341,37 @@ let write_granted t g ~index payload =
   Sim.Metrics.time t.append_h
   @@ fun () ->
   let entry = { Types.headers = grant_headers t g ~index off; payload } in
-  let rec attempt backoff =
-    match write_chain t off (Types.Data entry) with
-    | Chain_ok ->
-        commit_marker t (fun () ->
-            cache_insert t off entry;
-            note_own_append t ~streams:g.g_streams off);
-        off
-    | Chain_lost _ ->
-        (* The granted offset was filled (we blew the hole timeout).
-           The junked slot breaks nothing: stream readers treat offsets
-           the sequencer issued but that carry no header as junk and
-           scan backward. Land the payload at a fresh offset. *)
-        append_inner t ~streams:g.g_streams payload
-    | Chain_sealed ->
-        note_retry t;
-        refresh t;
-        attempt backoff
-    | Chain_down ->
-        let backoff = down_retry t backoff in
-        attempt backoff
+  let rec attempt ~seq backoff =
+    if t.proj.Projection.sequencer != seq then
+      (* The grant's sequencer was replaced mid-write; see
+         {!probe_stale_grant} for why the head replica decides. *)
+      match probe_stale_grant t off entry with
+      | `Complete -> attempt ~seq:t.proj.Projection.sequencer backoff
+      | `Abandon ->
+          note_retry t;
+          append_inner t ~streams:g.g_streams payload
+    else
+      match write_chain t off (Types.Data entry) with
+      | Chain_ok ->
+          commit_marker t (fun () ->
+              cache_insert t off entry;
+              note_own_append t ~streams:g.g_streams off);
+          off
+      | Chain_lost _ ->
+          (* The granted offset was filled (we blew the hole timeout).
+             The junked slot breaks nothing: stream readers treat offsets
+             the sequencer issued but that carry no header as junk and
+             scan backward. Land the payload at a fresh offset. *)
+          append_inner t ~streams:g.g_streams payload
+      | Chain_sealed ->
+          note_retry t;
+          refresh t;
+          attempt ~seq backoff
+      | Chain_down ->
+          let backoff = down_retry t backoff in
+          attempt ~seq backoff
   in
-  attempt t.p.retry_sleep_us
+  attempt ~seq:g.g_seq t.p.retry_sleep_us
 
 let append_range t ~streams payloads =
   match payloads with
@@ -332,13 +399,6 @@ let append_range t ~streams payloads =
 (* ------------------------------------------------------------------ *)
 (* Reads                                                              *)
 (* ------------------------------------------------------------------ *)
-
-let read_replica t node off =
-  let loff = Projection.local_offset t.proj off in
-  Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
-    ~timeout_us:t.p.rpc_timeout_us ~from:t.client_host
-    (Storage_node.read_service node)
-    { Storage_node.repoch = t.proj.Projection.epoch; roffset = loff }
 
 let rec read t off =
   if Projection.locate t.proj off = Projection.Retired then Trimmed

@@ -58,6 +58,13 @@ type grant = {
   g_streams : Types.stream_id list;
   g_tails : (Types.stream_id * Types.offset list) list;
       (** per-stream last-K as of the grant, excluding the grant *)
+  g_seq : Sequencer.t;
+      (** the issuing sequencer. A sequencer replacement voids the
+          grant's unwritten offsets: the rebuilt backpointer state only
+          knows offsets whose chain head was written before the seal,
+          so {!write_granted} completes those (torn writes) and moves
+          any other payload to a fresh offset — the abandoned slots
+          resolve as junk through readers' hole-filling. *)
 }
 
 (** [reserve t ~streams ~count] reserves [count] consecutive offsets
@@ -69,7 +76,8 @@ val reserve : t -> streams:Types.stream_id list -> count:int -> grant
     offset [g.g_base + index] with exact backpointer headers. Returns
     the offset the payload actually landed at: normally the granted
     one, but if the granted slot was hole-filled before the write
-    reached the head (client stalled past the fill timeout), the
+    reached the head (client stalled past the fill timeout), or the
+    grant was voided by a sequencer replacement (see {!grant}), the
     payload is re-appended at a fresh offset. Safe to call
     concurrently for distinct indices of one grant. *)
 val write_granted : t -> grant -> index:int -> bytes -> Types.offset

@@ -34,7 +34,42 @@ type t = {
   mutable storage_count : int;  (* names the next provisioned storage-N *)
   mutable recoveries : recovery list;  (* newest first *)
   mutable scale_events : scale_event list;  (* newest first *)
+  mutable reconfig_busy : bool;  (* cooperative reconfiguration mutex *)
 }
+
+type failpoints = {
+  mutable fp_skip_rebuild_scan : bool;
+  mutable fp_forget_seal_tail : bool;
+  mutable fp_skip_storage_seal : bool;
+}
+
+let failpoints =
+  { fp_skip_rebuild_scan = false; fp_forget_seal_tail = false; fp_skip_storage_seal = false }
+
+let reset_failpoints () =
+  failpoints.fp_skip_rebuild_scan <- false;
+  failpoints.fp_forget_seal_tail <- false;
+  failpoints.fp_skip_storage_seal <- false
+
+let enable_failpoint = function
+  | "skip-rebuild-scan" -> failpoints.fp_skip_rebuild_scan <- true
+  | "forget-seal-tail" -> failpoints.fp_forget_seal_tail <- true
+  | "skip-storage-seal" -> failpoints.fp_skip_storage_seal <- true
+  | name -> invalid_arg (Printf.sprintf "Cluster.enable_failpoint: unknown failpoint %S" name)
+
+(* Reconfiguration operations are serialized per cluster: the failure
+   monitor, scheduled fault-plan actions, and explicit operator calls
+   may all reach for the auxiliary concurrently, and two interleaved
+   epoch bumps would each propose projections derived from the same
+   predecessor — the Conflict the auxiliary exists to reject. Waiters
+   queue cooperatively and re-read the projection once they hold the
+   lock, so a queued replacement observes its predecessor's result. *)
+let with_reconfig t f =
+  while t.reconfig_busy do
+    Sim.Engine.sleep t.p.retry_sleep_us
+  done;
+  t.reconfig_busy <- true;
+  Fun.protect ~finally:(fun () -> t.reconfig_busy <- false) f
 
 (* Group [nodes] into replica chains: uniform [chain_length] by
    default, or explicit per-chain lengths via [chains] — which is how
@@ -97,6 +132,7 @@ let create ?(params = Sim.Params.default) ?(chain_length = 2) ?chains ~servers (
     storage_count = servers;
     recoveries = [];
     scale_events = [];
+    reconfig_busy = false;
   }
 
 let params t = t.p
@@ -112,14 +148,35 @@ let new_client t ~name =
 let client_on t host = Client.create ~host ~aux:t.aux ~params:t.p
 
 (* Raw read used during reconfiguration, bypassing the client library
-   (which would chase the not-yet-installed projection). *)
+   (which would chase the not-yet-installed projection). Always reads
+   the chain HEAD, and retries it until it answers: the stale-grant
+   probe in {!Client} is sound only if everything visible at the head
+   was seen by the rebuild scan, so falling back to another replica
+   (which may lag a half-completed chain write) is not an option. A
+   transiently unreachable head — crashed pending restart, or cut off
+   by a partition — just stalls the scan until it comes back; a head
+   that is gone for good needs a membership change, which is the
+   failure monitor's job, not the scan's. Found by the simulation
+   fuzzer: the old untimed RPC left a whole reconfiguration wedged
+   (lock held, epoch never published) when the scan hit a partitioned
+   head, because a dropped request blocks its caller forever. *)
 let raw_read t proj ~epoch off =
   let set = Projection.replica_set proj off in
   let loff = Projection.local_offset proj off in
   let head = set.(0) in
-  Sim.Net.call ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes ~from:t.reconfig_host
-    (Storage_node.read_service head)
-    { Storage_node.repoch = epoch; roffset = loff }
+  let rec go () =
+    match
+      Sim.Net.call_r ~req_bytes:t.p.rpc_bytes ~resp_bytes:t.p.entry_bytes
+        ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+        (Storage_node.read_service head)
+        { Storage_node.repoch = epoch; roffset = loff }
+    with
+    | Ok outcome -> outcome
+    | Error _ ->
+        Sim.Engine.sleep t.p.retry_sleep_us;
+        go ()
+  in
+  go ()
 
 let last_rebuild_scan t = t.rebuild_scan
 
@@ -174,35 +231,70 @@ let start_checkpoint_scribe t ~interval_us =
    sealed node, refreshes, and retries under the new map. [dead] gets
    a short-deadline attempt: if the monitor was wrong and it still
    answers, sealing it prevents stale-epoch clients from completing
-   chains through it. *)
+   chains through it.
+
+   Every node that {e stays} in the projection must actually seal
+   before the reconfiguration proceeds — an unreachable survivor is
+   retried until it answers. Skipping it (the old behaviour, now the
+   [skip-storage-seal] failpoint's territory) leaves a member frozen at
+   the old epoch: once it heals, stale-epoch clients can complete
+   chain writes through it {e after} the rebuild scan, landing entries
+   the new sequencer has never heard of. Found by the simulation
+   fuzzer as a durability/liveness hazard under partition-during-
+   reconfiguration. *)
 let seal_storage ?dead t proj ~epoch =
   let tails = Hashtbl.create 32 in
   List.iter
     (fun node ->
       Sim.Metrics.incr (Sim.Metrics.counter "cluster.seals");
-      let timeout_us =
-        match dead with Some d when node == d -> 10_000. | _ -> t.p.rpc_timeout_us
+      let is_dead = match dead with Some d -> node == d | None -> false in
+      (* Failpoint (fuzzer sensitivity, DESIGN.md §9): collect the tail
+         without sealing, leaving stale-epoch clients able to keep
+         writing through the old view. *)
+      let service =
+        if failpoints.fp_skip_storage_seal then fun n ->
+          Sim.Net.call_r ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+            (Storage_node.tail_service n) ()
+        else fun n ->
+          Sim.Net.call_r ~timeout_us:t.p.rpc_timeout_us ~from:t.reconfig_host
+            (Storage_node.seal_service n) epoch
       in
-      match
-        Sim.Net.call_r ~timeout_us ~from:t.reconfig_host (Storage_node.seal_service node) epoch
-      with
-      | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
-      | Error _ -> ())
+      if is_dead then begin
+        match
+          Sim.Net.call_r ~timeout_us:10_000. ~from:t.reconfig_host
+            (Storage_node.seal_service node) epoch
+        with
+        | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
+        | Error _ -> ()
+      end
+      else
+        let rec go () =
+          match service node with
+          | Ok tail -> Hashtbl.replace tails (Storage_node.name node) tail
+          | Error _ ->
+              Sim.Engine.sleep t.p.retry_sleep_us;
+              go ()
+        in
+        go ())
     (Projection.servers proj);
   tails
 
 let replace_sequencer t =
+  with_reconfig t
+  @@ fun () ->
   Sim.Span.with_span ~host:"reconfig-agent" "recovery.sequencer"
   @@ fun () ->
   Sim.Metrics.incr (Sim.Metrics.counter "cluster.seq_replacements");
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
-  (* 1. Seal the old sequencer so no stale backpointers escape. *)
-  ignore
-    (Sim.Net.call ~from:t.reconfig_host
-       (Sequencer.seal_service old_proj.Projection.sequencer)
-       epoch
-      : Types.offset);
+  (* 1. Seal the old sequencer so no stale backpointers escape. Its
+     answer is the grant frontier: every offset below it was handed
+     out under the old epoch, including grants whose chain writes are
+     still in flight (and therefore invisible to the storage tails
+     collected next). *)
+  let seal_tail =
+    Sim.Net.call ~from:t.reconfig_host (Sequencer.seal_service old_proj.Projection.sequencer) epoch
+  in
   (* 2. Seal every storage node, collecting local tails; the tail
      segment's chain heads carry the highest local tails. *)
   let tails = seal_storage t old_proj ~epoch in
@@ -215,7 +307,16 @@ let replace_sequencer t =
         | None -> -1)
       tail_seg.Projection.seg_sets
   in
-  let tail = Projection.global_tail_from_locals old_proj locals in
+  let storage_tail = Projection.global_tail_from_locals old_proj locals in
+  (* The new sequencer must start past {e both} frontiers. Starting at
+     the storage tail alone re-grants every offset of an unexhausted
+     range grant (granted, not yet written) — two clients then hold
+     the same offset and one of them loses the write-once race on
+     every entry. Found by the simulation fuzzer; the grant holder's
+     unwritten slots simply resolve as holes and get filled. *)
+  let tail =
+    if failpoints.fp_forget_seal_tail then storage_tail else max storage_tail seal_tail
+  in
   (* 3. Rebuild per-stream backpointer state by scanning backward,
      stopping at the most recent sequencer checkpoint if one exists
      (§5's proposed optimization, via the scribe) — or at the retired
@@ -250,7 +351,11 @@ let replace_sequencer t =
           scan (off - 1)
     end
   in
-  scan (tail - 1);
+  (* Failpoint (fuzzer sensitivity, DESIGN.md §9): lose the rebuild —
+     the new sequencer comes up with the right tail but no backpointer
+     state, so entries appended after the handoff chain to nothing and
+     earlier stream history becomes unreachable to fresh readers. *)
+  if not failpoints.fp_skip_rebuild_scan then scan (tail - 1);
   t.rebuild_scan <- !scanned;
   Sim.Metrics.add (Sim.Metrics.counter "cluster.rebuild_scanned") !scanned;
   Sim.Trace.f "reconfig" "epoch %d: tail %d rebuilt after scanning %d entries" epoch tail
@@ -280,11 +385,11 @@ let replace_sequencer t =
 let recoveries t = List.rev t.recoveries
 
 let replace_storage_node ?(copy_window = 16) t ~dead =
-  Sim.Span.with_span ~host:"reconfig-agent"
-    ~args:[ ("dead", Storage_node.name dead) ]
-    "recovery"
+  with_reconfig t
   @@ fun () ->
-  let started = Sim.Engine.now () in
+  (* Re-read under the lock: a queued replacement must see its
+     predecessor's projection, and the node it came to bury may
+     already be gone. *)
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
   (* The dead member may serve chains in several segments (scale-out
@@ -300,7 +405,20 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
       old_proj.Projection.segments;
     List.rev !found
   in
-  if slots = [] then invalid_arg "Cluster.replace_storage_node: node not in the current projection";
+  if slots = [] then begin
+    (* Already replaced by a concurrent recovery (the monitor and a
+       scheduled fault-plan action can race to the same corpse): the
+       cluster is in the state the caller wanted. *)
+    Sim.Trace.f ~host:(Storage_node.name dead) "reconfig"
+      "already out of the projection: replacement is a no-op";
+    old_proj.Projection.epoch
+  end
+  else
+  Sim.Span.with_span ~host:"reconfig-agent"
+    ~args:[ ("dead", Storage_node.name dead) ]
+    "recovery"
+  @@ fun () ->
+  let started = Sim.Engine.now () in
   Sim.Trace.f ~host:(Storage_node.name dead) "reconfig"
     "replacing a member of %d segment chain(s) at epoch %d" (List.length slots) epoch;
   (* 1. Seal the sequencer at the new epoch. It stays in the next
@@ -565,6 +683,8 @@ let reseal_with_tail t ~kind ~started new_sets_of =
 
 let scale_out ?chain_length ?chains t ~add_servers =
   if add_servers < 1 then invalid_arg "Cluster.scale_out: add_servers must be at least 1";
+  with_reconfig t
+  @@ fun () ->
   Sim.Span.with_span ~host:"reconfig-agent"
     ~args:[ ("add", string_of_int add_servers) ]
     "scale.out"
@@ -595,6 +715,8 @@ let scale_out ?chain_length ?chains t ~add_servers =
       chains_of ~context:"Cluster.scale_out" ~chain_length ?chains members)
 
 let scale_in ?chain_length ?chains t ~remove_servers =
+  with_reconfig t
+  @@ fun () ->
   Sim.Span.with_span ~host:"reconfig-agent"
     ~args:[ ("remove", string_of_int remove_servers) ]
     "scale.in"
@@ -639,6 +761,8 @@ let segment_fully_trimmed seg =
       !ok
 
 let retire_trimmed_segments t =
+  with_reconfig t
+  @@ fun () ->
   let old_proj = Auxiliary.latest t.aux in
   let segments = old_proj.Projection.segments in
   (* Only a prefix of the map can retire: segments tile the offset

@@ -70,8 +70,11 @@ val last_rebuild_scan : t -> int
     Data that reached {e only} the dead node (the head of a torn
     append) is unrecoverable and resolves as a hole, matching the
     real system's failure model.
-    @raise Invalid_argument if [dead] is not in the current
-    projection. *)
+
+    If [dead] is no longer in the projection when the operation runs —
+    a concurrent recovery (the failure monitor racing a scheduled
+    fault action) already replaced it — the call is a no-op and
+    returns the current epoch. *)
 val replace_storage_node : ?copy_window:int -> t -> dead:Storage_node.t -> Types.epoch
 
 (** One completed storage-node recovery, for availability reports. *)
@@ -141,6 +144,43 @@ type scale_event = {
 
 (** Completed scale events, oldest first. *)
 val scale_events : t -> scale_event list
+
+(** {2 Reconfiguration serialization and failpoints}
+
+    All reconfiguration operations ({!replace_sequencer},
+    {!replace_storage_node}, {!scale_out}, {!scale_in},
+    {!retire_trimmed_segments}) serialize on a per-cluster cooperative
+    lock: concurrent callers — the failure monitor racing a scheduled
+    fault-plan action, say — queue and re-read the projection once
+    they hold it, so the auxiliary never sees two proposals derived
+    from the same predecessor. *)
+
+(** Deliberate protocol breakers for the simulation fuzzer's
+    sensitivity check (DESIGN.md §9): each flag disables one step the
+    correctness argument depends on, and the fuzzer's oracles must
+    catch the consequences — proving they are live, not vacuous.
+    Process-global; {!reset_failpoints} between runs. *)
+type failpoints = {
+  mutable fp_skip_rebuild_scan : bool;
+      (** {!replace_sequencer} skips the backward scan: the new
+          sequencer has the right tail but empty backpointer state *)
+  mutable fp_forget_seal_tail : bool;
+      (** {!replace_sequencer} derives the new tail from storage
+          tails only, re-granting in-flight range grants (the
+          pre-hardening bug, kept as a regression failpoint) *)
+  mutable fp_skip_storage_seal : bool;
+      (** reconfigurations collect tails without sealing, leaving
+          stale-epoch clients able to write through the old view *)
+}
+
+val failpoints : failpoints
+val reset_failpoints : unit -> unit
+
+(** [enable_failpoint name] sets one flag by its kebab-case name
+    (["skip-rebuild-scan"], ["forget-seal-tail"],
+    ["skip-storage-seal"]) — the [tangoctl fuzz --failpoint] hook.
+    @raise Invalid_argument on an unknown name. *)
+val enable_failpoint : string -> unit
 
 (** [start_failure_monitor t] spawns the detector fiber: every
     [probe_interval_us] (default 20 ms) it probes each storage node of

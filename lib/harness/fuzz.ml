@@ -1,0 +1,672 @@
+(* Simulation fuzzer: explore randomized fault plans against randomized
+   multi-client workloads, check the global invariants ({!Verifier})
+   after every run, and shrink failing plans to minimal reproducers.
+
+   A fuzz case is a pure function of (seed, config, plan): the engine,
+   the fault controller, and every workload generator derive their
+   randomness from [seed], and the plan is data ({!Sim.Fault}'s
+   serializable actions). Replaying the same triple reproduces the same
+   virtual-time trace byte for byte — which is what makes shrinking
+   (re-running candidate sub-plans) and CI replay gates possible. *)
+
+open Corfu
+
+type config = {
+  f_servers : int;  (* storage nodes at boot, chains of 2 *)
+  f_clients : int;  (* appender + transactor pair per client *)
+  f_appends : int;  (* raw appends per appender *)
+  f_txs : int;  (* transactions per transactor *)
+  f_events : int;  (* primary fault events (recovery partners extra) *)
+  f_fault_at_us : float;  (* first fault no earlier than this *)
+  f_fault_window_us : float;  (* faults land inside this window *)
+  f_deadline_us : float;  (* workload must finish by then *)
+  f_settle_us : float;  (* quiesce before the oracle phase *)
+  f_horizon_us : float;  (* hard virtual-time ceiling for one run *)
+  f_shrink_runs : int;  (* shrink budget, counted in re-runs *)
+}
+
+let default_config =
+  {
+    f_servers = 6;
+    f_clients = 3;
+    f_appends = 18;
+    f_txs = 8;
+    f_events = 6;
+    f_fault_at_us = 15_000.;
+    f_fault_window_us = 130_000.;
+    f_deadline_us = 3_000_000.;
+    f_settle_us = 400_000.;
+    f_horizon_us = 10_000_000.;
+    f_shrink_runs = 250;
+  }
+
+let workload_streams = [| 10; 11; 12 |]
+let map_oid = 1
+let set_oid = 2
+
+(* ------------------------------------------------------------------ *)
+(* Plan generation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Placeholder for generated/decoded [Custom] actions; {!run} rebinds
+   every custom thunk against the live cluster before scheduling. *)
+let unbound_thunk () = invalid_arg "Fuzz: custom action thunk was not rebound"
+
+(* The generator is make-whole by construction — every crash gets a
+   restart, every partition a heal, every degraded edge a clear, every
+   failed SSD a repair — and storage-affecting faults are serialized
+   into disjoint windows on distinct chains, so at least one replica of
+   every acked entry survives every instant of the plan. A clean build
+   must therefore produce {e zero} violations on any seed; a violation
+   is a bug, not noise. Sequencer loss is exercised through
+   [replace-sequencer] customs (the §5 reconfiguration), never by
+   making the sequencer unreachable: sequencer RPCs are the one place
+   clients wait without timeouts. *)
+let gen_plan ~seed config =
+  let rng = Sim.Rng.create (0x5EED0 + seed) in
+  let chains = max 1 (config.f_servers / 2) in
+  let chain_used = Array.make chains false in
+  let free_chain () =
+    let free =
+      List.filter (fun i -> not chain_used.(i)) (List.init chains (fun i -> i))
+    in
+    match free with
+    | [] -> None
+    | l ->
+        let c = List.nth l (Sim.Rng.int rng (List.length l)) in
+        chain_used.(c) <- true;
+        Some c
+  in
+  let member_of c = Printf.sprintf "storage-%d" ((2 * c) + Sim.Rng.int rng 2) in
+  let partition_used = ref false in
+  let scale_in_used = ref false in
+  (* Storage-affecting faults get serialized slots: detection (~40ms),
+     replacement, and the paired recovery all finish before the next
+     slot opens, so no two chains are degraded at once. *)
+  let storage_slot = ref 0 in
+  let t_storage () =
+    let s = !storage_slot in
+    incr storage_slot;
+    config.f_fault_at_us +. (float_of_int s *. 70_000.) +. Sim.Rng.float rng 10_000.
+  in
+  let t_any () = config.f_fault_at_us +. Sim.Rng.float rng config.f_fault_window_us in
+  let pair_dt () = 12_000. +. Sim.Rng.float rng 28_000. in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let push_replace_sequencer () = push (t_any (), Sim.Fault.Custom ("replace-sequencer", unbound_thunk)) in
+  for _ = 1 to config.f_events do
+    match Sim.Rng.int rng 8 with
+    | 0 | 1 -> (
+        (* storage-node crash + restart; the failure monitor replaces
+           the dead member from the surviving replica *)
+        match free_chain () with
+        | Some c ->
+            let h = member_of c in
+            let t = t_storage () in
+            push (t, Sim.Fault.Crash h);
+            push (t +. pair_dt (), Sim.Fault.Restart h)
+        | None -> push_replace_sequencer ())
+    | 2 -> (
+        (* isolate one storage node, then heal; only one partition per
+           plan because components are global controller state *)
+        match if !partition_used then None else free_chain () with
+        | Some c ->
+            partition_used := true;
+            let h = member_of c in
+            let t = t_storage () in
+            push (t, Sim.Fault.Partition [ [ h ] ]);
+            push (t +. pair_dt (), Sim.Fault.Heal)
+        | None -> push_replace_sequencer ())
+    | 3 -> (
+        (* SSD failure -> monitor-driven node replacement *)
+        match free_chain () with
+        | Some c ->
+            let h = member_of c in
+            let t = t_storage () in
+            push (t, Sim.Fault.Custom ("ssd-fail " ^ h, unbound_thunk));
+            push (t +. pair_dt (), Sim.Fault.Custom ("ssd-repair " ^ h, unbound_thunk))
+        | None -> push_replace_sequencer ())
+    | 4 ->
+        (* lossy, slow edge between one appender and one storage node;
+           storage RPCs carry timeouts, so drops only cost retries *)
+        let src = Printf.sprintf "fz-app-%d" (1 + Sim.Rng.int rng config.f_clients) in
+        let dst = Printf.sprintf "storage-%d" (Sim.Rng.int rng config.f_servers) in
+        let t = t_any () in
+        push
+          ( t,
+            Sim.Fault.Degrade
+              {
+                d_src = src;
+                d_dst = dst;
+                d_drop = 0.05 +. Sim.Rng.float rng 0.25;
+                d_delay_us = 100. +. Sim.Rng.float rng 300.;
+                d_jitter_us = Sim.Rng.float rng 200.;
+              } );
+        push (t +. pair_dt (), Sim.Fault.Clear_edge (src, dst))
+    | 5 | 6 -> push_replace_sequencer ()
+    | _ ->
+        (* online reshaping; +-2 servers keeps every chain at length 2.
+           At most one scale-in so the tail can never shrink below one
+           chain even when scale events race. *)
+        if (not !scale_in_used) && Sim.Rng.bool rng 0.5 then begin
+          scale_in_used := true;
+          push (t_any (), Sim.Fault.Custom ("scale-in 2", unbound_thunk))
+        end
+        else push (t_any (), Sim.Fault.Custom ("scale-out 2", unbound_thunk))
+  done;
+  List.sort (fun (a, _) (b, _) -> Float.compare a b) !events
+
+(* ------------------------------------------------------------------ *)
+(* Rebinding custom actions against a live cluster                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_node cluster name =
+  Array.find_opt
+    (fun n -> String.equal (Storage_node.name n) name)
+    (Cluster.storage_nodes cluster)
+
+let tail_members cluster =
+  let proj = Auxiliary.latest (Cluster.auxiliary cluster) in
+  Array.fold_left
+    (fun acc chain -> acc + Array.length chain)
+    0 (Projection.tail_segment proj).Projection.seg_sets
+
+(* Thunks must not suspend ({!Sim.Fault.Custom}), so cluster
+   reconfigurations run in spawned fibers — serialized against the
+   failure monitor by the cluster's reconfiguration lock. *)
+let custom_thunk cluster name () =
+  match String.split_on_char ' ' name with
+  | [ "replace-sequencer" ] ->
+      Sim.Engine.spawn (fun () -> ignore (Cluster.replace_sequencer cluster))
+  | [ "scale-out"; k ] ->
+      let k = int_of_string k in
+      Sim.Engine.spawn (fun () ->
+          if (tail_members cluster + k) mod 2 = 0 then
+            ignore (Cluster.scale_out cluster ~add_servers:k)
+          else Sim.Trace.f "fuzz" "scale-out %d skipped: odd tail geometry" k)
+  | [ "scale-in"; k ] ->
+      let k = int_of_string k in
+      Sim.Engine.spawn (fun () ->
+          let members = tail_members cluster in
+          if members - k >= 2 && (members - k) mod 2 = 0 then
+            ignore (Cluster.scale_in cluster ~remove_servers:k)
+          else Sim.Trace.f "fuzz" "scale-in %d skipped: tail has %d members" k members)
+  | [ "ssd-fail"; node ] -> (
+      match find_node cluster node with
+      | Some n -> Sim.Resource.fail (Storage_node.ssd n)
+      | None -> Sim.Trace.f "fuzz" "ssd-fail %s skipped: node not in cluster" node)
+  | [ "ssd-repair"; node ] -> (
+      match find_node cluster node with
+      | Some n -> if Sim.Resource.failed (Storage_node.ssd n) then Sim.Resource.repair (Storage_node.ssd n)
+      | None -> Sim.Trace.f "fuzz" "ssd-repair %s skipped: node not in cluster" node)
+  | _ -> invalid_arg (Printf.sprintf "Fuzz: unknown custom fault action %S" name)
+
+let rebind cluster action =
+  match action with
+  | Sim.Fault.Custom (name, _) -> Sim.Fault.Custom (name, custom_thunk cluster name)
+  | other -> other
+
+(* After the workload (or its deadline) the plan is inverted — restarts
+   for crashes, heal for partitions, clears for degrades, repairs for
+   SSD failures — so the oracle phase judges a whole system. Shrunk
+   plans may have lost their recovery partners; this keeps "drop the
+   heal" candidates from turning every oracle into a liveness stall. *)
+let make_whole fault cluster plan =
+  let seen = Hashtbl.create 8 in
+  let once key f =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      f ()
+    end
+  in
+  List.iter
+    (fun (_, action) ->
+      match action with
+      | Sim.Fault.Crash h ->
+          once ("restart " ^ h) (fun () -> Sim.Fault.apply fault (Sim.Fault.Restart h))
+      | Sim.Fault.Partition _ -> once "heal" (fun () -> Sim.Fault.apply fault Sim.Fault.Heal)
+      | Sim.Fault.Degrade { d_src; d_dst; _ } ->
+          once
+            (Printf.sprintf "clear %s>%s" d_src d_dst)
+            (fun () -> Sim.Fault.apply fault (Sim.Fault.Clear_edge (d_src, d_dst)))
+      | Sim.Fault.Custom (name, _) when String.length name > 9 && String.sub name 0 9 = "ssd-fail " ->
+          let node = String.sub name 9 (String.length name - 9) in
+          let repair = "ssd-repair " ^ node in
+          once repair (fun () ->
+              Sim.Fault.apply fault (Sim.Fault.Custom (repair, custom_thunk cluster repair)))
+      | Sim.Fault.Restart _ | Sim.Fault.Heal | Sim.Fault.Clear_edge _ | Sim.Fault.Custom _ -> ())
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* One fuzz run                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  oc_violations : Verifier.violation list;
+  oc_acked : int;  (* raw appends acked *)
+  oc_committed : int;
+  oc_aborted : int;
+  oc_fault_events : int;  (* fault actions actually applied *)
+  oc_end_us : float;  (* virtual time when the oracle phase finished *)
+  oc_metrics_json : string;  (* canonical dump; byte-identical on replay *)
+  oc_spans_json : string option;  (* when capture_spans *)
+}
+
+let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
+  Cluster.reset_failpoints ();
+  (match failpoint with Some n -> Cluster.enable_failpoint n | None -> ());
+  Fun.protect ~finally:Cluster.reset_failpoints
+  @@ fun () ->
+  let violations = ref [] in
+  let blame oracle fmt =
+    Printf.ksprintf
+      (fun detail ->
+        violations := { Verifier.v_oracle = oracle; v_detail = detail } :: !violations)
+      fmt
+  in
+  let acked = ref [] in
+  let acked_streams = ref [] in
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let probes = ref [] in
+  let fault_events = ref 0 in
+  let end_us = ref 0. in
+  let metrics_json = ref "" in
+  let oracle_violations = ref [] in
+  let main () =
+    let cluster = Cluster.create ~servers:config.f_servers () in
+    Cluster.start_failure_monitor cluster;
+    let fault = Sim.Fault.create ~seed () in
+    Sim.Net.install_fault (Cluster.net cluster) fault;
+    Sim.Fault.plan fault (List.map (fun (at, a) -> (at, rebind cluster a)) plan);
+    (* -------- workload: per client, one appender + one transactor *)
+    let total_fibers = 2 * config.f_clients in
+    let done_count = ref 0 in
+    let runtimes = ref [] in
+    for i = 1 to config.f_clients do
+      let cl = Cluster.new_client cluster ~name:(Printf.sprintf "fz-app-%d" i) in
+      Sim.Engine.spawn (fun () ->
+          let wrng = Sim.Rng.create ((seed * 7919) + i) in
+          for j = 1 to config.f_appends do
+            let s = Sim.Rng.int wrng (Array.length workload_streams) in
+            let streams =
+              if Sim.Rng.bool wrng 0.2 then
+                [
+                  workload_streams.(s);
+                  workload_streams.((s + 1) mod Array.length workload_streams);
+                ]
+              else [ workload_streams.(s) ]
+            in
+            let payload = Bytes.of_string (Printf.sprintf "c%d-a%d" i j) in
+            let off = Client.append cl ~streams payload in
+            acked := (off, payload) :: !acked;
+            List.iter (fun sid -> acked_streams := (sid, off) :: !acked_streams) streams;
+            Sim.Engine.sleep (200. +. Sim.Rng.float wrng 1_500.)
+          done;
+          incr done_count);
+      let rt = Tango.Runtime.create (Cluster.new_client cluster ~name:(Printf.sprintf "fz-rt-%d" i)) in
+      let m = Tango_objects.Tango_map.attach rt ~oid:map_oid in
+      let st = Tango_objects.Tango_set.attach rt ~oid:set_oid in
+      runtimes := (Printf.sprintf "fz-rt-%d" i, m, st) :: !runtimes;
+      Sim.Engine.spawn (fun () ->
+          let wrng = Sim.Rng.create ((seed * 104729) + i) in
+          for j = 1 to config.f_txs do
+            let tag = Printf.sprintf "t%d-%d" i j in
+            Tango.Runtime.begin_tx rt;
+            (* read-modify-write on a shared key: forced conflicts keep
+               the abort path of the atomicity oracle exercised *)
+            let v =
+              match Tango_objects.Tango_map.get m "ctr" with
+              | Some x -> ( match int_of_string_opt x with Some n -> n | None -> 0)
+              | None -> 0
+            in
+            Tango_objects.Tango_map.put m "ctr" (string_of_int (v + 1));
+            Tango_objects.Tango_map.put m tag "1";
+            Tango_objects.Tango_set.add st tag;
+            (match Tango.Runtime.end_tx rt with
+            | Tango.Runtime.Committed ->
+                incr committed;
+                probes := (tag, true) :: !probes
+            | Tango.Runtime.Aborted ->
+                incr aborted;
+                probes := (tag, false) :: !probes);
+            Sim.Engine.sleep (500. +. Sim.Rng.float wrng 2_000.)
+          done;
+          incr done_count)
+    done;
+    (* -------- wait for the workload, bounded by the deadline.
+       Liveness is judged against a {e whole} system: shortly after the
+       last planned fault the harness repairs anything the plan left
+       broken (shrinking routinely drops heals and restarts), and only
+       a workload that still cannot finish by the deadline is a
+       violation. Without the early repair, the deadline oracle would
+       fire on any shrunk plan that leaves a projection member
+       unreachable — a fundamental stall, not a bug — and shrinkers
+       would converge on that instead of the original failure. *)
+    let rec await until =
+      if !done_count < total_fibers && Sim.Engine.now () < until then begin
+        Sim.Engine.sleep 2_000.;
+        await until
+      end
+    in
+    let whole_at =
+      let last = List.fold_left (fun acc (at, _) -> Float.max acc at) config.f_fault_at_us plan in
+      Float.min (last +. 50_000.) config.f_deadline_us
+    in
+    await whole_at;
+    make_whole fault cluster plan;
+    await config.f_deadline_us;
+    if !done_count < total_fibers then
+      blame "liveness" "%d/%d workload fibers finished by the %.0fus deadline" !done_count
+        total_fibers config.f_deadline_us;
+    (* -------- let the repaired system settle *)
+    Sim.Engine.sleep config.f_settle_us;
+    (* -------- oracle phase: fresh observers *)
+    let obs = Cluster.new_client cluster ~name:"fz-observer" in
+    let tail = Client.check obs in
+    let resolved = Array.make (max tail 0) None in
+    if tail > 0 then begin
+      (* resolve the whole prefix in parallel: unwritten slots each
+         wait out the fill timeout, and paying it once instead of
+         [tail] times keeps the oracle phase inside the horizon *)
+      let remaining = ref tail in
+      let all_done = Sim.Ivar.create () in
+      for off = 0 to tail - 1 do
+        Sim.Engine.spawn (fun () ->
+            resolved.(off) <- Some (Client.read_resolved obs off);
+            decr remaining;
+            if !remaining = 0 then Sim.Ivar.fill all_done ())
+      done;
+      Sim.Ivar.read all_done
+    end;
+    let payload_at off =
+      if off < 0 || off >= tail then None
+      else
+        match resolved.(off) with
+        | Some (Client.Data e) -> Some e.Types.payload
+        | _ -> None
+    in
+    let resolve off =
+      match resolved.(off) with
+      | Some (Client.Data _) -> `Data
+      | Some (Client.Junk | Client.Trimmed) -> `Junk
+      | Some Client.Unwritten | None -> `Unresolved
+    in
+    let view name =
+      let c = Cluster.new_client cluster ~name in
+      Array.to_list workload_streams
+      |> List.map (fun sid ->
+             let s = Stream.attach c sid in
+             ignore (Stream.sync s);
+             let rec drain acc =
+               match Stream.readnext s with
+               | Some (off, _) -> drain (off :: acc)
+               | None -> List.rev acc
+             in
+             (sid, drain []))
+    in
+    let views = [ ("fz-view-a", view "fz-view-a"); ("fz-view-b", view "fz-view-b") ] in
+    let state_of m st =
+      ignore (Tango_objects.Tango_map.get m "ctr");
+      (* a linearizable get forces a full sync *)
+      let bs = List.sort compare (Tango_objects.Tango_map.bindings m) in
+      let es = Tango_objects.Tango_set.elements st in
+      Printf.sprintf "map{%s}set{%s}"
+        (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) bs))
+        (String.concat ";" es)
+    in
+    let ort = Tango.Runtime.create (Cluster.new_client cluster ~name:"fz-rt-obs") in
+    let om = Tango_objects.Tango_map.attach ort ~oid:map_oid in
+    let os = Tango_objects.Tango_set.attach ort ~oid:set_oid in
+    let states =
+      ("fz-rt-obs", state_of om os)
+      :: List.rev_map (fun (name, m, st) -> (name, state_of m st)) !runtimes
+    in
+    let tx_probes =
+      List.rev_map
+        (fun (tag, ok) ->
+          {
+            Verifier.t_tag = tag;
+            t_committed = ok;
+            t_in_map = Tango_objects.Tango_map.mem om tag;
+            t_in_set = Tango_objects.Tango_set.mem os tag;
+          })
+        !probes
+    in
+    (* serializability of the shared counter: every committed
+       transaction incremented it exactly once *)
+    let ctr =
+      match Tango_objects.Tango_map.get om "ctr" with
+      | Some x -> ( match int_of_string_opt x with Some n -> n | None -> -1)
+      | None -> 0
+    in
+    if ctr <> !committed then
+      blame "serializability" "shared counter is %d after %d committed increments" ctr !committed;
+    oracle_violations :=
+      Verifier.durability ~acked:(List.rev !acked) ~read:payload_at
+      @ Verifier.hole_freedom ~tail ~resolve
+      @ Verifier.stream_order ~acked:(List.rev !acked_streams) ~views
+      @ Verifier.convergence ~states
+      @ Verifier.atomicity ~txs:tx_probes;
+    fault_events := List.length (Sim.Fault.events fault);
+    end_us := Sim.Engine.now ();
+    metrics_json := Sim.Metrics.to_json ()
+  in
+  let spans_json = ref None in
+  let body () = Sim.Engine.run ~seed ~until:config.f_horizon_us main in
+  (try
+     if capture_spans then begin
+       let (), spans = Sim.Span.capture body in
+       spans_json := Some spans
+     end
+     else body ()
+   with
+  | Sim.Engine.Horizon_reached h ->
+      blame "liveness" "virtual-time horizon %.0fus reached before the oracle phase finished" h
+  | Sim.Engine.Deadlock -> blame "liveness" "simulation deadlocked"
+  | e -> blame "exception" "%s" (Printexc.to_string e));
+  {
+    oc_violations = List.rev !violations @ !oracle_violations;
+    oc_acked = List.length !acked;
+    oc_committed = !committed;
+    oc_aborted = !aborted;
+    oc_fault_events = !fault_events;
+    oc_end_us = !end_us;
+    oc_metrics_json = !metrics_json;
+    oc_spans_json = !spans_json;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type shrink_result = {
+  sh_plan : (float * Sim.Fault.action) list;
+  sh_runs : int;  (* re-runs spent *)
+  sh_oracle : string;  (* the oracle the minimal plan still trips *)
+}
+
+let sort_plan p = List.sort (fun (a, _) (b, _) -> Float.compare a b) p
+
+(* Greedy ddmin-style minimization: single-event removal to a fixpoint,
+   then per-event time bisection toward the fault window's start, then
+   partition-component narrowing. The predicate is "the {e same}
+   oracle still fires" — a candidate that merely trips a different
+   invariant is rejected, so the reproducer explains the original
+   failure, not a new one. Budgeted in re-runs ([f_shrink_runs]). *)
+let shrink ?failpoint ~seed config plan ~oracle =
+  let runs = ref 0 in
+  let fails p =
+    !runs < config.f_shrink_runs
+    && begin
+         incr runs;
+         let oc = run ?failpoint ~seed config ~plan:p in
+         List.exists (fun v -> String.equal v.Verifier.v_oracle oracle) oc.oc_violations
+       end
+  in
+  (* 1. drop events, restarting the scan after every success *)
+  let rec drop_pass p =
+    let n = List.length p in
+    let rec try_idx i p =
+      if i >= List.length p then p
+      else
+        let cand = List.filteri (fun j _ -> j <> i) p in
+        if fails cand then try_idx i cand else try_idx (i + 1) p
+    in
+    let p' = try_idx 0 p in
+    if List.length p' < n then drop_pass p' else p'
+  in
+  let p = drop_pass plan in
+  (* 2. bisect each event's time toward the window start *)
+  let floor_t = config.f_fault_at_us in
+  let bisect p =
+    List.fold_left
+      (fun p i ->
+        let rec go p steps =
+          if steps = 0 then p
+          else
+            let t, a = List.nth p i in
+            if t <= floor_t +. 1. then p
+            else
+              let cand =
+                List.mapi (fun j e -> if j = i then (floor_t +. ((t -. floor_t) /. 2.), a) else e) p
+              in
+              if fails cand then go cand (steps - 1) else p
+        in
+        go p 3)
+      p
+      (List.init (List.length p) (fun i -> i))
+  in
+  let p = bisect p in
+  (* 3. narrow partition components host by host *)
+  let narrow_partition p =
+    let rec at_idx i p =
+      if i >= List.length p then p
+      else
+        match List.nth p i with
+        | t, Sim.Fault.Partition comps when List.exists (fun c -> List.length c > 1) comps ->
+            let rec drop_host p comps changed =
+              let tried = ref false in
+              let comps' =
+                List.map
+                  (fun c ->
+                    if (not !tried) && List.length c > 1 then begin
+                      tried := true;
+                      List.tl c
+                    end
+                    else c)
+                  comps
+              in
+              if not !tried then (p, comps, changed)
+              else
+                let cand =
+                  List.mapi (fun j e -> if j = i then (t, Sim.Fault.Partition comps') else e) p
+                in
+                if fails cand then drop_host cand comps' true else (p, comps, changed)
+            in
+            let p, _, _ = drop_host p comps false in
+            at_idx (i + 1) p
+        | _ -> at_idx (i + 1) p
+    in
+    at_idx 0 p
+  in
+  let p = narrow_partition p in
+  { sh_plan = sort_plan p; sh_runs = !runs; sh_oracle = oracle }
+
+(* ------------------------------------------------------------------ *)
+(* Replayable artifacts and run reports                               *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_version = 1
+
+(* Exact numerals, same contract as the plan encoder: a decoded
+   artifact reruns the byte-identical scenario. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 9.007199254740992e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let encode_config c =
+  Sim.Jout.obj
+    [
+      ("servers", string_of_int c.f_servers);
+      ("clients", string_of_int c.f_clients);
+      ("appends", string_of_int c.f_appends);
+      ("txs", string_of_int c.f_txs);
+      ("events", string_of_int c.f_events);
+      ("fault_at_us", num c.f_fault_at_us);
+      ("fault_window_us", num c.f_fault_window_us);
+      ("deadline_us", num c.f_deadline_us);
+      ("settle_us", num c.f_settle_us);
+      ("horizon_us", num c.f_horizon_us);
+      ("shrink_runs", string_of_int c.f_shrink_runs);
+    ]
+
+let decode_config v =
+  let int k = Sim.Jin.to_int (Sim.Jin.member k v) in
+  let flt k = Sim.Jin.to_float (Sim.Jin.member k v) in
+  {
+    f_servers = int "servers";
+    f_clients = int "clients";
+    f_appends = int "appends";
+    f_txs = int "txs";
+    f_events = int "events";
+    f_fault_at_us = flt "fault_at_us";
+    f_fault_window_us = flt "fault_window_us";
+    f_deadline_us = flt "deadline_us";
+    f_settle_us = flt "settle_us";
+    f_horizon_us = flt "horizon_us";
+    f_shrink_runs = int "shrink_runs";
+  }
+
+let encode_artifact ~seed config plan =
+  Sim.Jout.obj
+    [
+      ("version", string_of_int artifact_version);
+      ("tool", Sim.Jout.str "tango-fuzz");
+      ("seed", string_of_int seed);
+      ("config", encode_config config);
+      ("plan", Sim.Fault.encode_plan plan);
+    ]
+
+let decode_artifact s =
+  let doc = Sim.Jin.parse s in
+  let version = Sim.Jin.to_int (Sim.Jin.member "version" doc) in
+  if version <> artifact_version then
+    invalid_arg
+      (Printf.sprintf "Fuzz.decode_artifact: artifact version %d, this build reads %d" version
+         artifact_version);
+  let seed = Sim.Jin.to_int (Sim.Jin.member "seed" doc) in
+  let config = decode_config (Sim.Jin.member "config" doc) in
+  let plan =
+    Sim.Fault.decode_plan_value
+      ~custom:(fun _name -> unbound_thunk)
+      (Sim.Jin.member "plan" doc)
+  in
+  (seed, config, plan)
+
+let report_json ~runs =
+  let total = List.fold_left (fun acc (_, oc) -> acc + List.length oc.oc_violations) 0 runs in
+  Sim.Jout.obj
+    [
+      ("schema_version", "1");
+      ("tool", Sim.Jout.str "tango-fuzz");
+      ("violations", string_of_int total);
+      ( "runs",
+        Sim.Jout.arr
+          (List.map
+             (fun (seed, oc) ->
+               Sim.Jout.obj
+                 [
+                   ("seed", string_of_int seed);
+                   ("violations", string_of_int (List.length oc.oc_violations));
+                   ( "oracles",
+                     Sim.Jout.arr
+                       (List.map (fun v -> Sim.Jout.str v.Verifier.v_oracle) oc.oc_violations) );
+                   ("acked_appends", string_of_int oc.oc_acked);
+                   ("committed", string_of_int oc.oc_committed);
+                   ("aborted", string_of_int oc.oc_aborted);
+                   ("fault_events", string_of_int oc.oc_fault_events);
+                   ("end_us", Sim.Jout.flt oc.oc_end_us);
+                 ])
+             runs) );
+    ]

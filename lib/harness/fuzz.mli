@@ -1,0 +1,108 @@
+(** Simulation fuzzer: randomized fault-plan exploration with global
+    invariant oracles and automatic plan shrinking (DESIGN.md §9).
+
+    A fuzz case is the triple (seed, {!config}, plan). Everything the
+    case does — engine scheduling, fault randomness, workload
+    randomness — derives from the seed, so {!run} on the same triple
+    reproduces the same virtual-time trace byte for byte: metrics and
+    span dumps from a replay compare equal with [cmp]. Failing triples
+    serialize to a versioned JSON artifact ({!encode_artifact}) that
+    [tangoctl fuzz replay] and [tangoctl fuzz shrink] consume.
+
+    Generated plans are {e make-whole}: every fault carries a recovery
+    partner, and storage faults are serialized onto disjoint chains, so
+    a correct build produces zero violations on every seed. Any
+    violation is a bug. *)
+
+type config = {
+  f_servers : int;  (** storage nodes at boot, arranged in chains of 2 *)
+  f_clients : int;  (** each contributes one appender and one transactor *)
+  f_appends : int;  (** raw appends per appender *)
+  f_txs : int;  (** transactions per transactor *)
+  f_events : int;  (** primary fault events (recovery partners are extra) *)
+  f_fault_at_us : float;  (** first fault no earlier than this *)
+  f_fault_window_us : float;  (** faults land inside this window *)
+  f_deadline_us : float;  (** workload must finish by this virtual time *)
+  f_settle_us : float;  (** quiesce time before the oracle phase *)
+  f_horizon_us : float;  (** hard virtual-time ceiling for one run *)
+  f_shrink_runs : int;  (** shrink budget, counted in re-runs *)
+}
+
+val default_config : config
+
+(** [gen_plan ~seed config] draws a random make-whole fault plan:
+    storage crash/restart, single-node partition/heal, appender→storage
+    degrade/clear, SSD fail/repair, sequencer replacement, and
+    scale-out/in customs. The sequencer, auxiliary, and client hosts
+    are never crashed or partitioned (their RPCs wait without
+    timeouts); at most one partition and one scale-in per plan. *)
+val gen_plan : seed:int -> config -> (float * Sim.Fault.action) list
+
+type outcome = {
+  oc_violations : Verifier.violation list;
+  oc_acked : int;  (** raw appends acked to workload clients *)
+  oc_committed : int;
+  oc_aborted : int;
+  oc_fault_events : int;  (** fault actions actually applied *)
+  oc_end_us : float;  (** virtual time when the oracle phase finished *)
+  oc_metrics_json : string;  (** canonical; byte-identical on replay *)
+  oc_spans_json : string option;  (** present when [capture_spans] *)
+}
+
+(** [run ?failpoint ?capture_spans ~seed config ~plan] executes one
+    fuzz case: boot a cluster, start the failure monitor, schedule
+    [plan] (rebinding [Custom] thunks against the live cluster), drive
+    the randomized workload, make the system whole, settle, then judge
+    every {!Verifier} oracle with fresh observer clients. [failpoint]
+    enables a {!Corfu.Cluster} failpoint for the duration (sensitivity
+    testing); failpoints are reset on exit even on exceptions. Engine
+    deadlock or horizon overrun is reported as a ["liveness"]
+    violation, an escaped exception as ["exception"]. *)
+val run :
+  ?failpoint:string ->
+  ?capture_spans:bool ->
+  seed:int ->
+  config ->
+  plan:(float * Sim.Fault.action) list ->
+  outcome
+
+type shrink_result = {
+  sh_plan : (float * Sim.Fault.action) list;  (** the minimal reproducer *)
+  sh_runs : int;  (** re-runs spent *)
+  sh_oracle : string;  (** the oracle the minimal plan still trips *)
+}
+
+(** [shrink ?failpoint ~seed config plan ~oracle] minimizes [plan]
+    while the named oracle keeps firing: greedy event removal to a
+    fixpoint, per-event time bisection toward the window start, then
+    partition-component narrowing. A candidate that trips only a
+    {e different} oracle is rejected — the reproducer explains the
+    original failure. Bounded by [config.f_shrink_runs] re-runs. *)
+val shrink :
+  ?failpoint:string ->
+  seed:int ->
+  config ->
+  (float * Sim.Fault.action) list ->
+  oracle:string ->
+  shrink_result
+
+(** Bumped on any incompatible change to the artifact JSON layout. *)
+val artifact_version : int
+
+val encode_config : config -> string
+val decode_config : Sim.Jin.t -> config
+
+(** [encode_artifact ~seed config plan] packages a fuzz case as a
+    self-contained versioned JSON document. *)
+val encode_artifact : seed:int -> config -> (float * Sim.Fault.action) list -> string
+
+(** [decode_artifact s] reads an artifact back. Custom actions decode
+    with placeholder thunks; {!run} rebinds them.
+    @raise Sim.Jin.Parse_error on malformed JSON.
+    @raise Invalid_argument on an unknown version. *)
+val decode_artifact : string -> int * config * (float * Sim.Fault.action) list
+
+(** [report_json ~runs] renders a machine-readable campaign report
+    ([schema_version] 1): per-seed violation counts, oracle names, and
+    workload totals, plus the campaign-wide violation total. *)
+val report_json : runs:(int * outcome) list -> string

@@ -1,16 +1,25 @@
-type op = Read of int | Write of int
+type op = Read of int | Write of int | Cas of { expected : int; desired : int; ok : bool }
 
 type event = { started : float; finished : float; op : op }
+
+exception Work_limit
 
 (* Depth-first search over linearization orders: an operation may be
    linearized next only if no other pending operation finished before
    it started (that operation would really-precede it). Memoize on
-   (pending set, register value): two search states with the same
-   remaining operations and the same current value are equivalent. *)
-let check_register ?(initial = 0) history =
+   (done set, register value): two search states with the same
+   remaining operations and the same current value are equivalent.
+
+   The done set is a byte-packed bitset, so histories are no longer
+   capped at the word size — the fuzzer's multi-client workloads
+   produce histories in the hundreds of operations. The search is
+   still exponential in the worst case; [max_states] bounds the number
+   of distinct memoized states and raises {!Work_limit} beyond it, so
+   a pathological history reports "too hard" instead of hanging the
+   test suite. *)
+let check_register ?(initial = 0) ?(max_states = 2_000_000) history =
   let events = Array.of_list history in
   let n = Array.length events in
-  if n > 62 then invalid_arg "Linearizability.check_register: history too long";
   Array.iter
     (fun e ->
       if e.finished < e.started then
@@ -18,36 +27,67 @@ let check_register ?(initial = 0) history =
     events;
   if n = 0 then true
   else begin
-    let all_done = (1 lsl n) - 1 in
+    let nbytes = (n + 7) / 8 in
+    let done_set = Bytes.make nbytes '\000' in
+    let mem i = Char.code (Bytes.get done_set (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
+    let set i =
+      Bytes.set done_set (i lsr 3)
+        (Char.chr (Char.code (Bytes.get done_set (i lsr 3)) lor (1 lsl (i land 7))))
+    in
+    let clear i =
+      Bytes.set done_set (i lsr 3)
+        (Char.chr (Char.code (Bytes.get done_set (i lsr 3)) land lnot (1 lsl (i land 7))))
+    in
+    let remaining = ref n in
     let failed = Hashtbl.create 1024 in
     (* really-precedes: e1 responded before e2 was invoked *)
     let precedes i j = events.(i).finished < events.(j).started in
-    let rec search done_mask value =
-      if done_mask = all_done then true
-      else if Hashtbl.mem failed (done_mask, value) then false
-      else begin
-        let ok = ref false in
-        let i = ref 0 in
-        while (not !ok) && !i < n do
-          let candidate = !i in
-          incr i;
-          if done_mask land (1 lsl candidate) = 0 then begin
-            (* minimal among pending ops w.r.t. real-time order? *)
-            let minimal = ref true in
-            for j = 0 to n - 1 do
-              if done_mask land (1 lsl j) = 0 && j <> candidate && precedes j candidate then
-                minimal := false
-            done;
-            if !minimal then
-              match events.(candidate).op with
-              | Write w -> if search (done_mask lor (1 lsl candidate)) w then ok := true
-              | Read r ->
-                  if r = value && search (done_mask lor (1 lsl candidate)) value then ok := true
-          end
-        done;
-        if not !ok then Hashtbl.replace failed (done_mask, value) ();
-        !ok
-      end
+    let rec search value =
+      if !remaining = 0 then true
+      else
+        let key = (Bytes.to_string done_set, value) in
+        if Hashtbl.mem failed key then false
+        else begin
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let candidate = !i in
+            incr i;
+            if not (mem candidate) then begin
+              (* minimal among pending ops w.r.t. real-time order? *)
+              let minimal = ref true in
+              for j = 0 to n - 1 do
+                if (not (mem j)) && j <> candidate && precedes j candidate then minimal := false
+              done;
+              if !minimal then begin
+                let take value' =
+                  set candidate;
+                  decr remaining;
+                  let r = search value' in
+                  clear candidate;
+                  incr remaining;
+                  if r then ok := true
+                in
+                match events.(candidate).op with
+                | Write w -> take w
+                | Read r -> if r = value then take value
+                | Cas { expected; desired; ok = succeeded } ->
+                    (* a successful CAS saw [expected] and installed
+                       [desired]; a failed one saw anything else and
+                       left the register alone *)
+                    if succeeded then begin
+                      if value = expected then take desired
+                    end
+                    else if value <> expected then take value
+              end
+            end
+          done;
+          if not !ok then begin
+            if Hashtbl.length failed >= max_states then raise Work_limit;
+            Hashtbl.replace failed key ()
+          end;
+          !ok
+        end
     in
-    search 0 initial
+    search initial
   end

@@ -10,10 +10,20 @@
     sequential register execution explains the history while
     respecting real-time order.
 
-    Exhaustive search is exponential in the worst case; fine for the
-    hundreds-of-ops histories the tests generate. *)
+    Histories are unbounded in length (the done set is a byte-packed
+    bitset, not a machine-word bitmask); the search is exponential in
+    the worst case and bounded by [max_states] instead of by wall
+    clock. *)
 
-type op = Read of int | Write of int
+type op =
+  | Read of int
+  | Write of int
+  | Cas of { expected : int; desired : int; ok : bool }
+      (** compare-and-swap as observed by the caller: [ok] is the
+          outcome the implementation reported. A legal linearization
+          must place a successful CAS at a point where the register
+          held [expected] (installing [desired]), and a failed one
+          where it held anything else. *)
 
 type event = {
   started : float;  (** invocation time *)
@@ -21,9 +31,15 @@ type event = {
   op : op;
 }
 
-(** [check_register ?initial history] returns [true] iff the history
-    of a single register is linearizable. [initial] (default 0) is the
-    register's starting value.
-    @raise Invalid_argument on an event with [finished < started] or a
-    history longer than 62 events (the search uses a bitmask). *)
-val check_register : ?initial:int -> event list -> bool
+(** Raised when the search exceeds [max_states] memoized states: the
+    history is too expensive to decide, which is a test-infrastructure
+    signal, not a correctness verdict either way. *)
+exception Work_limit
+
+(** [check_register ?initial ?max_states history] returns [true] iff
+    the history of a single register is linearizable. [initial]
+    (default 0) is the register's starting value; [max_states]
+    (default 2,000,000) bounds the memo table.
+    @raise Invalid_argument on an event with [finished < started].
+    @raise Work_limit when the state bound is hit. *)
+val check_register : ?initial:int -> ?max_states:int -> event list -> bool

@@ -117,3 +117,120 @@ let schedule t ~at action =
 let plan t actions = List.iter (fun (at, action) -> schedule t ~at action) actions
 
 let events t = List.rev t.log
+
+(* ------------------------------------------------------------------ *)
+(* Plans as data: equality, printing, serialization                   *)
+(* ------------------------------------------------------------------ *)
+
+let equal_action a b =
+  match (a, b) with
+  | Crash x, Crash y | Restart x, Restart y -> String.equal x y
+  | Partition xs, Partition ys -> List.equal (List.equal String.equal) xs ys
+  | Heal, Heal -> true
+  | Degrade d1, Degrade d2 ->
+      String.equal d1.d_src d2.d_src
+      && String.equal d1.d_dst d2.d_dst
+      && Float.equal d1.d_drop d2.d_drop
+      && Float.equal d1.d_delay_us d2.d_delay_us
+      && Float.equal d1.d_jitter_us d2.d_jitter_us
+  | Clear_edge (s1, e1), Clear_edge (s2, e2) -> String.equal s1 s2 && String.equal e1 e2
+  (* Custom thunks compare by name: the closure is rebound from the
+     name when a serialized plan is rehydrated, so the name is the
+     action's whole identity. *)
+  | Custom (n1, _), Custom (n2, _) -> String.equal n1 n2
+  | (Crash _ | Restart _ | Partition _ | Heal | Degrade _ | Clear_edge _ | Custom _), _ -> false
+
+let pp_action ppf a = Format.pp_print_string ppf (label a)
+
+let equal_plan p1 p2 =
+  List.equal (fun (t1, a1) (t2, a2) -> Float.equal t1 t2 && equal_action a1 a2) p1 p2
+
+let pp_plan ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (at, a) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%10.1fus  %a" at pp_action a)
+    p;
+  Format.fprintf ppf "@]"
+
+let plan_version = 1
+
+(* Exact float round-trip: %.17g re-reads to the same double, so an
+   encoded plan decodes to an [equal_plan] plan bit-for-bit. Virtual
+   times are finite by construction. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 9.007199254740992e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let encode_action = function
+  | Crash h -> [ ("kind", Jout.str "crash"); ("host", Jout.str h) ]
+  | Restart h -> [ ("kind", Jout.str "restart"); ("host", Jout.str h) ]
+  | Partition cs ->
+      [
+        ("kind", Jout.str "partition");
+        ("components", Jout.arr (List.map (fun c -> Jout.arr (List.map Jout.str c)) cs));
+      ]
+  | Heal -> [ ("kind", Jout.str "heal") ]
+  | Degrade { d_src; d_dst; d_drop; d_delay_us; d_jitter_us } ->
+      [
+        ("kind", Jout.str "degrade");
+        ("src", Jout.str d_src);
+        ("dst", Jout.str d_dst);
+        ("drop", num d_drop);
+        ("delay_us", num d_delay_us);
+        ("jitter_us", num d_jitter_us);
+      ]
+  | Clear_edge (s, d) ->
+      [ ("kind", Jout.str "clear-edge"); ("src", Jout.str s); ("dst", Jout.str d) ]
+  | Custom (name, _) -> [ ("kind", Jout.str "custom"); ("name", Jout.str name) ]
+
+let encode_plan p =
+  Jout.obj
+    [
+      ("version", string_of_int plan_version);
+      ( "events",
+        Jout.arr (List.map (fun (at, a) -> Jout.obj (("at", num at) :: encode_action a)) p) );
+    ]
+
+let unbound_custom name () =
+  invalid_arg (Printf.sprintf "Fault: custom action %S has no bound thunk" name)
+
+let decode_action ~custom v =
+  let str k = Jin.to_string (Jin.member k v) in
+  let flt k = Jin.to_float (Jin.member k v) in
+  match str "kind" with
+  | "crash" -> Crash (str "host")
+  | "restart" -> Restart (str "host")
+  | "partition" ->
+      Partition
+        (List.map
+           (fun c -> List.map Jin.to_string (Jin.to_list c))
+           (Jin.to_list (Jin.member "components" v)))
+  | "heal" -> Heal
+  | "degrade" ->
+      Degrade
+        {
+          d_src = str "src";
+          d_dst = str "dst";
+          d_drop = flt "drop";
+          d_delay_us = flt "delay_us";
+          d_jitter_us = flt "jitter_us";
+        }
+  | "clear-edge" -> Clear_edge (str "src", str "dst")
+  | "custom" ->
+      let name = str "name" in
+      Custom (name, custom name)
+  | k -> invalid_arg (Printf.sprintf "Fault.decode_plan: unknown action kind %S" k)
+
+let decode_plan_value ?(custom = unbound_custom) doc =
+  let version = Jin.to_int (Jin.member "version" doc) in
+  if version <> plan_version then
+    invalid_arg
+      (Printf.sprintf "Fault.decode_plan: plan version %d, this build reads %d" version
+         plan_version);
+  List.map
+    (fun ev -> (Jin.to_float (Jin.member "at" ev), decode_action ~custom ev))
+    (Jin.to_list (Jin.member "events" doc))
+
+let decode_plan ?custom s = decode_plan_value ?custom (Jin.parse s)

@@ -84,3 +84,43 @@ type event = { ev_time : float; ev_label : string }
 (** Applied actions in chronological order, for correlating faults with
     recovery metrics. *)
 val events : t -> event list
+
+(** {2 Plans as data}
+
+    A fault plan — the [(time, action) list] fed to {!plan} — is also
+    a {e replayable artifact}: the fuzzer serializes every failing plan
+    to versioned JSON so any violation can be re-run, shrunk, and
+    attached to a bug report. [Custom] actions serialize by {e name}
+    only; {!decode_plan} rebinds the thunk through the [custom]
+    resolver (and {!equal_action} compares customs by name), so a
+    plan's identity never depends on closure values. *)
+
+(** [equal_action a b]: structural equality; [Custom] by name. *)
+val equal_action : action -> action -> bool
+
+(** Prints the same label {!apply} logs. *)
+val pp_action : Format.formatter -> action -> unit
+
+val equal_plan : (float * action) list -> (float * action) list -> bool
+val pp_plan : Format.formatter -> (float * action) list -> unit
+
+(** Bumped on any incompatible change to the plan JSON layout. *)
+val plan_version : int
+
+(** [encode_plan p] is [p] as a versioned JSON document. Floats are
+    written exactly (17 significant digits), so
+    [decode_plan (encode_plan p)] satisfies [equal_plan] with [p]. *)
+val encode_plan : (float * action) list -> string
+
+(** [decode_plan ?custom s] parses a plan document. [custom name]
+    supplies the thunk for each [Custom] action (default: a thunk that
+    raises [Invalid_argument] when executed — fine for plans that are
+    only compared, printed, or re-encoded).
+    @raise Jin.Parse_error on malformed JSON.
+    @raise Invalid_argument on an unknown version or action kind. *)
+val decode_plan : ?custom:(string -> unit -> unit) -> string -> (float * action) list
+
+(** [decode_plan_value ?custom v] reads a plan from an already-parsed
+    {!Jin} document — for plans embedded inside larger artifacts (the
+    fuzzer's replayable envelope). *)
+val decode_plan_value : ?custom:(string -> unit -> unit) -> Jin.t -> (float * action) list

@@ -1,0 +1,184 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg pos))
+
+(* Recursive-descent over a cursor; values are tiny (fault plans), so
+   no effort is spent on buffers or streaming. *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos >= n || s.[!pos] <> c then fail !pos (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail !pos (Printf.sprintf "expected '%s'" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail !pos "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail !pos "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail !pos "bad \\u escape"
+              in
+              (* The emitter only writes \u00xx control characters;
+                 anything in the Latin-1 range decodes to one byte, the
+                 rest is preserved as UTF-8 by the caller never putting
+                 it there. *)
+              if code < 0x100 then Buffer.add_char buf (Char.chr code)
+              else fail !pos "\\u escape above U+00FF unsupported";
+              pos := !pos + 4
+          | c -> fail !pos (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail !pos "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail start "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail !pos "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail !pos "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing garbage";
+  v
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+
+let shape_error what v =
+  raise (Parse_error (Printf.sprintf "expected %s, found %s" what (type_name v)))
+
+let member k = function
+  | Obj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
+  | v -> shape_error (Printf.sprintf "an object with field %S" k) v
+
+let member_opt k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_list = function Arr items -> items | v -> shape_error "an array" v
+let to_string = function Str x -> x | v -> shape_error "a string" v
+let to_float = function Num x -> x | v -> shape_error "a number" v
+
+let to_int v =
+  let f = to_float v in
+  if Float.is_integer f then int_of_float f
+  else raise (Parse_error (Printf.sprintf "expected an integer, found %g" f))
+
+let to_bool = function Bool b -> b | v -> shape_error "a bool" v

@@ -1,0 +1,45 @@
+(** Minimal JSON reader, the inverse of {!Jout}.
+
+    The toolchain has no JSON library; the write side ({!Jout}) has
+    existed since the observability plane, and the fuzzer's replayable
+    fault-plan artifacts are the first thing that must be read {e back}
+    into a simulation. This parser covers exactly the JSON the repo
+    emits — objects, arrays, strings with the {!Jout.str} escape set,
+    numbers, booleans, null — and rejects everything else loudly.
+
+    Not streaming, not resumable: artifacts are small (a fault plan is
+    tens of events). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+(** Raised on malformed input; the message includes the byte offset. *)
+exception Parse_error of string
+
+(** [parse s] parses one JSON document; trailing whitespace is
+    allowed, trailing garbage is not.
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** {2 Accessors}
+
+    All raise {!Parse_error} (with the offending key or constructor in
+    the message) on shape mismatch, so decoding code stays flat. *)
+
+(** [member k v] is field [k] of object [v]. *)
+val member : string -> t -> t
+
+val member_opt : string -> t -> t option
+val to_list : t -> t list
+val to_string : t -> string
+val to_float : t -> float
+
+(** [to_int v] is [to_float] checked to be integral. *)
+val to_int : t -> int
+
+val to_bool : t -> bool

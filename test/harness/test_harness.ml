@@ -141,6 +141,206 @@ let test_lin_rejects_bad_event () =
   | _ -> Alcotest.fail "finished < started must be rejected"
   | exception Invalid_argument _ -> ()
 
+let test_lin_cas () =
+  let cas expected desired ok = Lin.Cas { expected; desired; ok } in
+  (* successful CAS must sit where the register held [expected] *)
+  check_bool "cas chain" true
+    (Lin.check_register
+       [ ev 0. 1. (Lin.Write 1); ev 2. 3. (cas 1 2 true); ev 4. 5. (Lin.Read 2) ]);
+  check_bool "cas on wrong value cannot succeed" false
+    (Lin.check_register [ ev 0. 1. (Lin.Write 5); ev 2. 3. (cas 1 2 true) ]);
+  (* failed CAS must NOT sit where the register held [expected] *)
+  check_bool "failed cas on matching value" false
+    (Lin.check_register [ ev 0. 1. (Lin.Write 1); ev 2. 3. (cas 1 2 false) ]);
+  check_bool "failed cas leaves value" true
+    (Lin.check_register
+       [ ev 0. 1. (Lin.Write 5); ev 2. 3. (cas 1 2 false); ev 4. 5. (Lin.Read 5) ]);
+  (* two concurrent CASes on the same expected value: exactly one can
+     win, and the loser's failure is what makes the history legal *)
+  check_bool "cas race, one winner" true
+    (Lin.check_register
+       [ ev 0. 1. (Lin.Write 1); ev 2. 9. (cas 1 2 true); ev 2. 9. (cas 1 3 false); ev 10. 11. (Lin.Read 2) ]);
+  check_bool "cas race, two winners impossible" false
+    (Lin.check_register
+       [ ev 0. 1. (Lin.Write 1); ev 2. 9. (cas 1 2 true); ev 2. 9. (cas 1 3 true) ])
+
+(* The old checker rejected histories longer than 62 ops (bitmask). A
+   deep sequential chain is linear-time for the search, so length is
+   the only thing this exercises. *)
+let test_lin_long_history () =
+  let n = 300 in
+  let history =
+    List.concat_map
+      (fun i ->
+        let t = float_of_int (4 * i) in
+        [ ev t (t +. 1.) (Lin.Write i); ev (t +. 2.) (t +. 3.) (Lin.Read i) ])
+      (List.init n (fun i -> i))
+  in
+  check_bool "300 sequential pairs linearize" true (Lin.check_register history);
+  let stale = history @ [ ev 10_000. 10_001. (Lin.Read 0) ] in
+  check_bool "stale tail still caught" false (Lin.check_register stale)
+
+let test_lin_work_limit () =
+  (* Everything concurrent and unsatisfiable: the search has to explore
+     a combinatorial frontier, so a tiny state budget trips. *)
+  let history =
+    List.init 16 (fun i -> ev 0. 100. (Lin.Write i))
+    @ [ ev 101. 102. (Lin.Read 999) ]
+  in
+  match Lin.check_register ~max_states:50 history with
+  | _ -> Alcotest.fail "expected Work_limit"
+  | exception Lin.Work_limit -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Verifier oracles (pure, hand-built observations)                    *)
+(* ------------------------------------------------------------------ *)
+
+module Verifier = Tango_harness.Verifier
+
+let oracle_names vs = List.map (fun v -> v.Verifier.v_oracle) vs
+
+let test_verifier_durability () =
+  let store = [ (0, Bytes.of_string "a"); (2, Bytes.of_string "b") ] in
+  let read off = List.assoc_opt off store in
+  Alcotest.(check (list string)) "clean" []
+    (oracle_names (Verifier.durability ~acked:store ~read));
+  Alcotest.(check (list string)) "lost write" [ "durability" ]
+    (oracle_names
+       (Verifier.durability ~acked:[ (1, Bytes.of_string "x") ] ~read));
+  Alcotest.(check (list string)) "corrupt write" [ "durability" ]
+    (oracle_names
+       (Verifier.durability ~acked:[ (0, Bytes.of_string "WRONG") ] ~read))
+
+let test_verifier_hole_freedom () =
+  let resolve = function 1 -> `Unresolved | 2 -> `Junk | _ -> `Data in
+  Alcotest.(check (list string)) "hole below tail" [ "hole-freedom" ]
+    (oracle_names (Verifier.hole_freedom ~tail:4 ~resolve));
+  Alcotest.(check (list string)) "tail below the hole" []
+    (oracle_names (Verifier.hole_freedom ~tail:1 ~resolve))
+
+let test_verifier_stream_order () =
+  let views order = [ ("a", [ (1, order) ]); ("b", [ (1, [ 0; 3; 7 ]) ]) ] in
+  Alcotest.(check (list string)) "agreeing views" []
+    (oracle_names (Verifier.stream_order ~acked:[ (1, 3) ] ~views:(views [ 0; 3; 7 ])));
+  check_bool "non-ascending view caught" true
+    (List.mem "stream-order"
+       (oracle_names (Verifier.stream_order ~acked:[] ~views:(views [ 3; 0; 7 ]))));
+  check_bool "divergent views caught" true
+    (List.mem "stream-order"
+       (oracle_names (Verifier.stream_order ~acked:[] ~views:(views [ 0; 7 ]))));
+  check_bool "acked entry missing from playback" true
+    (List.mem "stream-order"
+       (oracle_names
+          (Verifier.stream_order ~acked:[ (1, 5) ] ~views:(views [ 0; 3; 7 ]))))
+
+let test_verifier_convergence_and_atomicity () =
+  Alcotest.(check (list string)) "converged" []
+    (oracle_names (Verifier.convergence ~states:[ ("a", "s"); ("b", "s") ]));
+  Alcotest.(check (list string)) "diverged" [ "convergence" ]
+    (oracle_names (Verifier.convergence ~states:[ ("a", "s"); ("b", "t") ]));
+  let probe tag committed in_map in_set =
+    { Verifier.t_tag = tag; t_committed = committed; t_in_map = in_map; t_in_set = in_set }
+  in
+  Alcotest.(check (list string)) "clean txs" []
+    (oracle_names
+       (Verifier.atomicity ~txs:[ probe "t1" true true true; probe "t2" false false false ]));
+  Alcotest.(check (list string)) "torn commit" [ "atomicity" ]
+    (oracle_names (Verifier.atomicity ~txs:[ probe "t3" true true false ]));
+  Alcotest.(check (list string)) "leaked abort" [ "atomicity" ]
+    (oracle_names (Verifier.atomicity ~txs:[ probe "t4" false true true ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer: clean smoke, determinism, artifact codec, sensitivity       *)
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Tango_harness.Fuzz
+
+(* One trimmed-down case per test keeps the suite fast; the CI
+   fuzz-smoke job and bench sweep run the full-size campaigns. *)
+let small_config =
+  {
+    Fuzz.default_config with
+    f_servers = 4;
+    f_clients = 2;
+    f_appends = 8;
+    f_txs = 4;
+    f_events = 4;
+    f_deadline_us = 2_000_000.;
+  }
+
+let test_fuzz_clean_smoke () =
+  let plan = Fuzz.gen_plan ~seed:42 small_config in
+  check_bool "plan not empty" true (plan <> []);
+  let oc = Fuzz.run ~seed:42 small_config ~plan in
+  Alcotest.(check (list string)) "no violations on a clean build" []
+    (oracle_names oc.Fuzz.oc_violations);
+  Alcotest.(check int) "every append acked" 16 oc.Fuzz.oc_acked;
+  Alcotest.(check int) "every tx decided" 8 (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted);
+  check_bool "faults actually ran" true (oc.Fuzz.oc_fault_events >= List.length plan)
+
+let test_fuzz_deterministic_replay () =
+  let plan = Fuzz.gen_plan ~seed:43 small_config in
+  let a = Fuzz.run ~capture_spans:true ~seed:43 small_config ~plan in
+  let b = Fuzz.run ~capture_spans:true ~seed:43 small_config ~plan in
+  Alcotest.(check string) "metrics byte-identical" a.Fuzz.oc_metrics_json b.Fuzz.oc_metrics_json;
+  check_bool "span dumps present" true (a.Fuzz.oc_spans_json <> None);
+  Alcotest.(check (option string)) "span dumps byte-identical" a.Fuzz.oc_spans_json
+    b.Fuzz.oc_spans_json
+
+let test_fuzz_artifact_roundtrip () =
+  let plan = Fuzz.gen_plan ~seed:44 small_config in
+  let doc = Fuzz.encode_artifact ~seed:44 small_config plan in
+  let seed', config', plan' = Fuzz.decode_artifact doc in
+  Alcotest.(check int) "seed" 44 seed';
+  check_bool "config" true (config' = small_config);
+  check_bool "plan" true (Sim.Fault.equal_plan plan plan');
+  match Fuzz.decode_artifact "{\"version\":9,\"tool\":\"tango-fuzz\"}" with
+  | _ -> Alcotest.fail "unknown artifact version accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Sensitivity: with the rebuild scan disabled (an injected recovery
+   bug), the fuzzer must find a violation within a few seeds and shrink
+   it to a <=5 event reproducer that still trips the same oracle — and
+   no longer trips anything once the failpoint is off. *)
+let test_fuzz_finds_injected_bug () =
+  let failpoint = "skip-rebuild-scan" in
+  let rec hunt seed =
+    if seed > 8 then Alcotest.fail "no violation found in 8 seeds"
+    else
+      let plan = Fuzz.gen_plan ~seed small_config in
+      let oc = Fuzz.run ~failpoint ~seed small_config ~plan in
+      match oc.Fuzz.oc_violations with
+      | [] -> hunt (seed + 1)
+      | v :: _ -> (seed, plan, v.Tango_harness.Verifier.v_oracle)
+  in
+  let seed, plan, oracle = hunt 1 in
+  let sh = Fuzz.shrink ~failpoint ~seed small_config plan ~oracle in
+  check_bool
+    (Printf.sprintf "shrunk to %d events (<=5)" (List.length sh.Fuzz.sh_plan))
+    true
+    (List.length sh.Fuzz.sh_plan <= 5);
+  check_bool "budget respected" true (sh.Fuzz.sh_runs <= small_config.Fuzz.f_shrink_runs);
+  let again = Fuzz.run ~failpoint ~seed small_config ~plan:sh.Fuzz.sh_plan in
+  check_bool "shrunk plan still trips the oracle" true
+    (List.mem sh.Fuzz.sh_oracle (oracle_names again.Fuzz.oc_violations));
+  let clean = Fuzz.run ~seed small_config ~plan:sh.Fuzz.sh_plan in
+  Alcotest.(check (list string)) "clean build passes the reproducer" []
+    (oracle_names clean.Fuzz.oc_violations)
+
+let test_fuzz_report_schema () =
+  let plan = Fuzz.gen_plan ~seed:45 small_config in
+  let oc = Fuzz.run ~seed:45 small_config ~plan in
+  let doc = Sim.Jin.parse (Fuzz.report_json ~runs:[ (45, oc) ]) in
+  Alcotest.(check int) "schema_version" 1 (Sim.Jin.to_int (Sim.Jin.member "schema_version" doc));
+  Alcotest.(check string) "tool" "tango-fuzz" (Sim.Jin.to_string (Sim.Jin.member "tool" doc));
+  Alcotest.(check int) "violations" 0 (Sim.Jin.to_int (Sim.Jin.member "violations" doc));
+  let runs = Sim.Jin.to_list (Sim.Jin.member "runs" doc) in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  let r = List.hd runs in
+  Alcotest.(check int) "seed" 45 (Sim.Jin.to_int (Sim.Jin.member "seed" r));
+  Alcotest.(check int) "acked" oc.Fuzz.oc_acked
+    (Sim.Jin.to_int (Sim.Jin.member "acked_appends" r))
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: linearizability across reconfigurations                *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +451,25 @@ let () =
           Alcotest.test_case "concurrent flexibility" `Quick test_lin_concurrent_flexibility;
           Alcotest.test_case "write ordering" `Quick test_lin_write_order;
           Alcotest.test_case "rejects bad events" `Quick test_lin_rejects_bad_event;
+          Alcotest.test_case "compare-and-swap" `Quick test_lin_cas;
+          Alcotest.test_case "history beyond 62 ops" `Quick test_lin_long_history;
+          Alcotest.test_case "work limit trips" `Quick test_lin_work_limit;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "durability" `Quick test_verifier_durability;
+          Alcotest.test_case "hole freedom" `Quick test_verifier_hole_freedom;
+          Alcotest.test_case "stream order" `Quick test_verifier_stream_order;
+          Alcotest.test_case "convergence and atomicity" `Quick
+            test_verifier_convergence_and_atomicity;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "clean smoke" `Quick test_fuzz_clean_smoke;
+          Alcotest.test_case "deterministic replay" `Quick test_fuzz_deterministic_replay;
+          Alcotest.test_case "artifact round-trip" `Quick test_fuzz_artifact_roundtrip;
+          Alcotest.test_case "finds and shrinks injected bug" `Slow test_fuzz_finds_injected_bug;
+          Alcotest.test_case "report schema" `Quick test_fuzz_report_schema;
         ] );
       ( "fault-plane",
         [

@@ -766,6 +766,94 @@ let prop_resource_conserves =
           Engine.sleep 1_000.;
           !ok && !max_active <= capacity))
 
+(* ------------------------------------------------------------------ *)
+(* Fault plans as data                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_plan : (float * Fault.action) list =
+  [
+    (100., Fault.Crash "storage-0");
+    (150.5, Fault.Degrade { d_src = "app"; d_dst = "*"; d_drop = 0.25; d_delay_us = 120.; d_jitter_us = 30.125 });
+    (200., Fault.Partition [ [ "storage-1"; "storage-2" ]; [ "app" ] ]);
+    (300., Fault.Heal);
+    (301., Fault.Clear_edge ("app", "*"));
+    (400.75, Fault.Custom ("replace-sequencer", fun () -> ()));
+    (500., Fault.Restart "storage-0");
+  ]
+
+let test_fault_plan_equal_pp () =
+  check_bool "plan equals itself" true (Fault.equal_plan sample_plan sample_plan);
+  check_bool "custom compares by name" true
+    (Fault.equal_action
+       (Fault.Custom ("x", fun () -> ()))
+       (Fault.Custom ("x", fun () -> failwith "different closure")));
+  check_bool "different custom names differ" false
+    (Fault.equal_action (Fault.Custom ("x", fun () -> ())) (Fault.Custom ("y", fun () -> ())));
+  check_bool "prefix is not the plan" false
+    (Fault.equal_plan sample_plan (List.tl sample_plan));
+  let rendered = Format.asprintf "%a" Fault.pp_plan sample_plan in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec go i = i + nl <= hl && (String.equal (String.sub rendered i nl) needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check_bool (Printf.sprintf "pp mentions %s" needle) true (contains needle))
+    [ "crash storage-0"; "partition"; "heal"; "replace-sequencer"; "clear-edge" ]
+
+let test_fault_plan_round_trip () =
+  let doc = Fault.encode_plan sample_plan in
+  let back = Fault.decode_plan doc in
+  check_bool "encode/decode round-trips" true (Fault.equal_plan sample_plan back);
+  check_bool "re-encode is byte-identical" true (String.equal doc (Fault.encode_plan back));
+  (* decoded customs get placeholder thunks that refuse to run *)
+  (match List.nth back 5 with
+  | _, Fault.Custom (_, thunk) -> (
+      match thunk () with
+      | () -> Alcotest.fail "placeholder thunk ran"
+      | exception Invalid_argument _ -> ())
+  | _ -> Alcotest.fail "expected a custom action");
+  (* a custom resolver rebinds thunks by name *)
+  let hit = ref "" in
+  let back = Fault.decode_plan ~custom:(fun name () -> hit := name) doc in
+  (match List.nth back 5 with
+  | _, Fault.Custom (_, thunk) -> thunk ()
+  | _ -> Alcotest.fail "expected a custom action");
+  Alcotest.(check string) "thunk rebound by name" "replace-sequencer" !hit;
+  match Fault.decode_plan "{\"version\":99,\"events\":[]}" with
+  | _ -> Alcotest.fail "unknown version accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Random action generator for the serialization property. Hosts and
+   numbers are arbitrary — the codec must not care. *)
+let finite_float =
+  QCheck.Gen.(map (fun f -> Float.of_int f /. 64.) (int_range (-1_000_000) 1_000_000))
+
+let action_gen =
+  let open QCheck.Gen in
+  let host = oneofl [ "storage-0"; "storage-1"; "app-1"; "seq"; "*" ] in
+  oneof
+    [
+      map (fun h -> Fault.Crash h) host;
+      map (fun h -> Fault.Restart h) host;
+      map (fun cs -> Fault.Partition cs) (list_size (int_range 0 3) (list_size (int_range 0 3) host));
+      return Fault.Heal;
+      map3
+        (fun (s, d) drop (delay, jitter) ->
+          Fault.Degrade { d_src = s; d_dst = d; d_drop = drop; d_delay_us = delay; d_jitter_us = jitter })
+        (pair host host) (float_bound_inclusive 1.) (pair finite_float finite_float);
+      map (fun (s, d) -> Fault.Clear_edge (s, d)) (pair host host);
+      map (fun n -> Fault.Custom ("op-" ^ string_of_int n, fun () -> ())) small_nat;
+    ]
+
+let plan_gen =
+  QCheck.Gen.(list_size (int_range 0 12) (pair (map Float.abs finite_float) action_gen))
+  |> QCheck.make ~print:(fun p -> Format.asprintf "%a" Fault.pp_plan p)
+
+let prop_fault_plan_round_trip =
+  QCheck.Test.make ~name:"fault plan encode/decode round-trips" ~count:300 plan_gen (fun p ->
+      Fault.equal_plan p (Fault.decode_plan (Fault.encode_plan p)))
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -831,6 +919,8 @@ let () =
             test_fault_schedule_is_virtual_time;
           Alcotest.test_case "trace deterministic across runs" `Quick
             test_fault_trace_deterministic;
+          Alcotest.test_case "plan equality and printing" `Quick test_fault_plan_equal_pp;
+          Alcotest.test_case "plan serialization round-trip" `Quick test_fault_plan_round_trip;
         ] );
       ( "stats",
         [
@@ -863,5 +953,6 @@ let () =
             prop_rng_deterministic;
             prop_rng_shuffle_permutation;
             prop_resource_conserves;
+            prop_fault_plan_round_trip;
           ] );
     ]
