@@ -1102,10 +1102,223 @@ let scale_out_bench () =
     ~virtual_end_us:end_us ~metrics_json:(Sim.Metrics.to_json ()) ()
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path kernels: ns/op and minor-words/op per kernel              *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled rather than bechamel because the regression gate needs
+   {e allocation counts}, and [Gc.minor_words] deltas over a fixed op
+   count are exactly reproducible — bechamel's adaptive sampling is
+   not. Each kernel is the data path of one hot layer with the I/O
+   boundary cut off; ops are sized so a run takes milliseconds. *)
+
+let hot_measure ~ops f =
+  for _ = 1 to max 1 (ops / 10) do
+    f ()
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  ((t1 -. t0) *. 1e9 /. float_of_int ops, (w1 -. w0) /. float_of_int ops)
+
+let hot_report ~name ns words =
+  row "%-24s %12.1f ns/op %12.3f minor-words/op" name ns words;
+  Report.add_scenario ~name:("micro/" ^ name) ~seed:0
+    ~summary:[ ("ns_per_op", ns); ("minor_words_per_op", words) ]
+    ~virtual_end_us:0. ~metrics_json:"{}" ()
+
+(* Shared sample data: the paper's 4-commit entry shape. *)
+let hot_sample_records =
+  List.init 4 (fun i ->
+      Tango.Record.Commit
+        {
+          Tango.Record.c_reads =
+            [ (1, Some "k00000001", 40 + i); (2, Some "k00000002", 41 + i); (3, None, 42 + i) ];
+          c_writes =
+            [
+              { Tango.Record.u_oid = 1; u_key = Some "k00000003"; u_data = Bytes.make 32 'x' };
+              { Tango.Record.u_oid = 2; u_key = Some "k00000004"; u_data = Bytes.make 32 'y' };
+              { Tango.Record.u_oid = 3; u_key = None; u_data = Bytes.make 32 'z' };
+            ];
+          c_needs_decision = false;
+        })
+
+let micro_hotpath () =
+  section "Hot-path kernels (ns/op, minor-words/op)";
+  let module Wire = Corfu.Wire in
+  (* corfu.wire encode: a mixed fixed-width frame through a reused
+     arena writer; the [contents] copy is the ownership boundary and
+     the kernel's only allocation. *)
+  let w = Wire.writer ~size:256 () in
+  let encode_frame b =
+    for i = 1 to 4 do
+      Wire.put_u8 b (i land 0xFF)
+    done;
+    for i = 1 to 8 do
+      Wire.put_u32 b (i * 1000)
+    done;
+    for i = 1 to 16 do
+      Wire.put_u64 b (i * 1_000_000)
+    done;
+    Wire.put_string b "k1234567"
+  in
+  let ns, words =
+    hot_measure ~ops:200_000 (fun () ->
+        Wire.reset w;
+        encode_frame w;
+        ignore (Wire.contents w))
+  in
+  hot_report ~name:"wire-encode" ns words;
+  (* corfu.wire decode: the fixed-width fields back through a reused
+     cursor — value-materialising reads (strings, bytes) are ownership
+     boundaries measured by record-decode instead. *)
+  let frame = Wire.to_bytes encode_frame in
+  let cur = Wire.reader frame in
+  let ns, words =
+    hot_measure ~ops:200_000 (fun () ->
+        Wire.reset_reader cur frame;
+        let acc = ref 0 in
+        for _ = 1 to 4 do
+          acc := !acc + Wire.get_u8 cur
+        done;
+        for _ = 1 to 8 do
+          acc := !acc + Wire.get_u32 cur
+        done;
+        for _ = 1 to 16 do
+          acc := !acc + Wire.get_u64 cur
+        done;
+        ignore !acc)
+  in
+  hot_report ~name:"wire-decode" ns words;
+  (* record encode/decode: whole-entry payloads; decode owns its
+     output records, so its floor is the decoded structure itself. *)
+  let sample_payload = Tango.Record.encode_payload hot_sample_records in
+  let ns, words =
+    hot_measure ~ops:100_000 (fun () -> ignore (Tango.Record.encode_payload hot_sample_records))
+  in
+  hot_report ~name:"record-encode" ns words;
+  let ns, words =
+    hot_measure ~ops:100_000 (fun () -> ignore (Tango.Record.decode_payload sample_payload))
+  in
+  hot_report ~name:"record-decode" ns words;
+  (* batcher drain bookkeeping: submit 4 records, seal, group, pop,
+     encode, recycle — the whole Batch_core cycle minus the RPCs.
+     Reported per record. *)
+  let core = Tango.Batch_core.create ~cap:4 ~dummy:(Sim.Ivar.create ()) in
+  let recs = Array.of_list hot_sample_records in
+  let ns, words =
+    hot_measure ~ops:50_000 (fun () ->
+        for i = 0 to 3 do
+          ignore (Tango.Batch_core.submit core recs.(i) [ 7 ] (Sim.Ivar.create ()))
+        done;
+        Tango.Batch_core.seal core;
+        let count = Tango.Batch_core.group core ~max_run:8 in
+        ignore (Tango.Batch_core.front_streams core);
+        for _ = 1 to count do
+          let b = Tango.Batch_core.pop core in
+          ignore (Tango.Batch_core.encode core b);
+          for slot = 0 to Tango.Batch_core.length b - 1 do
+            ignore (Tango.Batch_core.data b slot)
+          done;
+          Tango.Batch_core.recycle core b
+        done)
+  in
+  hot_report ~name:"batcher-drain" (ns /. 4.) (words /. 4.);
+  (* sequencer grant: a 2-stream count-4 range grant against the ring
+     core at K=16; the response lists are the boundary. *)
+  let seq_core = Corfu.Sequencer.Core.create ~k:16 () in
+  let ns, words =
+    hot_measure ~ops:200_000 (fun () ->
+        ignore (Corfu.Sequencer.Core.grant seq_core ~streams:[ 7; 9 ] ~count:4))
+  in
+  hot_report ~name:"seq-grant" ns words;
+  (* engine dispatch: drain-only over a prefilled queue, the exact
+     lane/heap pop sequence of the run loop. Must report 0.000. *)
+  let noop () = () in
+  let q = Sim.Eventq.create () in
+  let cycles = 100 and n = 4096 in
+  let words = ref 0. and time = ref 0. in
+  for _ = 1 to cycles do
+    for i = 1 to n do
+      Sim.Eventq.push q (float_of_int (i land 63)) i noop
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    while not (Sim.Eventq.is_empty q) do
+      let thunk =
+        if Sim.Eventq.next_is_lane q then Sim.Eventq.pop_lane q else Sim.Eventq.pop_heap q
+      in
+      thunk ()
+    done;
+    time := !time +. (Unix.gettimeofday () -. t0);
+    words := !words +. (Gc.minor_words () -. w0)
+  done;
+  hot_report ~name:"engine-dispatch"
+    (!time *. 1e9 /. float_of_int (cycles * n))
+    (!words /. float_of_int (cycles * n));
+  (* engine scheduling: push+pop steady state at 1024 pending. *)
+  let q = Sim.Eventq.create () in
+  for i = 1 to 1024 do
+    Sim.Eventq.push q (float_of_int i) i noop
+  done;
+  let seq = ref 1024 in
+  let ns, words =
+    hot_measure ~ops:200_000 (fun () ->
+        (Sim.Eventq.pop q) ();
+        incr seq;
+        Sim.Eventq.push q (float_of_int (!seq land 2047)) !seq noop)
+  in
+  hot_report ~name:"engine-sched" ns words
+
+(* Whole-run wall-clock throughput: a fixed fig5-style closed loop,
+   reported as simulation events (and appends) per second of real
+   time — the end-to-end number the CI gate protects. *)
+let micro_events_wall () =
+  section "Whole-run wall clock (events/s of real time)";
+  let seed = 11 in
+  let virtual_us = scale 4_000_000. in
+  let (appends, events), perf =
+    Report.with_perf (fun () ->
+        Sim.Engine.run ~seed (fun () ->
+            let cluster = Corfu.Cluster.create ~servers:4 () in
+            let rt = new_runtime cluster "app" in
+            let reg = Tango_register.attach rt ~oid:1 in
+            let ops = ref 0 in
+            for _ = 1 to 8 do
+              Sim.Engine.spawn (fun () ->
+                  let rec loop () =
+                    Tango_register.write reg 1;
+                    incr ops;
+                    loop ()
+                  in
+                  loop ())
+            done;
+            Sim.Engine.sleep virtual_us;
+            (!ops, Sim.Engine.events_dispatched ())))
+  in
+  let events_rate = float_of_int events /. perf.Report.wall_s in
+  let appends_rate = float_of_int appends /. perf.Report.wall_s in
+  row "%-24s %12.3f wall-s %10d events %12.0f events/wall-s %10.0f appends/wall-s" "events-wall"
+    perf.Report.wall_s events events_rate appends_rate;
+  Report.add_scenario ~name:"micro/events-wall" ~seed
+    ~params:[ ("servers", "4"); ("writers", "8"); ("virtual_us", string_of_float virtual_us) ]
+    ~summary:
+      [
+        ("events", float_of_int events);
+        ("appends", float_of_int appends);
+        ("events_per_wall_s", events_rate);
+        ("appends_per_wall_s", appends_rate);
+      ]
+    ~perf ~virtual_end_us:virtual_us ~metrics_json:(Sim.Metrics.to_json ()) ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the hot code path of each experiment    *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
+let micro_bechamel () =
   let open Bechamel in
   let payload =
     Tango.Record.encode_payload
@@ -1184,6 +1397,11 @@ let micro () =
           | Some _ | None -> row "%-36s %12s" name "n/a")
         a)
     tests
+
+let micro () =
+  micro_hotpath ();
+  micro_events_wall ();
+  micro_bechamel ()
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)

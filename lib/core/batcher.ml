@@ -1,13 +1,6 @@
-type waiting = {
-  w_record : Record.t;
-  w_streams : Corfu.Types.stream_id list;
-  w_pos : int Sim.Ivar.t;
-}
-
-type sealed_batch = {
-  b_waiters : waiting list;  (* oldest first; one slot each *)
-  b_streams : Corfu.Types.stream_id list;  (* sorted, deduped *)
-}
+(* A pooled grant record plus the number of drain-fiber writes still
+   holding it; back to the pool at zero. *)
+type grant_slot = { gr_grant : Corfu.Client.grant; mutable gr_refs : int }
 
 type t = {
   client : Corfu.Client.t;
@@ -15,10 +8,10 @@ type t = {
   linger_us : float;
   append_window : int;
   window : Sim.Resource.t;  (* bounds entries in flight *)
-  mutable forming : waiting list;  (* newest first *)
+  core : int Sim.Ivar.t Batch_core.t;  (* cell data = the waiter's position ivar *)
   mutable generation : int;  (* bumped on every seal; guards linger timers *)
-  sealed : sealed_batch Queue.t;
   mutable drainer_busy : bool;
+  mutable grant_pool : grant_slot list;
   mutable entries : int;
   mutable records : int;
   mutable inflight : int;
@@ -51,10 +44,10 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     linger_us;
     append_window;
     window;
-    forming = [];
+    core = Batch_core.create ~cap:batch_size ~dummy:(Sim.Ivar.create ());
     generation = 0;
-    sealed = Queue.create ();
     drainer_busy = false;
+    grant_pool = [];
     entries = 0;
     records = 0;
     inflight = 0;
@@ -67,54 +60,55 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     depth_g = Sim.Metrics.gauge ~host:hname "batcher.sealed_depth";
   }
 
-(* Pop the longest run of sealed batches sharing one stream set, up to
-   the append window. One grant covers the whole run, so every offset
-   the sequencer records for those streams is actually written by
-   us. *)
-let pop_group t =
-  let first = Queue.pop t.sealed in
-  let rec grab acc n =
-    if n >= t.append_window then List.rev acc
-    else
-      match Queue.peek_opt t.sealed with
-      | Some b when b.b_streams = first.b_streams -> grab (Queue.pop t.sealed :: acc) (n + 1)
-      | _ -> List.rev acc
-  in
-  (first.b_streams, grab [ first ] 1)
+let grant_take t =
+  match t.grant_pool with
+  | [] -> { gr_grant = Corfu.Client.blank_grant t.client; gr_refs = 0 }
+  | g :: rest ->
+      t.grant_pool <- rest;
+      g
+
+let grant_put t g = t.grant_pool <- g :: t.grant_pool
 
 (* The drainer is the only fiber talking to the sequencer, so landed
    offsets are monotone in seal order: positions handed to waiters are
    consistent with log order. Chain writes for the grant overlap —
-   each entry gets its own fiber, gated by the window resource. *)
+   each entry gets its own fiber, gated by the window resource. The
+   loop reuses one grant record per group ({!Client.reserve_into});
+   the grant recycles only after its last write fiber drops its
+   reference, so concurrent [write_granted]s never see a refill. *)
 let rec drain t =
-  if Queue.is_empty t.sealed then t.drainer_busy <- false
+  if Batch_core.queued t.core = 0 then t.drainer_busy <- false
   else begin
-    let streams, group = pop_group t in
-    Sim.Metrics.set_gauge t.depth_g (float_of_int (Queue.length t.sealed));
-    let grant = Corfu.Client.reserve t.client ~streams ~count:(List.length group) in
+    let count = Batch_core.group t.core ~max_run:t.append_window in
+    let streams = Batch_core.front_streams t.core in
+    let gs = grant_take t in
+    Corfu.Client.reserve_into t.client gs.gr_grant ~streams ~count;
+    gs.gr_refs <- count;
     t.grants <- t.grants + 1;
-    t.granted_entries <- t.granted_entries + List.length group;
+    t.granted_entries <- t.granted_entries + count;
     Sim.Metrics.incr t.grants_c;
     let span_parent = Sim.Span.current () in
-    List.iteri
-      (fun index batch ->
-        Sim.Resource.acquire t.window;
-        t.inflight <- t.inflight + 1;
-        if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
-        Sim.Engine.spawn (fun () ->
-            Sim.Span.with_parent span_parent @@ fun () ->
-            let payload =
-              Record.encode_payload (List.map (fun w -> w.w_record) batch.b_waiters)
-            in
-            let off = Corfu.Client.write_granted t.client grant ~index payload in
-            t.entries <- t.entries + 1;
-            Sim.Metrics.incr t.entries_c;
-            List.iteri
-              (fun slot w -> Sim.Ivar.fill w.w_pos (Record.pos ~offset:off ~slot))
-              batch.b_waiters;
-            t.inflight <- t.inflight - 1;
-            Sim.Resource.release t.window))
-      group;
+    for index = 0 to count - 1 do
+      let batch = Batch_core.pop t.core in
+      Sim.Resource.acquire t.window;
+      t.inflight <- t.inflight + 1;
+      if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
+      Sim.Engine.spawn (fun () ->
+          Sim.Span.with_parent span_parent @@ fun () ->
+          let payload = Batch_core.encode t.core batch in
+          let off = Corfu.Client.write_granted t.client gs.gr_grant ~index payload in
+          t.entries <- t.entries + 1;
+          Sim.Metrics.incr t.entries_c;
+          for slot = 0 to Batch_core.length batch - 1 do
+            Sim.Ivar.fill (Batch_core.data batch slot) (Record.pos ~offset:off ~slot)
+          done;
+          Batch_core.recycle t.core batch;
+          gs.gr_refs <- gs.gr_refs - 1;
+          if gs.gr_refs = 0 then grant_put t gs;
+          t.inflight <- t.inflight - 1;
+          Sim.Resource.release t.window)
+    done;
+    Sim.Metrics.set_gauge t.depth_g (float_of_int (Batch_core.queued t.core));
     drain t
   end
 
@@ -125,27 +119,21 @@ let kick t =
   end
 
 let flush t =
-  match t.forming with
-  | [] -> ()
-  | batch ->
-      t.forming <- [];
-      t.generation <- t.generation + 1;
-      let batch = List.rev batch in
-      let streams =
-        List.sort_uniq Int.compare (List.concat_map (fun w -> w.w_streams) batch)
-      in
-      Queue.push { b_waiters = batch; b_streams = streams } t.sealed;
-      Sim.Metrics.set_gauge t.depth_g (float_of_int (Queue.length t.sealed));
-      kick t
+  if Batch_core.forming_len t.core > 0 then begin
+    t.generation <- t.generation + 1;
+    Batch_core.seal t.core;
+    Sim.Metrics.set_gauge t.depth_g (float_of_int (Batch_core.queued t.core));
+    kick t
+  end
 
 let submit t ~streams record =
   if streams = [] then invalid_arg "Batcher.submit: no target streams";
-  let w = { w_record = record; w_streams = streams; w_pos = Sim.Ivar.create () } in
-  let was_empty = t.forming = [] in
-  t.forming <- w :: t.forming;
+  let pos_iv = Sim.Ivar.create () in
+  let was_empty = Batch_core.forming_len t.core = 0 in
+  let full = Batch_core.submit t.core record streams pos_iv in
   t.records <- t.records + 1;
   Sim.Metrics.incr t.records_c;
-  if List.length t.forming >= t.batch_size then flush t
+  if full then flush t
   else if was_empty then begin
     (* First record of a fresh batch arms the linger timer. *)
     let generation = t.generation in
@@ -153,7 +141,7 @@ let submit t ~streams record =
         Sim.Engine.sleep t.linger_us;
         if t.generation = generation then flush t)
   end;
-  Sim.Ivar.read w.w_pos
+  Sim.Ivar.read pos_iv
 
 let entries_appended t = t.entries
 let records_submitted t = t.records

@@ -126,19 +126,36 @@ let decode_one c =
       Partial { p_target; p_verdicts }
   | tag -> invalid_arg (Printf.sprintf "Record.decode: unknown tag %d" tag)
 
+(* Payload encodes run through a module-level arena: the record body
+   goes straight into the writer and its u32 length prefix is
+   backpatched once the body's extent is known, so no per-record
+   buffer or copy. Encodes never yield, so sharing one arena is safe;
+   [Wire.contents] copies out at the ownership boundary. *)
+let arena = Wire.writer ~size:1024 ()
+
+let encode_record_into b r =
+  let len_at = Wire.pos b in
+  put_u32 b 0;
+  encode_one b r;
+  Wire.patch_u32 b ~at:len_at (Wire.pos b - len_at - 4)
+
+let encode_payload_array records ~len =
+  if len = 0 || len > slots_per_entry || len > Array.length records then
+    invalid_arg "Record.encode_payload_array: bad record count";
+  Wire.reset arena;
+  put_u8 arena len;
+  for i = 0 to len - 1 do
+    encode_record_into arena (Array.unsafe_get records i)
+  done;
+  Wire.contents arena
+
 let encode_payload records =
   let n = List.length records in
   if n = 0 || n > slots_per_entry then invalid_arg "Record.encode_payload: bad record count";
-  let b = Buffer.create 256 in
-  put_u8 b n;
-  List.iter
-    (fun r ->
-      let inner = Buffer.create 64 in
-      encode_one inner r;
-      put_u32 b (Buffer.length inner);
-      Buffer.add_buffer b inner)
-    records;
-  Buffer.to_bytes b
+  Wire.reset arena;
+  put_u8 arena n;
+  List.iter (encode_record_into arena) records;
+  Wire.contents arena
 
 let decode_payload buf =
   let c = Wire.reader buf in

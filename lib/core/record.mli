@@ -59,8 +59,15 @@ type t =
 (** {1 Wire format} *)
 
 (** [encode_payload records] packs at most {!slots_per_entry} records
-    into an entry payload. *)
+    into an entry payload. Runs through a reusable module-level arena;
+    the returned [bytes] is an owned copy. *)
 val encode_payload : t list -> bytes
+
+(** [encode_payload_array records ~len] is {!encode_payload} over the
+    first [len] elements of [records] — the allocation-lean form the
+    batcher drain loop uses (one copy out of the arena, no
+    intermediate list or per-record buffer). *)
+val encode_payload_array : t array -> len:int -> bytes
 
 (** [decode_payload b] inverts {!encode_payload}.
     @raise Invalid_argument on malformed input. *)

@@ -283,17 +283,29 @@ let append t ~streams payload =
 (* ------------------------------------------------------------------ *)
 
 type grant = {
-  g_base : Types.offset;
-  g_count : int;
-  g_streams : Types.stream_id list;
-  g_tails : (Types.stream_id * Types.offset list) list;
+  mutable g_base : Types.offset;
+  mutable g_count : int;
+  mutable g_streams : Types.stream_id list;
+  mutable g_tails : (Types.stream_id * Types.offset list) list;
       (* per-stream last-K as of the grant, i.e. excluding the grant *)
-  g_seq : Sequencer.t;
+  mutable g_seq : Sequencer.t;
       (* the issuing sequencer: a later projection carrying a different
          one voids the unwritten remainder of the grant *)
 }
 
-let rec reserve t ~streams ~count =
+let blank_grant t =
+  {
+    g_base = 0;
+    g_count = 0;
+    g_streams = [];
+    g_tails = [];
+    g_seq = t.proj.Projection.sequencer;
+  }
+
+(* Fields are mutable so pooling callers (the batcher's drain loop) can
+   refill one grant record per cycle instead of allocating one; the
+   grant must not be refilled while writes against it are in flight. *)
+let rec reserve_into t g ~streams ~count =
   if count < 1 then invalid_arg "Client.reserve: count must be >= 1";
   let resp =
     seq_grant t (fun () ->
@@ -305,15 +317,18 @@ let rec reserve t ~streams ~count =
   | Sequencer.Seq_sealed _ ->
       note_retry t;
       refresh t;
-      reserve t ~streams ~count
+      reserve_into t g ~streams ~count
   | Sequencer.Seq_ok { base; stream_tails } ->
-      {
-        g_base = base;
-        g_count = count;
-        g_streams = streams;
-        g_tails = stream_tails;
-        g_seq = t.proj.Projection.sequencer;
-      }
+      g.g_base <- base;
+      g.g_count <- count;
+      g.g_streams <- streams;
+      g.g_tails <- stream_tails;
+      g.g_seq <- t.proj.Projection.sequencer
+
+let reserve t ~streams ~count =
+  let g = blank_grant t in
+  reserve_into t g ~streams ~count;
+  g
 
 (* Backpointers for offset [g_base + index]: the grant's earlier
    offsets (all on every granted stream, newest first) followed by the

@@ -53,12 +53,12 @@ val append : t -> streams:Types.stream_id list -> bytes -> Types.offset
     walkable. *)
 
 type grant = {
-  g_base : Types.offset;  (** first granted offset *)
-  g_count : int;  (** grant size *)
-  g_streams : Types.stream_id list;
-  g_tails : (Types.stream_id * Types.offset list) list;
+  mutable g_base : Types.offset;  (** first granted offset *)
+  mutable g_count : int;  (** grant size *)
+  mutable g_streams : Types.stream_id list;
+  mutable g_tails : (Types.stream_id * Types.offset list) list;
       (** per-stream last-K as of the grant, excluding the grant *)
-  g_seq : Sequencer.t;
+  mutable g_seq : Sequencer.t;
       (** the issuing sequencer. A sequencer replacement voids the
           grant's unwritten offsets: the rebuilt backpointer state only
           knows offsets whose chain head was written before the seal,
@@ -71,6 +71,15 @@ type grant = {
     on [streams] in one sequencer RPC. Retries transparently on seal.
     Raises [Invalid_argument] when [count < 1]. *)
 val reserve : t -> streams:Types.stream_id list -> count:int -> grant
+
+(** A zeroed grant record for pooling: {!reserve_into} refills it. *)
+val blank_grant : t -> grant
+
+(** [reserve_into t g ~streams ~count] is {!reserve} writing its result
+    into [g] instead of allocating — the batcher's drain loop keeps a
+    small pool of grant records and refills one per drain cycle. [g]
+    must have no {!write_granted} calls in flight. *)
+val reserve_into : t -> grant -> streams:Types.stream_id list -> count:int -> unit
 
 (** [write_granted t g ~index payload] writes [payload] at granted
     offset [g.g_base + index] with exact backpointer headers. Returns

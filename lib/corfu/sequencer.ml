@@ -6,6 +6,98 @@ type allocation = {
   stream_tails : (Types.stream_id * Types.offset list) list;
 }
 
+(* The counter core: tail plus per-stream last-K offsets in fixed int
+   rings. Issuing an offset is two array stores and an index bump — no
+   list cells, no Hashtbl.replace churn. Offset lists materialise only
+   at the response boundary (the RPC reply owns its data). *)
+module Core = struct
+  type ring = { r_buf : int array; mutable r_len : int; mutable r_newest : int }
+
+  type t = {
+    core_k : int;
+    mutable core_tail : Types.offset;
+    core_streams : (Types.stream_id, ring) Hashtbl.t;
+  }
+
+  let fill_ring k offs =
+    let r = { r_buf = Array.make k 0; r_len = 0; r_newest = 0 } in
+    (* [offs] arrives newest-first, the order the ring stores. *)
+    List.iteri
+      (fun i off ->
+        if i < k then begin
+          r.r_buf.(i) <- off;
+          r.r_len <- r.r_len + 1
+        end)
+      offs;
+    r
+
+  let create ~k ?(initial_tail = 0) ?(initial_streams = []) () =
+    let core_streams = Hashtbl.create 256 in
+    List.iter (fun (sid, offs) -> Hashtbl.replace core_streams sid (fill_ring k offs)) initial_streams;
+    { core_k = k; core_tail = initial_tail; core_streams }
+
+  let tail t = t.core_tail
+
+  let ring_of t sid =
+    match Hashtbl.find_opt t.core_streams sid with
+    | Some r -> r
+    | None ->
+        let r = { r_buf = Array.make t.core_k 0; r_len = 0; r_newest = 0 } in
+        Hashtbl.add t.core_streams sid r;
+        r
+
+  (* O(1), allocation-free once the stream's ring exists. *)
+  let note_issue t sid off =
+    let r = ring_of t sid in
+    let k = t.core_k in
+    r.r_newest <- (r.r_newest + k - 1) mod k;
+    r.r_buf.(r.r_newest) <- off;
+    if r.r_len < k then r.r_len <- r.r_len + 1
+
+  (* Materialise a ring newest-first; a plain counted loop (no
+     [List.init] closure) keeps the response build down to the list
+     cells themselves. *)
+  let ring_list r k =
+    let rec build i acc = if i < 0 then acc else build (i - 1) (r.r_buf.((r.r_newest + i) mod k) :: acc) in
+    build (r.r_len - 1) []
+
+  let last_k t sid =
+    match Hashtbl.find_opt t.core_streams sid with
+    | None -> []
+    | Some r -> ring_list r t.core_k
+
+  (* Top-level recursions instead of closures: a grant's only
+     allocations are the response lists it hands to the caller. *)
+  let rec tails_of t = function
+    | [] -> []
+    | sid :: rest -> (sid, last_k t sid) :: tails_of t rest
+
+  let rec issue_all t base count = function
+    | [] -> ()
+    | sid :: rest ->
+        for i = 0 to count - 1 do
+          note_issue t sid (base + i)
+        done;
+        issue_all t base count rest
+
+  (* A range grant allocates [base .. base+count-1] on every requested
+     stream; record them all so later backpointer state stays exact
+     (the grantee writes each entry's header chaining through the
+     earlier offsets of the same grant). [stream_tails] snapshots the
+     pre-grant rings — the response excludes the allocation itself. *)
+  let grant t ~streams ~count =
+    let base = t.core_tail in
+    let stream_tails = tails_of t streams in
+    t.core_tail <- base + count;
+    issue_all t base count streams;
+    { base; stream_tails }
+
+  let peek t ~streams = { base = t.core_tail; stream_tails = tails_of t streams }
+
+  let all_streams t = Hashtbl.fold (fun sid _ acc -> (sid, last_k t sid) :: acc) t.core_streams []
+  let nstreams t = Hashtbl.length t.core_streams
+end
+
 type response = Seq_ok of allocation | Seq_sealed of Types.epoch
 
 type dump = {
@@ -18,10 +110,8 @@ type t = {
   seq_name : string;
   seq_host : Sim.Net.host;
   counter_cpu : Sim.Resource.t;  (* the single hot loop handing out offsets *)
-  k : int;
-  mutable tail : Types.offset;
+  core : Core.t;
   mutable epoch : Types.epoch;
-  streams : (Types.stream_id, Types.offset list) Hashtbl.t;
   incr_c : Sim.Metrics.counter;
   granted_c : Sim.Metrics.counter;
   peeks_c : Sim.Metrics.counter;
@@ -32,52 +122,35 @@ type t = {
   dump_svc : (Types.epoch, dump option) Sim.Net.service;
 }
 
-let last_k t sid = match Hashtbl.find_opt t.streams sid with Some l -> l | None -> []
-
-let truncate k l =
-  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
-  take k l
-
-let record_issue t sid off = Hashtbl.replace t.streams sid (truncate t.k (off :: last_k t sid))
-
 let handle_increment t { iepoch; istreams; icount } =
   if iepoch < t.epoch then Seq_sealed t.epoch
   else begin
     Sim.Metrics.incr t.incr_c;
     Sim.Metrics.add t.granted_c (max 1 icount);
-    let base = t.tail in
-    let count = max 1 icount in
-    let stream_tails = List.map (fun sid -> (sid, last_k t sid)) istreams in
-    t.tail <- t.tail + count;
-    (* A range grant allocates [base .. base+count-1] on every
-       requested stream; record them all so later backpointer state
-       stays exact (the grantee writes each entry's header chaining
-       through the earlier offsets of the same grant). *)
-    List.iter
-      (fun sid ->
-        for i = 0 to count - 1 do
-          record_issue t sid (base + i)
-        done)
-      istreams;
-    Seq_ok { base; stream_tails }
+    Seq_ok (Core.grant t.core ~streams:istreams ~count:(max 1 icount))
   end
 
 let handle_dump t epoch =
   if epoch < t.epoch then None
   else begin
-    let dump_offset = t.tail in
-    let dump_state_ptrs = last_k t Seq_checkpoint.stream_id in
-    let dump_streams = Hashtbl.fold (fun sid offs acc -> (sid, offs) :: acc) t.streams [] in
-    t.tail <- t.tail + 1;
-    record_issue t Seq_checkpoint.stream_id dump_offset;
-    Some { dump_offset; dump_state_ptrs; dump_streams }
+    let dump_streams = Core.all_streams t.core in
+    (* Reserving the snapshot entry is a 1-offset grant on the
+       checkpoint stream; the grant's pre-issue tails are exactly the
+       state pointers the snapshot's own header chains through. *)
+    let a = Core.grant t.core ~streams:[ Seq_checkpoint.stream_id ] ~count:1 in
+    Some
+      {
+        dump_offset = a.base;
+        dump_state_ptrs = List.assoc Seq_checkpoint.stream_id a.stream_tails;
+        dump_streams;
+      }
   end
 
 let handle_peek t { pepoch; pstreams } =
   if pepoch < t.epoch then Seq_sealed t.epoch
   else begin
     Sim.Metrics.incr t.peeks_c;
-    Seq_ok { base = t.tail; stream_tails = List.map (fun sid -> (sid, last_k t sid)) pstreams }
+    Seq_ok (Core.peek t.core ~streams:pstreams)
   end
 
 let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_streams = []) () =
@@ -91,13 +164,8 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
         seq_name = name;
         seq_host;
         counter_cpu;
-        k = params.backpointer_k;
-        tail = initial_tail;
+        core = Core.create ~k:params.backpointer_k ~initial_tail ~initial_streams ();
         epoch = 0;
-        streams =
-          (let h = Hashtbl.create 256 in
-           List.iter (fun (sid, offs) -> Hashtbl.replace h sid offs) initial_streams;
-           h);
         incr_c = Sim.Metrics.counter ~host:name "seq.increments";
         granted_c = Sim.Metrics.counter ~host:name "seq.granted_offsets";
         peeks_c = Sim.Metrics.counter ~host:name "seq.peeks";
@@ -119,7 +187,7 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
                  been granted, nothing at or above it ever will be
                  under the old epoch — the boundary a reconfiguration
                  closes the current tail segment at. *)
-              t.tail);
+              Core.tail t.core);
         dump_svc =
           Sim.Net.service seq_host ~name:"dump" (fun e ->
               Sim.Resource.use counter_cpu service_us;
@@ -134,6 +202,6 @@ let increment_service t = t.incr_svc
 let peek_service t = t.peek_svc
 let seal_service t = t.seal_svc
 let dump_service t = t.dump_svc
-let current_tail t = t.tail
+let current_tail t = Core.tail t.core
 let sealed_epoch t = t.epoch
-let state_bytes t = Hashtbl.length t.streams * 8 * t.k
+let state_bytes t = Core.nstreams t.core * 8 * t.core.Core.core_k

@@ -31,6 +31,46 @@ type allocation = {
 
 type response = Seq_ok of allocation | Seq_sealed of Types.epoch
 
+(** The counter core, split from the networked shell so the grant path
+    can be exercised (and benchmarked) without a simulation running.
+    Per-stream last-K state lives in fixed int rings: issuing an
+    offset is two array stores and an index bump, and offset lists
+    materialise only at the response boundary. *)
+module Core : sig
+  type t
+
+  (** [create ~k ()] with [initial_streams] offset lists given
+      newest-first (at most [k] are retained). *)
+  val create :
+    k:int ->
+    ?initial_tail:Types.offset ->
+    ?initial_streams:(Types.stream_id * Types.offset list) list ->
+    unit ->
+    t
+
+  val tail : t -> Types.offset
+
+  (** Last-K issued offsets for a stream, most recent first. *)
+  val last_k : t -> Types.stream_id -> Types.offset list
+
+  (** Record one issued offset on one stream: the grant inner loop.
+      O(1) and allocation-free once the stream's ring exists. *)
+  val note_issue : t -> Types.stream_id -> Types.offset -> unit
+
+  (** [grant t ~streams ~count] allocates [count] consecutive offsets,
+      records each on every requested stream, and returns the
+      pre-grant tails (the allocation excludes itself). *)
+  val grant : t -> streams:Types.stream_id list -> count:int -> allocation
+
+  (** Tail and last-K state without allocating offsets. *)
+  val peek : t -> streams:Types.stream_id list -> allocation
+
+  (** Every known stream with its last-K offsets (unspecified order). *)
+  val all_streams : t -> (Types.stream_id * Types.offset list) list
+
+  val nstreams : t -> int
+end
+
 (** [create ~net ~name ~params ()] registers the sequencer on a fresh
     host. [initial_tail] and [initial_streams] seed the counter state
     when a replacement sequencer is built from a log scan. *)

@@ -1,6 +1,9 @@
 module Jout = Sim.Jout
+module Jin = Sim.Jin
 
-let schema_version = 1
+let schema_version = 2
+
+type perf = { wall_s : float; gc_minor_words : float; gc_major_words : float }
 
 type scenario = {
   sc_name : string;
@@ -9,6 +12,7 @@ type scenario = {
   sc_summary : (string * float) list;
   sc_virtual_end_us : float;
   sc_metrics_json : string;
+  sc_perf : perf option;
 }
 
 let on = ref false
@@ -18,7 +22,8 @@ let enable () = on := true
 let enabled () = !on
 let clear () = scenarios := []
 
-let add_scenario ~name ~seed ?(params = []) ?(summary = []) ~virtual_end_us ~metrics_json () =
+let add_scenario ~name ~seed ?(params = []) ?(summary = []) ?perf ~virtual_end_us ~metrics_json ()
+    =
   if !on then
     scenarios :=
       {
@@ -28,19 +33,40 @@ let add_scenario ~name ~seed ?(params = []) ?(summary = []) ~virtual_end_us ~met
         sc_summary = summary;
         sc_virtual_end_us = virtual_end_us;
         sc_metrics_json = metrics_json;
+        sc_perf = perf;
       }
       :: !scenarios
 
-let scenario_json sc =
+let with_perf f =
+  let w0 = Gc.minor_words () and j0 = (Gc.quick_stat ()).Gc.major_words in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () and j1 = (Gc.quick_stat ()).Gc.major_words in
+  (r, { wall_s = t1 -. t0; gc_minor_words = w1 -. w0; gc_major_words = j1 -. j0 })
+
+let perf_json p =
   Jout.obj
     [
-      ("name", Jout.str sc.sc_name);
-      ("seed", string_of_int sc.sc_seed);
-      ("params", Jout.obj (List.map (fun (k, v) -> (k, Jout.str v)) sc.sc_params));
-      ("summary", Jout.obj (List.map (fun (k, v) -> (k, Jout.flt v)) sc.sc_summary));
-      ("virtual_end_us", Jout.flt sc.sc_virtual_end_us);
-      ("metrics", sc.sc_metrics_json);
+      ("wall_s", Jout.flt p.wall_s);
+      ("gc_minor_words", Jout.flt p.gc_minor_words);
+      ("gc_major_words", Jout.flt p.gc_major_words);
     ]
+
+let scenario_json sc =
+  Jout.obj
+    (List.concat
+       [
+         [
+           ("name", Jout.str sc.sc_name);
+           ("seed", string_of_int sc.sc_seed);
+           ("params", Jout.obj (List.map (fun (k, v) -> (k, Jout.str v)) sc.sc_params));
+           ("summary", Jout.obj (List.map (fun (k, v) -> (k, Jout.flt v)) sc.sc_summary));
+           ("virtual_end_us", Jout.flt sc.sc_virtual_end_us);
+         ];
+         (match sc.sc_perf with None -> [] | Some p -> [ ("perf", perf_json p) ]);
+         [ ("metrics", sc.sc_metrics_json) ];
+       ])
 
 let to_json ?(tool = "tango-bench") () =
   Jout.obj
@@ -57,3 +83,47 @@ let write ?tool path =
     (fun () ->
       output_string oc (to_json ?tool ());
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type parsed_scenario = {
+  ps_name : string;
+  ps_seed : int;
+  ps_summary : (string * float) list;
+  ps_perf : perf option;
+}
+
+type parsed = { p_version : int; p_tool : string; p_scenarios : parsed_scenario list }
+
+let parse s =
+  let doc = Jin.parse s in
+  let p_version = Jin.to_int (Jin.member "schema_version" doc) in
+  if p_version < 1 || p_version > schema_version then
+    raise (Jin.Parse_error (Printf.sprintf "Report.parse: unsupported schema_version %d" p_version));
+  let p_tool = Jin.to_string (Jin.member "tool" doc) in
+  let parse_perf v =
+    {
+      wall_s = Jin.to_float (Jin.member "wall_s" v);
+      gc_minor_words = Jin.to_float (Jin.member "gc_minor_words" v);
+      gc_major_words = Jin.to_float (Jin.member "gc_major_words" v);
+    }
+  in
+  let parse_scenario v =
+    {
+      ps_name = Jin.to_string (Jin.member "name" v);
+      ps_seed = Jin.to_int (Jin.member "seed" v);
+      ps_summary =
+        (match Jin.member "summary" v with
+        | Jin.Obj kvs -> List.map (fun (k, n) -> (k, Jin.to_float n)) kvs
+        | _ -> raise (Jin.Parse_error "Report.parse: summary must be an object"));
+      (* v1 documents carry no "perf" member; v2 may omit it too. *)
+      ps_perf = Option.map parse_perf (Jin.member_opt "perf" v);
+    }
+  in
+  {
+    p_version;
+    p_tool;
+    p_scenarios = List.map parse_scenario (Jin.to_list (Jin.member "scenarios" doc));
+  }

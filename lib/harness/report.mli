@@ -4,13 +4,15 @@
     [Engine.run] of a bench experiment — into one JSON document:
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "tool": "tango-bench",
       "scenarios": [
         { "name": "fig5", "seed": 42,
           "params": { "servers": "6", ... },
           "summary": { "appends_per_s": 12345.0, ... },
           "virtual_end_us": 400000.0,
+          "perf": { "wall_s": 0.8, "gc_minor_words": 1.2e7,
+                    "gc_major_words": 3.4e5 },
           "metrics": { "counters": [...], "gauges": [...],
                        "histograms": [...], "series": [...] } } ] }
     v}
@@ -18,14 +20,29 @@
     The embedded ["metrics"] object is {!Sim.Metrics.to_json} captured
     right after the scenario's run, so per-component histograms carry
     their percentile fields ([p50_us]/[p90_us]/[p99_us]) and resource
-    time series ride along verbatim.
+    time series ride along verbatim. ["perf"] (new in schema 2,
+    optional) records the real-machine cost of producing the scenario:
+    wall-clock seconds and GC word deltas, captured by {!with_perf} —
+    the denominators of the hot-path regression gate.
 
     The collector is global and disabled by default so experiments can
     call {!add_scenario} unconditionally: without {!enable} (set when
     the bench driver sees [--json]) every call is a no-op. *)
 
-(** Bumped on any incompatible change to the document layout. *)
+(** Bumped on any incompatible change to the document layout.
+    Version history: 1 = original; 2 = optional per-scenario ["perf"]
+    object. Version-2 readers accept version-1 documents (perf is
+    simply absent). *)
 val schema_version : int
+
+(** Real-machine cost of one scenario run. *)
+type perf = { wall_s : float; gc_minor_words : float; gc_major_words : float }
+
+(** [with_perf f] runs [f] and measures it: wall-clock via
+    [Unix.gettimeofday], allocation via [Gc.minor_words]/[major_words]
+    deltas. The GC deltas are deterministic for a deterministic [f];
+    only [wall_s] varies run to run. *)
+val with_perf : (unit -> 'a) -> 'a * perf
 
 val enable : unit -> unit
 val enabled : unit -> bool
@@ -39,6 +56,7 @@ val add_scenario :
   seed:int ->
   ?params:(string * string) list ->
   ?summary:(string * float) list ->
+  ?perf:perf ->
   virtual_end_us:float ->
   metrics_json:string ->
   unit ->
@@ -52,3 +70,22 @@ val write : ?tool:string -> string -> unit
 
 (** Drop all collected scenarios (the enabled flag is untouched). *)
 val clear : unit -> unit
+
+(** {2 Decoding}
+
+    The read side covers what the regression tooling needs: scenario
+    names, seeds, summaries, and perf. Params and embedded metrics are
+    skipped. Accepts schema versions 1 and 2. *)
+
+type parsed_scenario = {
+  ps_name : string;
+  ps_seed : int;
+  ps_summary : (string * float) list;
+  ps_perf : perf option;  (** always [None] in version-1 documents *)
+}
+
+type parsed = { p_version : int; p_tool : string; p_scenarios : parsed_scenario list }
+
+(** @raise Sim.Jin.Parse_error on malformed input or an unsupported
+    schema version. *)
+val parse : string -> parsed

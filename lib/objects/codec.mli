@@ -5,15 +5,15 @@
     stable interface — objects define their wire formats with it, and
     only those formats are contracts. *)
 
-(** [to_bytes build] runs [build] against a fresh buffer and returns
-    its contents. *)
-val to_bytes : (Buffer.t -> unit) -> bytes
+(** [to_bytes build] runs [build] against a shared arena writer and
+    returns a copy of its contents (see {!Corfu.Wire.to_bytes}). *)
+val to_bytes : (Corfu.Wire.writer -> unit) -> bytes
 
-val put_u8 : Buffer.t -> int -> unit
-val put_bool : Buffer.t -> bool -> unit
-val put_int : Buffer.t -> int -> unit
-val put_string : Buffer.t -> string -> unit
-val put_opt_string : Buffer.t -> string option -> unit
+val put_u8 : Corfu.Wire.writer -> int -> unit
+val put_bool : Corfu.Wire.writer -> bool -> unit
+val put_int : Corfu.Wire.writer -> int -> unit
+val put_string : Corfu.Wire.writer -> string -> unit
+val put_opt_string : Corfu.Wire.writer -> string option -> unit
 
 type cursor
 

@@ -3,71 +3,14 @@ exception Horizon_reached of float
 
 type 'a resumer = 'a -> unit
 
-(* Binary min-heap of events ordered by (time, seq). *)
-module Heap = struct
-  type entry = { time : float; seq : int; thunk : unit -> unit }
-
-  type t = { mutable arr : entry option array; mutable len : int }
-
-  let create () = { arr = Array.make 256 None; len = 0 }
-
-  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-  let get h i =
-    match h.arr.(i) with
-    | Some e -> e
-    | None -> assert false
-
-  let push h e =
-    if h.len = Array.length h.arr then begin
-      let bigger = Array.make (2 * h.len) None in
-      Array.blit h.arr 0 bigger 0 h.len;
-      h.arr <- bigger
-    end;
-    h.arr.(h.len) <- Some e;
-    let i = ref h.len in
-    h.len <- h.len + 1;
-    while !i > 0 && before (get h !i) (get h ((!i - 1) / 2)) do
-      let parent = (!i - 1) / 2 in
-      let tmp = h.arr.(!i) in
-      h.arr.(!i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
-      i := parent
-    done
-
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      let top = get h 0 in
-      h.len <- h.len - 1;
-      h.arr.(0) <- h.arr.(h.len);
-      h.arr.(h.len) <- None;
-      let i = ref 0 in
-      let continue = ref (h.len > 1) in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && before (get h l) (get h !smallest) then smallest := l;
-        if r < h.len && before (get h r) (get h !smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = h.arr.(!i) in
-          h.arr.(!i) <- h.arr.(!smallest);
-          h.arr.(!smallest) <- tmp;
-          i := !smallest
-        end
-      done;
-      Some top
-    end
-end
-
 type world = {
-  heap : Heap.t;
+  q : Eventq.t;
   world_rng : Rng.t;
-  mutable clock : float;
+  clock : float array;  (* 1 element: a float-array store stays unboxed *)
   mutable next_seq : int;
   mutable next_fiber : int;
   mutable current_fiber : int;
+  mutable events : int;  (* dispatched so far this run *)
   mutable failure : exn option;
   mutable main_done : bool;
 }
@@ -85,15 +28,19 @@ let get_world () =
   | Some w -> w
   | None -> invalid_arg "Sim.Engine: no simulation is running"
 
-let now () = (get_world ()).clock
+let now () = (get_world ()).clock.(0)
 let rng () = (get_world ()).world_rng
 let fiber_id () = (get_world ()).current_fiber
+let events_dispatched () = (get_world ()).events
 
+(* Events due now (after <= 0) take the immediate lane: O(1) ring
+   append, no heap traffic. Later events go through the heap. Both
+   paths allocate nothing beyond the caller's thunk. *)
 let push_event w ~after thunk =
-  let time = w.clock +. Float.max 0. after in
   let seq = w.next_seq in
   w.next_seq <- seq + 1;
-  Heap.push w.heap { Heap.time; seq; thunk }
+  if after <= 0. then Eventq.push_now w.q (Array.unsafe_get w.clock 0) seq thunk
+  else Eventq.push w.q (Array.unsafe_get w.clock 0 +. after) seq thunk
 
 let schedule ~after thunk = push_event (get_world ()) ~after thunk
 
@@ -144,19 +91,20 @@ let spawn ?(at = Float.neg_infinity) f =
   let w = get_world () in
   let fid = w.next_fiber in
   w.next_fiber <- fid + 1;
-  let after = if at = Float.neg_infinity then 0. else at -. w.clock in
+  let after = if at = Float.neg_infinity then 0. else at -. w.clock.(0) in
   push_event w ~after (fun () -> start_fiber w fid f)
 
 let run ?(seed = 1) ?until main =
   if !current <> None then invalid_arg "Sim.Engine.run: already running";
   let w =
     {
-      heap = Heap.create ();
+      q = Eventq.create ();
       world_rng = Rng.create seed;
-      clock = 0.;
+      clock = [| 0. |];
       next_seq = 0;
       next_fiber = 0;
       current_fiber = 0;
+      events = 0;
       failure = None;
       main_done = false;
     }
@@ -172,18 +120,29 @@ let run ?(seed = 1) ?until main =
           let r = main () in
           result := Some r;
           w.main_done <- true));
+  let q = w.q in
+  let clock = w.clock in
+  (* The dispatch inner loop: per already-scheduled event, two float
+     array reads, one comparison, one store, one pop — zero
+     allocations. Times are read straight off the queue's unboxed
+     arrays so no float is ever boxed here. *)
   let rec loop () =
     if w.main_done || w.failure <> None then ()
-    else
-      match Heap.pop w.heap with
-      | None -> raise Deadlock
-      | Some { Heap.time; thunk; _ } -> (
-          match until with
-          | Some horizon when time > horizon -> raise (Horizon_reached horizon)
-          | Some _ | None ->
-              w.clock <- time;
-              thunk ();
-              loop ())
+    else if Eventq.is_empty q then raise Deadlock
+    else begin
+      let lane = Eventq.next_is_lane q in
+      let time =
+        if lane then Array.unsafe_get q.Eventq.lt q.Eventq.lhead else Array.unsafe_get q.Eventq.ht 0
+      in
+      (match until with
+      | Some horizon when time > horizon -> raise (Horizon_reached horizon)
+      | Some _ | None -> ());
+      Array.unsafe_set clock 0 time;
+      w.events <- w.events + 1;
+      let thunk = if lane then Eventq.pop_lane q else Eventq.pop_heap q in
+      thunk ();
+      loop ()
+    end
   in
   loop ();
   (match w.failure with Some e -> raise e | None -> ());

@@ -66,6 +66,12 @@ val fiber_id : unit -> int
     sleep or suspend) after [after] microseconds. *)
 val schedule : after:float -> (unit -> unit) -> unit
 
+(** [events_dispatched ()] is the number of events the running world
+    has dispatched so far — the numerator of the events-per-wall-second
+    throughput metric the bench suite gates on.
+    @raise Invalid_argument outside of {!run}. *)
+val events_dispatched : unit -> int
+
 (** [run_count ()] is the number of simulation worlds ever started in
     this process (incremented at the top of each {!run}). Unlike the
     other accessors it is usable outside a run. Global registries such

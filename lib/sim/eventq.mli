@@ -1,0 +1,60 @@
+(** Flat, allocation-free event queue for the engine's dispatch loop:
+    a binary min-heap over parallel unboxed arrays (no [option] boxes,
+    no entry records) plus an {e immediate lane} — a FIFO ring
+    absorbing events scheduled at the current virtual time, which
+    dominate resume/yield-heavy workloads and bypass the O(log n)
+    heap entirely.
+
+    Events dispatch in strict (time, seq) order, exactly as a single
+    heap would: the lane is kept sorted by construction (its times are
+    the non-decreasing push-time clocks, its seqs FIFO), and {!pop}
+    always takes the global minimum of lane front vs heap top.
+
+    The representation is exposed so the engine's inner loop and the
+    micro-benchmarks can read the next event time without boxing a
+    float; treat the fields as read-only outside this module. *)
+
+type t = {
+  mutable ht : float array;  (** heap: times *)
+  mutable hs : int array;  (** heap: seqs *)
+  mutable hk : (unit -> unit) array;  (** heap: thunks *)
+  mutable hlen : int;
+  mutable lt : float array;  (** lane ring: times *)
+  mutable ls : int array;  (** lane ring: seqs *)
+  mutable lk : (unit -> unit) array;  (** lane ring: thunks *)
+  mutable lhead : int;  (** lane ring: first pending slot *)
+  mutable llen : int;
+}
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+(** [push q time seq thunk] schedules via the heap: O(log n),
+    allocation-free (amortised; growth doubles the arrays). *)
+val push : t -> float -> int -> (unit -> unit) -> unit
+
+(** [push_now q time seq thunk] appends to the immediate lane: O(1),
+    allocation-free. Sound only when [time] is the current clock (>=
+    every pending lane time) and [seq] comes from the same monotonic
+    counter as every other push — the engine's scheduling discipline. *)
+val push_now : t -> float -> int -> (unit -> unit) -> unit
+
+(** Whether the (time, seq)-minimum pending event sits in the lane.
+    Meaningful only when the queue is non-empty. *)
+val next_is_lane : t -> bool
+
+(** Pop the lane front / heap top. Undefined on the respective empty
+    structure; callers gate on {!next_is_lane} and {!is_empty}. *)
+val pop_lane : t -> unit -> unit
+
+val pop_heap : t -> unit -> unit
+
+(** [pop q] combines the gate and the pop — the convenience form for
+    tests and benches (the engine inlines the choice). Undefined on an
+    empty queue. *)
+val pop : t -> unit -> unit
+
+(** Time of the next event in dispatch order.
+    @raise Invalid_argument on an empty queue. *)
+val next_time : t -> float

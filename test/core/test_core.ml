@@ -860,6 +860,101 @@ let prop_directory_unique_oids =
                (fun dir -> Directory.lookup dir "shared" = Some (List.hd shared_oids))
                dirs))
 
+(* ------------------------------------------------------------------ *)
+(* Array-staged payload encode and the pooled batch core              *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_encode_payload_array () =
+  let arr = Array.of_list sample_records in
+  let b = Record.encode_payload_array arr ~len:(Array.length arr) in
+  check_bool "array encode matches list encode" true
+    (Bytes.equal b (Record.encode_payload sample_records));
+  (* A shorter [len] encodes only the prefix, ignoring the rest. *)
+  let b1 = Record.encode_payload_array arr ~len:1 in
+  check_bool "prefix encode" true (Bytes.equal b1 (Record.encode_payload [ List.hd sample_records ]));
+  (match Record.encode_payload_array arr ~len:0 with
+  | _ -> Alcotest.fail "len 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Record.encode_payload_array arr ~len:(Array.length arr + 1) with
+  | _ -> Alcotest.fail "len past the array must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_batch_core_lifecycle () =
+  let bc = Batch_core.create ~cap:2 ~dummy:(-1) in
+  check_int "fresh forming" 0 (Batch_core.forming_len bc);
+  check_int "fresh queued" 0 (Batch_core.queued bc);
+  check_int "cap" 2 (Batch_core.capacity bc);
+  let r1 = List.hd sample_records and r2 = List.nth sample_records 1 in
+  check_bool "first submit leaves room" false (Batch_core.submit bc r1 [ 9; 3; 3 ] 100);
+  check_int "forming grows" 1 (Batch_core.forming_len bc);
+  check_bool "cap-th submit reports full" true (Batch_core.submit bc r2 [ 3 ] 101);
+  Batch_core.seal bc;
+  check_int "sealed" 1 (Batch_core.queued bc);
+  check_int "forming emptied" 0 (Batch_core.forming_len bc);
+  (* Stream set: sorted, deduped union of the cells' streams. *)
+  Alcotest.(check (list int)) "stream set" [ 3; 9 ] (Batch_core.front_streams bc);
+  check_int "group of one" 1 (Batch_core.group bc ~max_run:8);
+  let b = Batch_core.pop bc in
+  check_int "popped length" 2 (Batch_core.length b);
+  check_int "data slot 0" 100 (Batch_core.data b 0);
+  check_int "data slot 1" 101 (Batch_core.data b 1);
+  let payload = Batch_core.encode bc b in
+  check_bool "encode matches records" true
+    (Bytes.equal payload (Record.encode_payload [ r1; r2 ]));
+  Batch_core.recycle bc b;
+  check_int "queue drained" 0 (Batch_core.queued bc)
+
+let test_batch_core_grouping () =
+  (* Consecutive batches with the same stream set group under one
+     grant; a different set breaks the run. *)
+  let bc = Batch_core.create ~cap:1 ~dummy:() in
+  let r = List.hd sample_records in
+  let seal_one streams =
+    ignore (Batch_core.submit bc r streams ());
+    Batch_core.seal bc
+  in
+  seal_one [ 1; 2 ];
+  seal_one [ 2; 1 ];  (* same set, different order *)
+  seal_one [ 2 ];
+  seal_one [ 1; 2 ];
+  check_int "queued" 4 (Batch_core.queued bc);
+  check_int "leading run" 2 (Batch_core.group bc ~max_run:8);
+  check_int "max_run caps the run" 1 (Batch_core.group bc ~max_run:1);
+  Batch_core.recycle bc (Batch_core.pop bc);
+  Batch_core.recycle bc (Batch_core.pop bc);
+  Alcotest.(check (list int)) "run breaker at front" [ 2 ] (Batch_core.front_streams bc);
+  check_int "singleton run" 1 (Batch_core.group bc ~max_run:8);
+  Batch_core.recycle bc (Batch_core.pop bc);
+  Batch_core.recycle bc (Batch_core.pop bc);
+  check_int "drained" 0 (Batch_core.queued bc);
+  match Batch_core.group bc ~max_run:1 with
+  | _ -> Alcotest.fail "group on empty queue must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_batch_core_pool_reuse () =
+  (* Steady state recycles pooled cells: many seal/pop/recycle cycles
+     keep working and keep results correct. *)
+  let bc = Batch_core.create ~cap:3 ~dummy:(-1) in
+  let arr = Array.of_list sample_records in
+  for round = 0 to 49 do
+    for i = 0 to 2 do
+      ignore (Batch_core.submit bc arr.(i mod Array.length arr) [ i ] ((round * 3) + i))
+    done;
+    Batch_core.seal bc;
+    let b = Batch_core.pop bc in
+    check_int "length" 3 (Batch_core.length b);
+    for i = 0 to 2 do
+      check_int "data" ((round * 3) + i) (Batch_core.data b i)
+    done;
+    let payload = Batch_core.encode bc b in
+    check_bool "payload stable across reuse" true
+      (Bytes.equal payload
+         (Record.encode_payload [ arr.(0); arr.(1 mod Array.length arr); arr.(2 mod Array.length arr) ]));
+    Batch_core.recycle bc b
+  done;
+  check_int "nothing queued" 0 (Batch_core.queued bc);
+  check_int "nothing forming" 0 (Batch_core.forming_len bc)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -871,6 +966,14 @@ let () =
           Alcotest.test_case "position math" `Quick test_record_pos_math;
           Alcotest.test_case "streams_of" `Quick test_record_streams_of;
           Alcotest.test_case "rejects bad payloads" `Quick test_record_rejects_bad;
+          Alcotest.test_case "array encode matches list encode" `Quick
+            test_record_encode_payload_array;
+        ] );
+      ( "batch-core",
+        [
+          Alcotest.test_case "submit/seal/pop/encode/recycle" `Quick test_batch_core_lifecycle;
+          Alcotest.test_case "stream-set grouping" `Quick test_batch_core_grouping;
+          Alcotest.test_case "pool reuse stays correct" `Quick test_batch_core_pool_reuse;
         ] );
       ( "batcher",
         [

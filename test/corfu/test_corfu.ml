@@ -1412,6 +1412,184 @@ let test_fill_loses_to_slow_append () =
       check_int "writer unaffected" 0 !landed;
       check_int "single allocation" 1 (Client.check r))
 
+(* ------------------------------------------------------------------ *)
+(* Wire: arena writers and borrowed cursors                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One value of each wire shape, as a tagged sum so QCheck can
+   generate heterogeneous sequences. *)
+type wire_item =
+  | Wu8 of int
+  | Wbool of bool
+  | Wu32 of int
+  | Wu64 of int
+  | Wstr of string
+  | Wbytes of string
+  | Wopt of string option
+
+let wire_item_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Wu8 v) (int_range 0 255);
+        map (fun b -> Wbool b) bool;
+        map (fun v -> Wu32 v) (int_range 0 0xFFFF_FFFF);
+        map (fun v -> Wu64 v) int;  (* the full native range round-trips *)
+        map (fun s -> Wstr s) string_small;
+        map (fun s -> Wbytes s) string_small;
+        map (fun o -> Wopt o) (option string_small);
+      ])
+
+let wire_item_print = function
+  | Wu8 v -> Printf.sprintf "u8 %d" v
+  | Wbool b -> Printf.sprintf "bool %b" b
+  | Wu32 v -> Printf.sprintf "u32 %d" v
+  | Wu64 v -> Printf.sprintf "u64 %d" v
+  | Wstr s -> Printf.sprintf "str %S" s
+  | Wbytes s -> Printf.sprintf "bytes %S" s
+  | Wopt o ->
+      Printf.sprintf "opt %s" (match o with None -> "None" | Some s -> Printf.sprintf "(Some %S)" s)
+
+let wire_put w = function
+  | Wu8 v -> Wire.put_u8 w v
+  | Wbool b -> Wire.put_bool w b
+  | Wu32 v -> Wire.put_u32 w v
+  | Wu64 v -> Wire.put_u64 w v
+  | Wstr s -> Wire.put_string w s
+  | Wbytes s -> Wire.put_bytes w (Bytes.of_string s)
+  | Wopt o -> Wire.put_opt_string w o
+
+let wire_get c = function
+  | Wu8 _ -> Wu8 (Wire.get_u8 c)
+  | Wbool _ -> Wbool (Wire.get_bool c)
+  | Wu32 _ -> Wu32 (Wire.get_u32 c)
+  | Wu64 _ -> Wu64 (Wire.get_u64 c)
+  | Wstr _ -> Wstr (Wire.get_string c)
+  | Wbytes _ -> Wbytes (Bytes.to_string (Wire.get_bytes c))
+  | Wopt _ -> Wopt (Wire.get_opt_string c)
+
+let wire_items_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map wire_item_print l))
+    QCheck.Gen.(list_size (int_range 0 40) wire_item_gen)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire values round-trip through the shared arena" ~count:500
+    wire_items_arb (fun items ->
+      let b = Wire.to_bytes (fun w -> List.iter (wire_put w) items) in
+      let c = Wire.reader b in
+      let got = List.map (wire_get c) items in
+      got = items && Wire.remaining c = 0)
+
+let prop_wire_roundtrip_reused_writer =
+  (* Same round-trip through one explicitly reused writer and one
+     reused cursor — arena reuse must not leak state between encodes. *)
+  let w = Wire.writer ~size:8 () in
+  let c = Wire.reader Bytes.empty in
+  QCheck.Test.make ~name:"wire round-trip with reused writer and cursor" ~count:500
+    wire_items_arb (fun items ->
+      Wire.reset w;
+      List.iter (wire_put w) items;
+      Wire.reset_reader c (Wire.contents w);
+      let got = List.map (wire_get c) items in
+      got = items && Wire.remaining c = 0)
+
+let test_wire_aliasing () =
+  (* [to_bytes] borrows the shared arena and copies at the ownership
+     boundary: bytes returned by one encode must survive the arena
+     being overwritten by the next. *)
+  let enc tag n =
+    Wire.to_bytes (fun w ->
+        Wire.put_u32 w n;
+        Wire.put_string w tag;
+        Wire.put_u64 w (n * 1_000_003))
+  in
+  let a = enc "first-record-payload" 17 in
+  let a_copy = Bytes.copy a in
+  let _b = enc "second-record-overwriting-the-arena" 99 in
+  check_bool "first encode unchanged by second" true (Bytes.equal a a_copy);
+  let c = Wire.reader a in
+  check_int "u32 survives" 17 (Wire.get_u32 c);
+  check_string "string survives" "first-record-payload" (Wire.get_string c);
+  check_int "u64 survives" (17 * 1_000_003) (Wire.get_u64 c)
+
+let test_wire_patch () =
+  let b =
+    Wire.to_bytes (fun w ->
+        let at = Wire.pos w in
+        Wire.put_u32 w 0;
+        Wire.put_string w "body";
+        Wire.patch_u32 w ~at (Wire.pos w - at - 4))
+  in
+  let c = Wire.reader b in
+  check_int "patched length" 8 (Wire.get_u32 c);
+  check_string "body" "body" (Wire.get_string c);
+  let w = Wire.writer () in
+  Wire.put_u32 w 1;
+  (match Wire.patch_u32 w ~at:1 0 with
+  | () -> Alcotest.fail "patch past written region must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Wire.patch_u32 w ~at:(-1) 0 with
+  | () -> Alcotest.fail "negative patch offset must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_wire_truncated () =
+  let b = Wire.to_bytes (fun w -> Wire.put_u32 w 1000) in
+  let c = Wire.reader b in
+  (match Wire.get_string c with
+  | _ -> Alcotest.fail "length past the buffer must be rejected"
+  | exception Invalid_argument _ -> ());
+  let c2 = Wire.reader (Bytes.create 3) in
+  match Wire.get_u32 c2 with
+  | _ -> Alcotest.fail "truncated u32 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer.Core: fixed rings behind the counter                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_seqcore_ring_semantics () =
+  let t = Sequencer.Core.create ~k:4 () in
+  check_int "fresh tail" 0 (Sequencer.Core.tail t);
+  Alcotest.(check (list int)) "unknown stream" [] (Sequencer.Core.last_k t 7);
+  (* Issue 0..5 on stream 7: the ring keeps the newest 4, newest first. *)
+  let a = Sequencer.Core.grant t ~streams:[ 7 ] ~count:6 in
+  check_int "grant base" 0 a.Sequencer.base;
+  Alcotest.(check (list int)) "grant excludes itself" [] (List.assoc 7 a.Sequencer.stream_tails);
+  check_int "tail advanced" 6 (Sequencer.Core.tail t);
+  Alcotest.(check (list int))
+    "newest-first, truncated to k" [ 5; 4; 3; 2 ]
+    (Sequencer.Core.last_k t 7);
+  (* A later grant sees the pre-grant ring as its tails. *)
+  let b = Sequencer.Core.grant t ~streams:[ 7; 9 ] ~count:1 in
+  check_int "second base" 6 b.Sequencer.base;
+  Alcotest.(check (list int))
+    "tails snapshot pre-grant" [ 5; 4; 3; 2 ]
+    (List.assoc 7 b.Sequencer.stream_tails);
+  Alcotest.(check (list int)) "new stream empty tails" [] (List.assoc 9 b.Sequencer.stream_tails);
+  Alcotest.(check (list int)) "ring after" [ 6; 5; 4; 3 ] (Sequencer.Core.last_k t 7);
+  Alcotest.(check (list int)) "stream 9 ring" [ 6 ] (Sequencer.Core.last_k t 9)
+
+let test_seqcore_peek_and_seed () =
+  (* Seeding truncates newest-first lists to k; peek never advances. *)
+  let t =
+    Sequencer.Core.create ~k:2 ~initial_tail:50
+      ~initial_streams:[ (3, [ 49; 47; 40; 12 ]); (4, [ 48 ]) ]
+      ()
+  in
+  Alcotest.(check (list int)) "seeded truncated to k" [ 49; 47 ] (Sequencer.Core.last_k t 3);
+  Alcotest.(check (list int)) "short seed kept" [ 48 ] (Sequencer.Core.last_k t 4);
+  let p = Sequencer.Core.peek t ~streams:[ 3; 4; 5 ] in
+  check_int "peek base is tail" 50 p.Sequencer.base;
+  Alcotest.(check (list int)) "peek tails" [ 49; 47 ] (List.assoc 3 p.Sequencer.stream_tails);
+  check_int "peek does not advance" 50 (Sequencer.Core.tail t);
+  check_int "nstreams" 2 (Sequencer.Core.nstreams t);
+  (* note_issue is the grant inner loop: O(1) ring rotation. *)
+  Sequencer.Core.note_issue t 4 50;
+  Sequencer.Core.note_issue t 4 51;
+  Sequencer.Core.note_issue t 4 52;
+  Alcotest.(check (list int)) "rotated ring" [ 52; 51 ] (Sequencer.Core.last_k t 4)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1437,6 +1615,17 @@ let () =
           Alcotest.test_case "prefix trim" `Quick test_node_prefix_trim;
           Alcotest.test_case "local tail" `Quick test_node_local_tail;
           Alcotest.test_case "capacity" `Quick test_node_capacity;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "arena aliasing at ownership boundary" `Quick test_wire_aliasing;
+          Alcotest.test_case "length backpatch" `Quick test_wire_patch;
+          Alcotest.test_case "truncated input rejected" `Quick test_wire_truncated;
+        ] );
+      ( "sequencer-core",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_seqcore_ring_semantics;
+          Alcotest.test_case "peek and seeded state" `Quick test_seqcore_peek_and_seed;
         ] );
       ( "sequencer",
         [
@@ -1527,5 +1716,12 @@ let () =
           Alcotest.test_case "fill loses to slow append" `Quick test_fill_loses_to_slow_append;
         ] );
       ( "properties",
-        qcheck [ prop_header_roundtrip; prop_stream_isolation; prop_segment_mapping_roundtrip ] );
+        qcheck
+          [
+            prop_header_roundtrip;
+            prop_stream_isolation;
+            prop_segment_mapping_roundtrip;
+            prop_wire_roundtrip;
+            prop_wire_roundtrip_reused_writer;
+          ] );
     ]

@@ -431,6 +431,63 @@ let test_lin_across_storage_crash () =
   Alcotest.(check int) "every op completed" 48 completed;
   check_bool "linearizable through crash and recovery" true (Lin.check_register events)
 
+(* ------------------------------------------------------------------ *)
+(* Report: schema v2 round-trip and v1 back-compat                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_v2_roundtrip () =
+  let module R = Tango_harness.Report in
+  R.clear ();
+  R.enable ();
+  Fun.protect ~finally:R.clear @@ fun () ->
+  let x, perf = R.with_perf (fun () -> Sys.opaque_identity (String.make 64 'x')) in
+  Alcotest.(check int) "with_perf returns the result" 64 (String.length x);
+  check_bool "wall clock nonnegative" true (perf.R.wall_s >= 0.);
+  check_bool "allocation observed" true (perf.R.gc_minor_words > 0.);
+  R.add_scenario ~name:"with-perf" ~seed:3 ~summary:[ ("ops", 42.) ] ~perf ~virtual_end_us:10.
+    ~metrics_json:"{}" ();
+  R.add_scenario ~name:"no-perf" ~seed:4 ~virtual_end_us:0. ~metrics_json:"{}" ();
+  let p = R.parse (R.to_json ()) in
+  Alcotest.(check int) "version" R.schema_version p.R.p_version;
+  Alcotest.(check string) "tool" "tango-bench" p.R.p_tool;
+  Alcotest.(check int) "two scenarios" 2 (List.length p.R.p_scenarios);
+  let s1 = List.hd p.R.p_scenarios and s2 = List.nth p.R.p_scenarios 1 in
+  Alcotest.(check string) "name" "with-perf" s1.R.ps_name;
+  Alcotest.(check int) "seed" 3 s1.R.ps_seed;
+  Alcotest.(check (list (pair string (float 1e-9)))) "summary" [ ("ops", 42.) ] s1.R.ps_summary;
+  (match s1.R.ps_perf with
+  | None -> Alcotest.fail "perf must round-trip"
+  | Some q ->
+      Alcotest.(check (float 1e-9)) "minor words" perf.R.gc_minor_words q.R.gc_minor_words;
+      Alcotest.(check (float 1e-9)) "major words" perf.R.gc_major_words q.R.gc_major_words;
+      Alcotest.(check (float 1e-9)) "wall" perf.R.wall_s q.R.wall_s);
+  check_bool "perf omitted stays None" true (s2.R.ps_perf = None)
+
+let test_report_v1_decode () =
+  (* A canned schema-1 document (written before "perf" existed) must
+     still parse, with ps_perf = None. *)
+  let module R = Tango_harness.Report in
+  let v1 =
+    {|{"schema_version": 1, "tool": "tango-bench", "scenarios": [
+        {"name": "fig5", "seed": 42, "params": {"servers": "6"},
+         "summary": {"appends_per_s": 12345.0, "p99_us": 800.5},
+         "virtual_end_us": 400000.0,
+         "metrics": {"counters": [], "gauges": []}}]}|}
+  in
+  let p = R.parse v1 in
+  Alcotest.(check int) "version" 1 p.R.p_version;
+  let s = List.hd p.R.p_scenarios in
+  Alcotest.(check string) "name" "fig5" s.R.ps_name;
+  Alcotest.(check int) "seed" 42 s.R.ps_seed;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "summary" [ ("appends_per_s", 12345.); ("p99_us", 800.5) ]
+    s.R.ps_summary;
+  check_bool "no perf in v1" true (s.R.ps_perf = None);
+  (* Unsupported versions are refused, not misread. *)
+  match R.parse {|{"schema_version": 99, "tool": "x", "scenarios": []}|} with
+  | _ -> Alcotest.fail "future schema must be rejected"
+  | exception Sim.Jin.Parse_error _ -> ()
+
 let () =
   Alcotest.run "harness"
     [
@@ -470,6 +527,11 @@ let () =
           Alcotest.test_case "artifact round-trip" `Quick test_fuzz_artifact_roundtrip;
           Alcotest.test_case "finds and shrinks injected bug" `Slow test_fuzz_finds_injected_bug;
           Alcotest.test_case "report schema" `Quick test_fuzz_report_schema;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "v2 round-trip with perf" `Quick test_report_v2_roundtrip;
+          Alcotest.test_case "v1 documents still decode" `Quick test_report_v1_decode;
         ] );
       ( "fault-plane",
         [

@@ -856,6 +856,130 @@ let prop_fault_plan_round_trip =
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* ------------------------------------------------------------------ *)
+(* Eventq                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-level so pushing it allocates nothing (statically allocated). *)
+let eventq_nothing () = ()
+
+let test_eventq_heap_order () =
+  (* Heap-only pushes in random order must pop in (time, seq) order,
+     matching a reference sort. *)
+  let rng = Random.State.make [| 7 |] in
+  let n = 500 in
+  let entries =
+    Array.init n (fun seq -> (float_of_int (Random.State.int rng 40) /. 4., seq))
+  in
+  let q = Eventq.create ~capacity:16 () in
+  let popped = ref [] in
+  Array.iter
+    (fun (t, s) -> Eventq.push q t s (fun () -> popped := (t, s) :: !popped))
+    entries;
+  check_int "size" n (Eventq.size q);
+  while not (Eventq.is_empty q) do
+    (Eventq.pop q) ()
+  done;
+  let got = List.rev !popped in
+  let want =
+    Array.to_list entries
+    |> List.sort (fun (t1, s1) (t2, s2) ->
+           match compare t1 t2 with 0 -> compare s1 s2 | c -> c)
+  in
+  Alcotest.(check (list (pair (float 0.) int))) "heap pops sorted" want got
+
+let test_eventq_lane_interleave () =
+  (* Mimic the engine's discipline: lane pushes always carry the
+     current clock (the time of the last dispatched event), heap pushes
+     an arbitrary later time, seqs from one monotonic counter. Dispatch
+     order must still be globally sorted by (time, seq). *)
+  let rng = Random.State.make [| 23 |] in
+  let q = Eventq.create ~capacity:16 () in
+  let clock = ref 0. in
+  let seq = ref 0 in
+  let dispatched = ref [] in
+  let pushes = ref 0 in
+  let push_one () =
+    let s = !seq in
+    incr seq;
+    incr pushes;
+    if Random.State.bool rng then
+      Eventq.push_now q !clock s (fun () -> dispatched := (!clock, s) :: !dispatched)
+    else
+      let t = !clock +. (float_of_int (Random.State.int rng 8) /. 2.) in
+      Eventq.push q t s (fun () -> dispatched := (t, s) :: !dispatched)
+  in
+  for _ = 1 to 20 do
+    push_one ()
+  done;
+  while not (Eventq.is_empty q) do
+    let t = Eventq.next_time q in
+    Alcotest.(check bool) "clock monotone" true (t >= !clock);
+    clock := t;
+    (Eventq.pop q) ();
+    (* Keep churn going while draining, like resume storms do. *)
+    if !pushes < 400 && Random.State.int rng 3 > 0 then push_one ()
+  done;
+  let got = List.rev !dispatched in
+  check_int "all dispatched" !pushes (List.length got);
+  let sorted =
+    List.sort (fun (t1, s1) (t2, s2) -> match compare t1 t2 with 0 -> compare s1 s2 | c -> c) got
+  in
+  Alcotest.(check (list (pair (float 0.) int))) "globally sorted" sorted got
+
+let test_eventq_zero_alloc_drain () =
+  (* The dispatch side must not allocate: draining a prefilled queue
+     costs exactly as many minor words as an empty measured region
+     (the measurement's own boxed floats). *)
+  let alloc_delta f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  let q = Eventq.create ~capacity:4096 () in
+  for s = 0 to 2047 do
+    Eventq.push q (float_of_int (s land 31)) s eventq_nothing
+  done;
+  for s = 2048 to 2099 do
+    Eventq.push_now q 31. s eventq_nothing
+  done;
+  let control = alloc_delta (fun () -> ()) in
+  let drain =
+    alloc_delta (fun () ->
+        while not (Eventq.is_empty q) do
+          (Eventq.pop q) ()
+        done)
+  in
+  check_bool "queue drained" true (Eventq.is_empty q);
+  check_float "drain allocates nothing" control drain
+
+let test_eventq_growth () =
+  (* Push far past the initial capacity (heap and lane both grow, the
+     lane while wrapped) and check nothing is lost or reordered. *)
+  let q = Eventq.create ~capacity:16 () in
+  let hits = ref 0 in
+  (* Wrap the lane ring: push/pop a few to advance lhead first. *)
+  for s = 0 to 9 do
+    Eventq.push_now q 0. s (fun () -> incr hits)
+  done;
+  for _ = 0 to 9 do
+    (Eventq.pop q) ()
+  done;
+  for s = 10 to 200 do
+    Eventq.push_now q 0. s (fun () -> incr hits)
+  done;
+  for s = 201 to 400 do
+    Eventq.push q 1. s (fun () -> incr hits)
+  done;
+  let last_t = ref (-1.) in
+  while not (Eventq.is_empty q) do
+    let t = Eventq.next_time q in
+    check_bool "nondecreasing" true (t >= !last_t);
+    last_t := t;
+    (Eventq.pop q) ()
+  done;
+  check_int "all events ran" 401 !hits
+
 let () =
   Alcotest.run "sim"
     [
@@ -875,6 +999,15 @@ let () =
           Alcotest.test_case "fiber ids unique" `Quick test_fiber_ids_unique;
           Alcotest.test_case "schedule thunk" `Quick test_schedule_thunk;
           Alcotest.test_case "deterministic replay" `Quick test_determinism;
+        ] );
+      ( "eventq",
+        [
+          Alcotest.test_case "heap pops in (time, seq) order" `Quick test_eventq_heap_order;
+          Alcotest.test_case "lane/heap interleave stays sorted" `Quick
+            test_eventq_lane_interleave;
+          Alcotest.test_case "drain allocates zero minor words" `Quick
+            test_eventq_zero_alloc_drain;
+          Alcotest.test_case "growth preserves events" `Quick test_eventq_growth;
         ] );
       ( "ivar",
         [
