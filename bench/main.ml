@@ -280,7 +280,19 @@ module Report = Tango_harness.Report
    metrics sampler on. The registry is read post-mortem — the text
    table and the JSON report both come from the same snapshot, so per-
    component histograms (sequencer grant, chain write, playback) and
-   resource-utilization series land in [bench --json] output. *)
+   resource-utilization series land in [bench --json] output. The
+   windowed telemetry plane rides along: the timeseries ticker tracks
+   every metric plus the lag watermarks, and two default SLO monitors
+   (append p99, playback lag) watch it — a fault-free run must end
+   with an empty alert stream. *)
+let fig5_monitors () =
+  ignore
+    (Sim.Slo.monitor ~name:"append-p99" ~series:"hist:app.append.e2e_us" ~col:"p99"
+       ~threshold:1_500. ~objective:0.9 ());
+  ignore
+    (Sim.Slo.monitor ~name:"playback-lag" ~series:"probe:app.lag.playback" ~col:"max"
+       ~threshold:2_000. ~objective:0.9 ())
+
 let fig5 () =
   section "Figure 5: latency decomposition — appends and reads on one view";
   let seed = 42 in
@@ -291,6 +303,8 @@ let fig5 () =
         let rt = new_runtime cluster "app" in
         let reg = Tango_register.attach rt ~oid:1 in
         Sim.Metrics.start_sampler ();
+        Sim.Timeseries.start ();
+        fig5_monitors ();
         let w = M.create () in
         let r = M.create () in
         for _ = 1 to writers do
@@ -322,6 +336,10 @@ let fig5 () =
           h.Sim.Metrics.h_count h.Sim.Metrics.h_p50 h.Sim.Metrics.h_p90 h.Sim.Metrics.h_p99)
     snap.Sim.Metrics.histograms;
   row "%d resource/gauge series sampled" (List.length snap.Sim.Metrics.series);
+  row "%d telemetry windows sealed, %d series, %d SLO alert transitions"
+    (Sim.Timeseries.windows ())
+    (List.length (Sim.Timeseries.series_names ()))
+    (List.length (Sim.Slo.alerts ()));
   Report.add_scenario ~name:"fig5" ~seed
     ~params:
       [
@@ -330,7 +348,14 @@ let fig5 () =
         ("readers", string_of_int readers);
         ("measure_us", Printf.sprintf "%.0f" measure_us);
       ]
-    ~summary:[ ("appends_per_s", appends_s); ("reads_per_s", reads_s) ]
+    ~summary:
+      [
+        ("appends_per_s", appends_s);
+        ("reads_per_s", reads_s);
+        ("telemetry_windows", float_of_int (Sim.Timeseries.windows ()));
+        ("slo_alerts", float_of_int (List.length (Sim.Slo.alerts ())));
+      ]
+    ~timeseries_json:(Sim.Timeseries.to_json ()) ~alerts_json:(Sim.Slo.alerts_json ())
     ~virtual_end_us:end_us ~metrics_json:(Sim.Metrics.to_json ()) ()
 
 (* ------------------------------------------------------------------ *)
@@ -868,10 +893,15 @@ let chaos_scenario () =
           in
           Corfu.Cluster.start_failure_monitor cluster;
           let c = Corfu.Cluster.new_client cluster ~name:"smoke" in
+          (* Any completion gap past 20ms (the crash recovery window)
+             freezes the flight rings — the incident artifact CI
+             uploads when the smoke fails. *)
+          let stalls = Chaos.recorder ~stall_threshold_us:20_000. () in
           let offs = ref [] in
           for i = 0 to 199 do
             offs :=
               Corfu.Client.append c ~streams:[ 1 ] (Bytes.of_string (string_of_int i)) :: !offs;
+            Chaos.note stalls;
             Sim.Engine.sleep 500.
           done;
           Sim.Engine.sleep 200_000.;
@@ -888,16 +918,29 @@ let chaos_scenario () =
 
 let chaos_smoke () =
   section "Chaos smoke: crash + degraded uplink, determinism and durability check";
+  let flight_was = Sim.Flight.enabled () in
+  Sim.Flight.set_enabled true;
   let (readable1, recoveries1, failures1, end1), trace1 = chaos_scenario () in
+  let flight1 = Sim.Flight.dump_json () in
   let r2, trace2 = chaos_scenario () in
+  let flight2 = Sim.Flight.dump_json () in
+  Sim.Flight.set_enabled flight_was;
   row "200 appends: all readable=%b recoveries=%d failed-rpc=%d end=%.0fus" readable1 recoveries1
     failures1 end1;
   let same_result = (readable1, recoveries1, failures1, end1) = r2 in
   let same_trace = String.equal trace1 trace2 in
+  let same_flight = String.equal flight1 flight2 in
   row "replay: same result=%b, byte-identical trace=%b (%d trace bytes)" same_result same_trace
     (String.length trace1);
-  if not (readable1 && recoveries1 >= 1 && same_result && same_trace) then begin
-    prerr_endline "chaos-smoke FAILED";
+  row "flight: %d snapshot(s), byte-identical across runs=%b" (Sim.Flight.snapshot_count ())
+    same_flight;
+  if not (readable1 && recoveries1 >= 1 && same_result && same_trace && same_flight) then begin
+    (* Ship the black box with the failure: CI uploads this file. *)
+    let oc = open_out "chaos-flight.json" in
+    output_string oc flight2;
+    output_char oc '\n';
+    close_out oc;
+    prerr_endline "chaos-smoke FAILED (flight snapshots in chaos-flight.json)";
     exit 1
   end
 
@@ -981,6 +1024,11 @@ let scale_out_bench () =
         end_us ) =
     Sim.Engine.run ~seed (fun () ->
         let cluster = Corfu.Cluster.create ~servers () in
+        (* Watermark telemetry only (probes — log tail, grant backlog):
+           the raw-append load carries no Tango records, so there is no
+           runtime to play back and the playback-lag series lives in
+           fig5 instead. *)
+        Sim.Timeseries.start ~track_metrics:false ();
         let total = ref 0 in
         let buckets : (int, int) Hashtbl.t = Hashtbl.create 64 in
         let note_append () =
@@ -1078,6 +1126,29 @@ let scale_out_bench () =
         (float_of_int b *. bucket_us /. 1e3)
         (float_of_int n /. (bucket_us /. 1e6) /. 1e3))
     series;
+  (* Watermark table (EXPERIMENTS.md §scale-out): log tail vs. the
+     sequencer grant backlog per telemetry window, subsampled so the
+     full sweep fits a dozen rows. *)
+  (match
+     ( Sim.Timeseries.find ~series:"probe:log.tail" ~col:"last",
+       Sim.Timeseries.find ~series:"probe:sequencer-0.seq.grant_backlog" ~col:"max" )
+   with
+  | Some tail_sel, Some backlog_sel ->
+      let n = Sim.Timeseries.windows () in
+      let step = max 1 (n / 12) in
+      row "%10s %12s %14s" "window-ms" "log-tail" "grant-backlog";
+      let j = ref 0 in
+      while !j < n do
+        let tail = Sim.Timeseries.window_value tail_sel !j in
+        let backlog = Sim.Timeseries.window_value backlog_sel !j in
+        if Float.is_nan tail |> not then
+          row "%10.0f %12.0f %14.0f"
+            (Sim.Timeseries.window_start !j /. 1e3)
+            tail
+            (if Float.is_nan backlog then 0. else backlog);
+        j := !j + step
+      done
+  | _ -> row "watermark series missing");
   Report.add_scenario ~name:"scale-out" ~seed
     ~params:
       [
@@ -1098,7 +1169,9 @@ let scale_out_bench () =
         ("copied_entries", float_of_int copied);
         ("old_reads_ok", float_of_int old_ok);
         ("old_reads_total", float_of_int old_total);
+        ("telemetry_windows", float_of_int (Sim.Timeseries.windows ()));
       ]
+    ~timeseries_json:(Sim.Timeseries.to_json ())
     ~virtual_end_us:end_us ~metrics_json:(Sim.Metrics.to_json ()) ()
 
 (* ------------------------------------------------------------------ *)
@@ -1271,7 +1344,64 @@ let micro_hotpath () =
         incr seq;
         Sim.Eventq.push q (float_of_int (!seq land 2047)) !seq noop)
   in
-  hot_report ~name:"engine-sched" ns words
+  hot_report ~name:"engine-sched" ns words;
+  (* telemetry-plane kernels: every recording path must hold the
+     steady-state allocation discipline. They need the virtual clock
+     (flight events and window seals are virtually timestamped), so
+     they run inside one engine run; the clock is frozen, which the
+     aggregation treats as a zero-length window (rate 0). *)
+  let (fl_ns, fl_words), (ts_ns, ts_words), (slo_ns, slo_words), (sp_ns, sp_words) =
+    Sim.Engine.run ~seed:0 (fun () ->
+        let flight_was = Sim.Flight.enabled () in
+        Sim.Flight.set_enabled true;
+        (* flight.record: one ring store per event once the host ring
+           exists. *)
+        let fl =
+          hot_measure ~ops:200_000 (fun () ->
+              Sim.Flight.record ~host:"bench" Sim.Flight.Metric ~name:"kernel" ~value:1.)
+        in
+        Sim.Flight.set_enabled flight_was;
+        (* timeseries.tick: one sub-sample of a representative source
+           mix (counter, gauge, histogram, probe), sealing a window
+           every [subticks] calls into preallocated rings. *)
+        let c = Sim.Metrics.counter ~host:"bench" "kernel.ctr" in
+        let g = Sim.Metrics.gauge ~host:"bench" "kernel.gauge" in
+        let h = Sim.Metrics.histogram ~host:"bench" "kernel.hist" in
+        Sim.Metrics.incr c;
+        Sim.Metrics.set_gauge g 1.;
+        Sim.Metrics.observe h 50.;
+        Sim.Timeseries.track_counter c;
+        Sim.Timeseries.track_gauge g;
+        Sim.Timeseries.track_histogram h;
+        Sim.Timeseries.probe ~host:"bench" "kernel.probe" (fun () -> 1.);
+        let ts = hot_measure ~ops:200_000 (fun () -> Sim.Timeseries.tick ()) in
+        (* slo.eval: one window classification through the burn-rate
+           bit ring — the steady no-transition path. *)
+        let m =
+          Sim.Slo.monitor ~name:"kernel" ~series:"probe:bench.kernel.probe" ~col:"last"
+            ~threshold:10. ~objective:0.99 ()
+        in
+        let slo = hot_measure ~ops:200_000 (fun () -> Sim.Slo.feed m 1.) in
+        (* span-off: the guarded call-site pattern (net/client/stream)
+           with tracing disabled — the branch must be the whole cost,
+           0.000 minor-words/op. *)
+        assert (not (Sim.Span.enabled ()));
+        let work = Sim.Metrics.counter ~host:"bench" "kernel.work" in
+        let sp =
+          hot_measure ~ops:200_000 (fun () ->
+              if Sim.Span.enabled () then
+                Sim.Span.with_span ~host:"bench"
+                  ~args:[ ("k", "v") ]
+                  "bench.op"
+                  (fun () -> Sim.Metrics.incr work)
+              else Sim.Metrics.incr work)
+        in
+        (fl, ts, slo, sp))
+  in
+  hot_report ~name:"flight.record" fl_ns fl_words;
+  hot_report ~name:"timeseries.tick" ts_ns ts_words;
+  hot_report ~name:"slo.eval" slo_ns slo_words;
+  hot_report ~name:"span-off" sp_ns sp_words
 
 (* Whole-run wall-clock throughput: a fixed fig5-style closed loop,
    reported as simulation events (and appends) per second of real

@@ -11,6 +11,19 @@ open Tango_objects
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 (* ------------------------------------------------------------------ *)
 (* cluster-info                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -214,6 +227,190 @@ let metrics json seed =
   `Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* top                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a short mixed workload with the windowed-telemetry ticker on,
+   then render the most recent windows per series — the closest thing
+   a simulation has to watching `top` on a live deployment. *)
+let top seed last_n =
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:6 () in
+      let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app") in
+      let reg = Tango_register.attach rt ~oid:1 in
+      Sim.Timeseries.start ();
+      for _ = 1 to 4 do
+        Sim.Engine.spawn (fun () ->
+            let rec loop () =
+              Tango_register.write reg 1;
+              loop ()
+            in
+            loop ());
+        Sim.Engine.spawn (fun () ->
+            let rec loop () =
+              ignore (Tango_register.read reg);
+              loop ()
+            in
+            loop ())
+      done;
+      Sim.Engine.sleep 300_000.);
+  let n = Sim.Timeseries.windows () in
+  let first = max 0 (n - last_n) in
+  say "%d windows of %.0f ms sealed; showing the last %d per series" n
+    (Sim.Timeseries.window_us () /. 1e3)
+    (n - first);
+  let primary_col name =
+    if String.length name >= 5 && String.sub name 0 5 = "hist:" then "p99"
+    else if String.length name >= 8 && String.sub name 0 8 = "counter:" then "rate"
+    else "last"
+  in
+  say "%-44s %-6s %s" "series" "col" "recent windows (oldest first)";
+  List.iter
+    (fun name ->
+      let col = primary_col name in
+      match Sim.Timeseries.find ~series:name ~col with
+      | None -> ()
+      | Some sel ->
+          let cells = Buffer.create 64 in
+          let interesting = ref false in
+          for j = first to n - 1 do
+            let v = Sim.Timeseries.window_value sel j in
+            if Float.is_nan v then Buffer.add_string cells "        -"
+            else begin
+              if v <> 0. then interesting := true;
+              Buffer.add_string cells (Printf.sprintf " %8.1f" v)
+            end
+          done;
+          if !interesting then say "%-44s %-6s%s" name col (Buffer.contents cells))
+    (Sim.Timeseries.series_names ());
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* slo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The burn-rate monitors against a register workload. A clean run
+   must end with an empty alert stream; [--degrade] injects a slow
+   lossy client uplink mid-run and must trip the append-p99 monitor —
+   the pair of runs is the CI sensitivity check, and running the same
+   command twice must produce byte-identical [--report] files. *)
+let slo degrade report flight_out seed =
+  let flight_was = Sim.Flight.enabled () in
+  Sim.Flight.set_enabled true;
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:6 () in
+      let rt = Tango.Runtime.create (Corfu.Cluster.new_client cluster ~name:"app") in
+      let reg = Tango_register.attach rt ~oid:1 in
+      Sim.Timeseries.start ();
+      ignore
+        (Sim.Slo.monitor ~name:"append-p99" ~series:"hist:app.append.e2e_us" ~col:"p99"
+           ~threshold:1_500. ~objective:0.9 ());
+      ignore
+        (Sim.Slo.monitor ~name:"playback-lag" ~series:"probe:app.lag.playback" ~col:"max"
+           ~threshold:2_000. ~objective:0.9 ());
+      if degrade then begin
+        let f = Sim.Fault.create ~seed:1 () in
+        Sim.Net.install_fault (Corfu.Cluster.net cluster) f;
+        Sim.Fault.plan f
+          [
+            ( 150_000.,
+              Sim.Fault.Degrade
+                { d_src = "app"; d_dst = "*"; d_drop = 0.; d_delay_us = 2_500.; d_jitter_us = 0. }
+            );
+            (350_000., Sim.Fault.Clear_edge ("app", "*"));
+          ]
+      end;
+      for _ = 1 to 8 do
+        Sim.Engine.spawn (fun () ->
+            let rec loop () =
+              Tango_register.write reg 1;
+              loop ()
+            in
+            loop ())
+      done;
+      Sim.Engine.sleep 500_000.);
+  let alerts = Sim.Slo.alerts () in
+  let fired = List.length (List.filter (fun a -> a.Sim.Slo.al_firing) alerts) in
+  say "%d windows sealed, %d alert transition(s), %d fired%s" (Sim.Timeseries.windows ())
+    (List.length alerts) fired
+    (if degrade then " (degraded uplink 150-350ms)" else " (fault-free)");
+  List.iter
+    (fun (a : Sim.Slo.alert) ->
+      say "  %8.0fus  %-14s %-8s burn fast %.2f / slow %.2f (value %.1f)" a.Sim.Slo.al_time
+        a.Sim.Slo.al_monitor
+        (if a.Sim.Slo.al_firing then "FIRING" else "resolved")
+        a.Sim.Slo.al_burn_fast a.Sim.Slo.al_burn_slow a.Sim.Slo.al_value)
+    alerts;
+  Option.iter
+    (fun path ->
+      write_file path
+        (Printf.sprintf
+           "{\"schema\": \"tangoctl-slo/1\", \"degraded\": %b, \"alert_transitions\": %d, \
+            \"fired\": %d, \"alerts\": %s}"
+           degrade (List.length alerts) fired (Sim.Slo.alerts_json ()));
+      say "alert report -> %s" path)
+    report;
+  Option.iter
+    (fun path ->
+      write_file path (Sim.Flight.dump_json ());
+      say "%d flight snapshot(s) -> %s" (Sim.Flight.snapshot_count ()) path)
+    flight_out;
+  Sim.Flight.set_enabled flight_was;
+  if degrade && fired = 0 then begin
+    say "expected the degraded run to fire at least one alert";
+    exit 1
+  end;
+  if (not degrade) && alerts <> [] then begin
+    say "expected the fault-free run to stay alert-free";
+    exit 1
+  end;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* flight                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Arm the flight recorder, run the chaos-smoke shape (a crash under
+   paced appends), and dump the incident snapshots the stall trigger
+   captured: a JSON document plus a Chrome trace_event timeline of the
+   last snapshot. *)
+let flight out trace_out seed =
+  let flight_was = Sim.Flight.enabled () in
+  Sim.Flight.set_enabled true;
+  Sim.Engine.run ~seed (fun () ->
+      let cluster = Corfu.Cluster.create ~servers:4 () in
+      let victim = (Corfu.Cluster.storage_nodes cluster).(0) in
+      let f = Sim.Fault.create ~seed:9 () in
+      Sim.Net.install_fault (Corfu.Cluster.net cluster) f;
+      Sim.Fault.plan f [ (30_000., Sim.Fault.Crash (Corfu.Storage_node.name victim)) ];
+      Corfu.Cluster.start_failure_monitor cluster;
+      let c = Corfu.Cluster.new_client cluster ~name:"app" in
+      let stalls = Tango_harness.Chaos.recorder ~stall_threshold_us:20_000. () in
+      for i = 0 to 99 do
+        ignore (Corfu.Client.append c ~streams:[ 1 ] (Bytes.of_string (string_of_int i)));
+        Tango_harness.Chaos.note stalls;
+        Sim.Engine.sleep 500.
+      done;
+      Sim.Engine.sleep 100_000.;
+      say "100 appends through a crash: max completion stall %.1f ms, %d events recorded"
+        (Tango_harness.Chaos.max_gap_us stalls /. 1e3)
+        (Sim.Flight.events_recorded ()));
+  let snaps = Sim.Flight.snapshots () in
+  say "%d flight snapshot(s) captured" (List.length snaps);
+  List.iter
+    (fun (s : Sim.Flight.snap) -> say "  %-14s at %.0fus" s.Sim.Flight.sn_reason s.Sim.Flight.sn_time)
+    snaps;
+  write_file out (Sim.Flight.dump_json ());
+  say "incident document -> %s" out;
+  (match List.rev snaps with
+  | last :: _ ->
+      write_file trace_out last.Sim.Flight.sn_trace;
+      say "trace timeline -> %s (load in chrome://tracing or Perfetto)" trace_out
+  | [] -> say "no snapshot fired; %s carries an empty document" out);
+  Sim.Flight.set_enabled flight_was;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* trace                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,19 +514,6 @@ let projection servers add_servers seed =
 module Fuzz = Tango_harness.Fuzz
 module Verifier = Tango_harness.Verifier
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  output_char oc '\n';
-  close_out oc
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let fuzz_config servers clients events appends txs =
   {
     Fuzz.default_config with
@@ -343,8 +527,14 @@ let fuzz_config servers clients events appends txs =
 let print_violations violations =
   List.iter (fun v -> say "  %s" (Format.asprintf "%a" Verifier.pp_violation v)) violations
 
-let dump_outcome ~metrics_out ~spans_out (oc : Fuzz.outcome) =
+let dump_outcome ~metrics_out ~spans_out ~flight_out (oc : Fuzz.outcome) =
   Option.iter (fun path -> write_file path oc.Fuzz.oc_metrics_json) metrics_out;
+  (match (flight_out, oc.Fuzz.oc_flight_json) with
+  | Some path, Some flight ->
+      write_file path flight;
+      say "flight snapshots -> %s" path
+  | Some _, None -> () (* clean case: no snapshot fired, nothing to ship *)
+  | None, _ -> ());
   match (spans_out, oc.Fuzz.oc_spans_json) with
   | Some path, Some spans -> write_file path spans
   | Some path, None -> say "warning: no span dump captured for %s" path
@@ -356,8 +546,8 @@ let dump_outcome ~metrics_out ~spans_out (oc : Fuzz.outcome) =
    to [report]. Metrics/span dumps of the first case support the CI
    determinism gate: a replay of the same artifact must reproduce them
    byte for byte. *)
-let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out spans_out report
-    failpoint =
+let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out spans_out
+    flight_out report failpoint =
   let config = fuzz_config servers clients events appends txs in
   let capture = Option.is_some spans_out in
   let runs = ref [] in
@@ -367,7 +557,10 @@ let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out 
     let plan = Fuzz.gen_plan ~seed:!s config in
     let oc = Fuzz.run ?failpoint ~capture_spans:(capture && !s = seed) ~seed:!s config ~plan in
     runs := (!s, oc) :: !runs;
-    if !s = seed then dump_outcome ~metrics_out ~spans_out oc;
+    if !s = seed then dump_outcome ~metrics_out ~spans_out ~flight_out:None oc;
+    (* the flight artifact belongs to the violating case, not the first *)
+    if !failed = None && oc.Fuzz.oc_violations <> [] then
+      dump_outcome ~metrics_out:None ~spans_out:None ~flight_out oc;
     say "seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations" !s
       oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
       (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
@@ -396,10 +589,10 @@ let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out 
         plan_out;
       exit 1
 
-let fuzz_replay plan_file metrics_out spans_out failpoint =
+let fuzz_replay plan_file metrics_out spans_out flight_out failpoint =
   let seed, config, plan = Fuzz.decode_artifact (read_file plan_file) in
   let oc = Fuzz.run ?failpoint ~capture_spans:(Option.is_some spans_out) ~seed config ~plan in
-  dump_outcome ~metrics_out ~spans_out oc;
+  dump_outcome ~metrics_out ~spans_out ~flight_out oc;
   say "replayed seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations"
     seed oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
     (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
@@ -477,6 +670,60 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Run a small workload and show the metrics registry.")
     Term.(ret (const metrics $ json_arg $ seed_arg))
 
+let top_last_arg =
+  Arg.(value & opt int 8 & info [ "windows" ] ~docv:"N" ~doc:"Recent windows to show per series.")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top" ~doc:"Watch the windowed telemetry plane of a live mixed workload.")
+    Term.(ret (const top $ seed_arg $ top_last_arg))
+
+let degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "degrade" ]
+        ~doc:"Inject a slow client uplink mid-run; the append-p99 monitor must fire.")
+
+let slo_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write the alert stream as JSON (byte-identical across same-seed runs).")
+
+let slo_flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE" ~doc:"Write the flight snapshots alert firing captured.")
+
+let slo_cmd =
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Evaluate burn-rate SLO monitors over a register workload; exits nonzero when the alert \
+          stream contradicts the scenario.")
+    Term.(ret (const slo $ degrade_arg $ slo_report_arg $ slo_flight_arg $ seed_arg))
+
+let flight_json_arg =
+  Arg.(
+    value
+    & opt string "flight.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the incident snapshot document.")
+
+let flight_trace_arg =
+  Arg.(
+    value
+    & opt string "flight-trace.json"
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Where to write the last snapshot's Chrome trace_event timeline.")
+
+let flight_cmd =
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:"Crash a storage node under load and dump the flight recorder's incident snapshots.")
+    Term.(ret (const flight $ flight_json_arg $ flight_trace_arg $ seed_arg))
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Record a causal span timeline of appends and reads.")
@@ -532,6 +779,13 @@ let spans_out_arg =
     & info [ "spans-out" ] ~docv:"FILE"
         ~doc:"Capture and write the first case's span timeline (determinism gate).")
 
+let flight_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:"Write the flight-recorder snapshots of the violating case (incident artifact).")
+
 let report_arg =
   Arg.(
     value
@@ -573,12 +827,15 @@ let fuzz_run_cmd =
       ret
         (const fuzz_run $ seed_arg $ fuzz_seeds_arg $ fuzz_servers_arg $ fuzz_clients_arg
        $ fuzz_events_arg $ fuzz_appends_arg $ fuzz_txs_arg $ plan_out_arg $ metrics_out_arg
-       $ spans_out_arg $ report_arg $ failpoint_arg))
+       $ spans_out_arg $ flight_out_arg $ report_arg $ failpoint_arg))
 
 let fuzz_replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~doc:"Re-run a saved fuzz artifact; deterministic down to the span dump.")
-    Term.(ret (const fuzz_replay $ plan_arg $ metrics_out_arg $ spans_out_arg $ failpoint_arg))
+    Term.(
+      ret
+        (const fuzz_replay $ plan_arg $ metrics_out_arg $ spans_out_arg $ flight_out_arg
+       $ failpoint_arg))
 
 let fuzz_shrink_cmd =
   Cmd.v
@@ -604,6 +861,9 @@ let () =
             gc_cmd;
             soak_cmd;
             metrics_cmd;
+            top_cmd;
+            slo_cmd;
+            flight_cmd;
             trace_cmd;
             projection_cmd;
             fuzz_cmd;

@@ -22,7 +22,36 @@ type t = {
   records_c : Sim.Metrics.counter;
   entries_c : Sim.Metrics.counter;
   depth_g : Sim.Metrics.gauge;  (* sealed-batch queue depth *)
+  (* Seal-time ring, FIFO-parallel to the sealed-batch queue: one
+     timestamp per seal, popped per drained batch. The head is the
+     oldest sealed batch still queued; its age is the sealed-queue-age
+     watermark. *)
+  mutable seal_ts : float array;
+  mutable seal_head : int;
+  mutable seal_len : int;
 }
+
+let seal_push t now =
+  let cap = Array.length t.seal_ts in
+  if t.seal_len = cap then begin
+    let bigger = Array.make (2 * cap) 0. in
+    for i = 0 to t.seal_len - 1 do
+      bigger.(i) <- t.seal_ts.((t.seal_head + i) mod cap)
+    done;
+    t.seal_ts <- bigger;
+    t.seal_head <- 0
+  end;
+  t.seal_ts.((t.seal_head + t.seal_len) mod Array.length t.seal_ts) <- now;
+  t.seal_len <- t.seal_len + 1
+
+let seal_pop t =
+  if t.seal_len > 0 then begin
+    t.seal_head <- (t.seal_head + 1) mod Array.length t.seal_ts;
+    t.seal_len <- t.seal_len - 1
+  end
+
+let sealed_age_us t =
+  if t.seal_len = 0 then 0. else Sim.Engine.now () -. t.seal_ts.(t.seal_head)
 
 let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
   if batch_size < 1 || batch_size > Record.slots_per_entry then
@@ -38,6 +67,7 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     Sim.Resource.create ~name:(hname ^ ".append-window") ~capacity:append_window ()
   in
   Sim.Metrics.track_resource window;
+  let t =
   {
     client;
     batch_size;
@@ -58,7 +88,13 @@ let create ~client ~batch_size ?(linger_us = 30.) ?append_window () =
     records_c = Sim.Metrics.counter ~host:hname "batcher.records";
     entries_c = Sim.Metrics.counter ~host:hname "batcher.entries";
     depth_g = Sim.Metrics.gauge ~host:hname "batcher.sealed_depth";
+    seal_ts = Array.make 64 0.;
+    seal_head = 0;
+    seal_len = 0;
   }
+  in
+  Sim.Timeseries.probe ~host:hname "batcher.sealed_age_us" (fun () -> sealed_age_us t);
+  t
 
 let grant_take t =
   match t.grant_pool with
@@ -90,6 +126,7 @@ let rec drain t =
     let span_parent = Sim.Span.current () in
     for index = 0 to count - 1 do
       let batch = Batch_core.pop t.core in
+      seal_pop t;
       Sim.Resource.acquire t.window;
       t.inflight <- t.inflight + 1;
       if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
@@ -122,6 +159,7 @@ let flush t =
   if Batch_core.forming_len t.core > 0 then begin
     t.generation <- t.generation + 1;
     Batch_core.seal t.core;
+    seal_push t (Sim.Engine.now ());
     Sim.Metrics.set_gauge t.depth_g (float_of_int (Batch_core.queued t.core));
     kick t
   end

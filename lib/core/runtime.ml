@@ -77,6 +77,13 @@ type t = {
   mutable stats_applied : int;
   mutable stats_commits : int;
   mutable stats_aborts : int;
+  (* Lag watermarks: the highest global tail learned from the
+     sequencer, the exclusive offset playback has consumed to, and the
+     trim horizon — their gaps are the playback-lag and trim-lag
+     timeseries probes. *)
+  mutable known_tail : int;
+  mutable played_upto : int;
+  mutable trimmed_below : int;
   applied_c : Sim.Metrics.counter;
   commits_c : Sim.Metrics.counter;
   aborts_c : Sim.Metrics.counter;
@@ -89,6 +96,7 @@ let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
   let p = Corfu.Client.params cl in
   let batch_size = Option.value batch_size ~default:p.Sim.Params.commit_batch in
   let host_name = Sim.Net.host_name (Corfu.Client.host cl) in
+  let t =
   {
     cl;
     batcher = Batcher.create ~client:cl ~batch_size ?linger_us ();
@@ -115,6 +123,9 @@ let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
     stats_applied = 0;
     stats_commits = 0;
     stats_aborts = 0;
+    known_tail = 0;
+    played_upto = 0;
+    trimmed_below = 0;
     applied_c = Sim.Metrics.counter ~host:host_name "runtime.applied";
     commits_c = Sim.Metrics.counter ~host:host_name "runtime.commits";
     aborts_c = Sim.Metrics.counter ~host:host_name "runtime.aborts";
@@ -122,6 +133,12 @@ let create ?batch_size ?linger_us ?(decision_timeout_us = 50_000.) cl =
     apply_h = Sim.Metrics.histogram ~host:host_name "playback.apply_us";
     tx_h = Sim.Metrics.histogram ~host:host_name "tx.duration_us";
   }
+  in
+  Sim.Timeseries.probe ~host:host_name "lag.playback" (fun () ->
+      float_of_int (Stdlib.max 0 (t.known_tail - t.played_upto)));
+  Sim.Timeseries.probe ~host:host_name "lag.trim" (fun () ->
+      float_of_int (Stdlib.max 0 (t.known_tail - t.trimmed_below)));
+  t
 
 let client t = t.cl
 
@@ -675,26 +692,34 @@ let with_play_lock t f =
    stream; returns the global tail. *)
 let sync_all t =
   let hos = hosted_list t in
-  match hos with
-  | [] -> Corfu.Client.check t.cl
-  | _ ->
-      let sids = List.map (fun ho -> ho.oid) hos in
-      let tail, tails = Corfu.Client.peek_streams t.cl sids in
-      List.iter
-        (fun ho ->
-          match List.assoc_opt ho.oid tails with
-          | Some ptrs -> Corfu.Stream.sync_with ho.stream ~tail ~ptrs
-          | None -> ())
-        hos;
-      tail
+  let tail =
+    match hos with
+    | [] -> Corfu.Client.check t.cl
+    | _ ->
+        let sids = List.map (fun ho -> ho.oid) hos in
+        let tail, tails = Corfu.Client.peek_streams t.cl sids in
+        List.iter
+          (fun ho ->
+            match List.assoc_opt ho.oid tails with
+            | Some ptrs -> Corfu.Stream.sync_with ho.stream ~tail ~ptrs
+            | None -> ())
+          hos;
+        tail
+  in
+  if tail > t.known_tail then t.known_tail <- tail;
+  tail
 
 let play_to t upto =
   with_play_lock t (fun () ->
-      Sim.Span.with_span
-        ~host:(Sim.Net.host_name (Corfu.Client.host t.cl))
-        ~args:[ ("upto", string_of_int upto) ]
-        "playback.apply"
-        (fun () -> Sim.Metrics.time t.apply_h (fun () -> play_merged t ~upto)))
+      (* Tracing-disabled playback must not build the span args. *)
+      if Sim.Span.enabled () then
+        Sim.Span.with_span
+          ~host:(Sim.Net.host_name (Corfu.Client.host t.cl))
+          ~args:[ ("upto", string_of_int upto) ]
+          "playback.apply"
+          (fun () -> Sim.Metrics.time t.apply_h (fun () -> play_merged t ~upto))
+      else Sim.Metrics.time t.apply_h (fun () -> play_merged t ~upto);
+      if upto > t.played_upto then t.played_upto <- upto)
 
 let obj_settled ho = ho.blocked_on = None && Queue.is_empty ho.waiting
 
@@ -1046,6 +1071,7 @@ let checkpoint t ~oid =
 
 let trim_below t off =
   Corfu.Client.prefix_trim t.cl off;
+  if off > t.trimmed_below then t.trimmed_below <- off;
   let below_pos = off * Record.slots_per_entry in
   let prune tbl pred = Hashtbl.filter_map_inplace (fun k v -> if pred k then None else Some v) tbl in
   prune t.processed (fun o -> o < off);

@@ -104,9 +104,7 @@ type chain_write = Chain_ok | Chain_lost of Types.cell | Chain_sealed | Chain_do
    very write got through (e.g. the response was lost, or a
    reconfiguration copied it) and we must keep completing the chain
    rather than declare the slot lost and append a duplicate. *)
-let write_chain t off cell =
-  Sim.Span.with_span ~host:(hname t) ~args:[ ("offset", string_of_int off) ] "chain.write"
-  @@ fun () ->
+let write_chain_inner t off cell =
   Sim.Metrics.time t.chain_h
   @@ fun () ->
   if Projection.locate t.proj off = Projection.Retired then
@@ -139,6 +137,16 @@ let write_chain t off cell =
       | Ok Types.Out_of_space -> failwith "CORFU: log capacity exhausted"
   in
   go 0
+
+(* Tracing-disabled writes must not build the span args (offset
+   stringification) or a body closure. *)
+let write_chain t off cell =
+  if Sim.Span.enabled () then
+    Sim.Span.with_span ~host:(hname t)
+      ~args:[ ("offset", string_of_int off) ]
+      "chain.write"
+      (fun () -> write_chain_inner t off cell)
+  else write_chain_inner t off cell
 
 (* Back off, learn the current projection, and grow the next backoff:
    the shared shape of every ride-through-reconfiguration retry. *)
@@ -273,10 +281,12 @@ and append_at t ~seq ~streams ~payload off entry =
    sequencer.grant, chain.write attempts, and the commit marker appear
    as its children — plus the end-to-end latency observation. *)
 let append t ~streams payload =
-  Sim.Span.with_span ~host:(hname t)
-    ~args:[ ("streams", String.concat "," (List.map string_of_int streams)) ]
-    "append"
-  @@ fun () -> Sim.Metrics.time t.append_h @@ fun () -> append_inner t ~streams payload
+  if Sim.Span.enabled () then
+    Sim.Span.with_span ~host:(hname t)
+      ~args:[ ("streams", String.concat "," (List.map string_of_int streams)) ]
+      "append"
+      (fun () -> Sim.Metrics.time t.append_h @@ fun () -> append_inner t ~streams payload)
+  else Sim.Metrics.time t.append_h @@ fun () -> append_inner t ~streams payload
 
 (* ------------------------------------------------------------------ *)
 (* Range grants: windowed appends                                     *)
@@ -346,13 +356,8 @@ let grant_headers t g ~index off =
          { Stream_header.stream = sid; backptrs = take k (earlier @ prior) })
        g.g_streams)
 
-let write_granted t g ~index payload =
-  if index < 0 || index >= g.g_count then invalid_arg "Client.write_granted: index out of range";
+let write_granted_inner t g ~index payload =
   let off = g.g_base + index in
-  Sim.Span.with_span ~host:(hname t)
-    ~args:[ ("granted", "true"); ("offset", string_of_int off) ]
-    "append"
-  @@ fun () ->
   Sim.Metrics.time t.append_h
   @@ fun () ->
   let entry = { Types.headers = grant_headers t g ~index off; payload } in
@@ -387,6 +392,15 @@ let write_granted t g ~index payload =
           attempt ~seq backoff
   in
   attempt ~seq:g.g_seq t.p.retry_sleep_us
+
+let write_granted t g ~index payload =
+  if index < 0 || index >= g.g_count then invalid_arg "Client.write_granted: index out of range";
+  if Sim.Span.enabled () then
+    Sim.Span.with_span ~host:(hname t)
+      ~args:[ ("granted", "true"); ("offset", string_of_int (g.g_base + index)) ]
+      "append"
+      (fun () -> write_granted_inner t g ~index payload)
+  else write_granted_inner t g ~index payload
 
 let append_range t ~streams payloads =
   match payloads with
@@ -557,10 +571,7 @@ let append_probing t ~streams payload =
 (* Fill and trim                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fill t off =
-  Sim.Metrics.incr t.fills_c;
-  Sim.Span.with_span ~host:(hname t) ~args:[ ("offset", string_of_int off) ] "fill"
-  @@ fun () ->
+let fill_inner t off =
   let rec attempt backoff =
     if Projection.locate t.proj off = Projection.Retired then
       (* Retired: the hole was prefix-trimmed out of existence along
@@ -626,6 +637,15 @@ let fill t off =
         | Types.Out_of_space -> failwith "CORFU: log capacity exhausted")
   in
   attempt t.p.retry_sleep_us
+
+let fill t off =
+  Sim.Metrics.incr t.fills_c;
+  if Sim.Span.enabled () then
+    Sim.Span.with_span ~host:(hname t)
+      ~args:[ ("offset", string_of_int off) ]
+      "fill"
+      (fun () -> fill_inner t off)
+  else fill_inner t off
 
 (* Resolve an offset that the sequencer has already allocated: poll
    with backoff while a writer may be in flight, then patch the hole. *)

@@ -120,20 +120,27 @@ let create ?(params = Sim.Params.default) ?(chain_length = 2) ?chains ~servers (
   let initial = Projection.flat ~epoch:0 ~replica_sets ~sequencer in
   let aux = Auxiliary.create ~net:cluster_net ~initial in
   let reconfig_host = Sim.Net.add_host cluster_net "reconfig-agent" in
-  {
-    cluster_net;
-    p = params;
-    nodes;
-    aux;
-    reconfig_host;
-    sequencer_count = 1;
-    rebuild_scan = 0;
-    spare_count = 0;
-    storage_count = servers;
-    recoveries = [];
-    scale_events = [];
-    reconfig_busy = false;
-  }
+  let t =
+    {
+      cluster_net;
+      p = params;
+      nodes;
+      aux;
+      reconfig_host;
+      sequencer_count = 1;
+      rebuild_scan = 0;
+      spare_count = 0;
+      storage_count = servers;
+      recoveries = [];
+      scale_events = [];
+      reconfig_busy = false;
+    }
+  in
+  (* Global log-tail watermark; follows the live sequencer across
+     failovers via the latest projection. *)
+  Sim.Timeseries.probe ~host:"log" "tail" (fun () ->
+      float_of_int (Sequencer.current_tail (Auxiliary.latest t.aux).Projection.sequencer));
+  t
 
 let params t = t.p
 let net t = t.cluster_net
@@ -415,7 +422,7 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
   end
   else
   Sim.Span.with_span ~host:"reconfig-agent"
-    ~args:[ ("dead", Storage_node.name dead) ]
+    ~args:(if Sim.Span.enabled () then [ ("dead", Storage_node.name dead) ] else [])
     "recovery"
   @@ fun () ->
   let started = Sim.Engine.now () in
@@ -686,7 +693,7 @@ let scale_out ?chain_length ?chains t ~add_servers =
   with_reconfig t
   @@ fun () ->
   Sim.Span.with_span ~host:"reconfig-agent"
-    ~args:[ ("add", string_of_int add_servers) ]
+    ~args:(if Sim.Span.enabled () then [ ("add", string_of_int add_servers) ] else [])
     "scale.out"
   @@ fun () ->
   Sim.Metrics.incr (Sim.Metrics.counter "cluster.scale_outs");
@@ -718,7 +725,7 @@ let scale_in ?chain_length ?chains t ~remove_servers =
   with_reconfig t
   @@ fun () ->
   Sim.Span.with_span ~host:"reconfig-agent"
-    ~args:[ ("remove", string_of_int remove_servers) ]
+    ~args:(if Sim.Span.enabled () then [ ("remove", string_of_int remove_servers) ] else [])
     "scale.in"
   @@ fun () ->
   Sim.Metrics.incr (Sim.Metrics.counter "cluster.scale_ins");

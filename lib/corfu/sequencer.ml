@@ -157,6 +157,10 @@ let create ~net ~name ~(params : Sim.Params.t) ?(initial_tail = 0) ?(initial_str
   let seq_host = Sim.Net.add_host ~cores:32 net name in
   let counter_cpu = Sim.Resource.create ~name:(name ^ ".counter") ~capacity:1 () in
   Sim.Metrics.track_resource counter_cpu;
+  (* Grant-backlog watermark: fibers queued on the counter CPU are
+     grant requests the sequencer has admitted but not yet served. *)
+  Sim.Timeseries.probe ~host:name "seq.grant_backlog" (fun () ->
+      float_of_int (Sim.Resource.queue_length counter_cpu));
   let service_us = params.sequencer_service_us in
   let rec t =
     lazy

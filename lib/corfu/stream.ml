@@ -107,13 +107,7 @@ let header_for t off entry =
 (* Backward walk from the sequencer's last-K pointers down to what we
    already know. Strides K entries per read in the common case; junk
    degrades to a linear backward scan (§5, Failure Handling). *)
-let sync_with t ~tail ~ptrs =
-  if tail > t.horizon then begin
-    Sim.Span.with_span
-      ~host:(Sim.Net.host_name (Client.host t.cl))
-      ~args:[ ("stream", string_of_int t.sid); ("tail", string_of_int tail) ]
-      "backpointer.walk"
-    @@ fun () ->
+let sync_with_inner t ~tail ~ptrs =
     let floor = known_max t in
     let visited = Hashtbl.create 64 in
     let members = ref [] in
@@ -176,6 +170,18 @@ let sync_with t ~tail ~ptrs =
        upcoming playback finds them in the cache. *)
     List.iter (Client.prefetch t.cl) fresh;
     t.horizon <- tail
+
+(* Tracing-disabled syncs must not build the span args (stream/tail
+   stringification) or a body closure. *)
+let sync_with t ~tail ~ptrs =
+  if tail > t.horizon then begin
+    if Sim.Span.enabled () then
+      Sim.Span.with_span
+        ~host:(Sim.Net.host_name (Client.host t.cl))
+        ~args:[ ("stream", string_of_int t.sid); ("tail", string_of_int tail) ]
+        "backpointer.walk"
+        (fun () -> sync_with_inner t ~tail ~ptrs)
+    else sync_with_inner t ~tail ~ptrs
   end
 
 let do_sync t =

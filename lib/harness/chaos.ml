@@ -63,15 +63,28 @@ type recorder = {
   mutable max_gap_us : float;
   mutable gap_at_us : float;
   mutable completions : int;
+  stall_threshold_us : float;  (* infinity = no flight trigger *)
 }
 
-let recorder () =
-  { last_us = Sim.Engine.now (); max_gap_us = 0.; gap_at_us = 0.; completions = 0 }
+let recorder ?(stall_threshold_us = infinity) () =
+  {
+    last_us = Sim.Engine.now ();
+    max_gap_us = 0.;
+    gap_at_us = 0.;
+    completions = 0;
+    stall_threshold_us;
+  }
 
 let note r =
   let now = Sim.Engine.now () in
   let gap = now -. r.last_us in
   if gap > r.max_gap_us then begin
+    (* Snapshot only on a new worst gap past the threshold, so a long
+       outage produces one flight capture, not one per completion. *)
+    if gap > r.stall_threshold_us && Sim.Flight.enabled () then begin
+      Sim.Flight.record ~host:"chaos" Sim.Flight.Fault ~name:"stall" ~value:gap;
+      Sim.Flight.snapshot ~reason:"chaos-stall"
+    end;
     r.max_gap_us <- gap;
     r.gap_at_us <- r.last_us
   end;

@@ -40,7 +40,12 @@ val pp_incident : Format.formatter -> incident -> unit
 
 type recorder
 
-val recorder : unit -> recorder
+(** [recorder ?stall_threshold_us ()] starts tracking at the current
+    virtual time. When [stall_threshold_us] is given and the flight
+    recorder is enabled, a completion gap exceeding both the threshold
+    and the previous maximum triggers a {!Sim.Flight.snapshot} with
+    reason ["chaos-stall"] — at most one capture per new worst gap. *)
+val recorder : ?stall_threshold_us:float -> unit -> recorder
 
 (** Call on every completed operation (any worker). *)
 val note : recorder -> unit

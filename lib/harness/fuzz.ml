@@ -250,12 +250,19 @@ type outcome = {
   oc_end_us : float;  (* virtual time when the oracle phase finished *)
   oc_metrics_json : string;  (* canonical dump; byte-identical on replay *)
   oc_spans_json : string option;  (* when capture_spans *)
+  oc_flight_json : string option;  (* flight snapshots, when any fired *)
 }
 
 let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
   Cluster.reset_failpoints ();
   (match failpoint with Some n -> Cluster.enable_failpoint n | None -> ());
-  Fun.protect ~finally:Cluster.reset_failpoints
+  (* Arm the flight recorder so any oracle violation ships with its
+     last-N-events context; restored to the caller's setting on exit. *)
+  let flight_was = Sim.Flight.enabled () in
+  Sim.Flight.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Cluster.reset_failpoints ();
+      Sim.Flight.set_enabled flight_was)
   @@ fun () ->
   let violations = ref [] in
   let blame oracle fmt =
@@ -449,6 +456,10 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
       @ Verifier.convergence ~states
       @ Verifier.atomicity ~txs:tx_probes;
     fault_events := List.length (Sim.Fault.events fault);
+    (* Freeze the flight rings while the virtual clock still runs, so
+       the incident document carries the real violation time. *)
+    if !oracle_violations <> [] || !violations <> [] then
+      Sim.Flight.snapshot ~reason:"fuzz-oracle";
     end_us := Sim.Engine.now ();
     metrics_json := Sim.Metrics.to_json ()
   in
@@ -465,6 +476,13 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
       blame "liveness" "virtual-time horizon %.0fus reached before the oracle phase finished" h
   | Sim.Engine.Deadlock -> blame "liveness" "simulation deadlocked"
   | e -> blame "exception" "%s" (Printexc.to_string e));
+  (* Horizon overruns, deadlocks, and escaped exceptions unwind before
+     the in-run snapshot; capture what the rings held at the abort. *)
+  if (!violations <> [] || !oracle_violations <> []) && Sim.Flight.snapshot_count () = 0 then
+    Sim.Flight.snapshot ~reason:"fuzz-abort";
+  let flight_json =
+    if Sim.Flight.snapshot_count () > 0 then Some (Sim.Flight.dump_json ()) else None
+  in
   {
     oc_violations = List.rev !violations @ !oracle_violations;
     oc_acked = List.length !acked;
@@ -474,6 +492,7 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
     oc_end_us = !end_us;
     oc_metrics_json = !metrics_json;
     oc_spans_json = !spans_json;
+    oc_flight_json = flight_json;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -47,6 +47,10 @@ type outcome = {
   oc_end_us : float;  (** virtual time when the oracle phase finished *)
   oc_metrics_json : string;  (** canonical; byte-identical on replay *)
   oc_spans_json : string option;  (** present when [capture_spans] *)
+  oc_flight_json : string option;
+      (** {!Sim.Flight.dump_json} when any snapshot fired — the run
+          arms the flight recorder, and an oracle violation (or an
+          abort with violations pending) triggers a capture *)
 }
 
 (** [run ?failpoint ?capture_spans ~seed config ~plan] executes one

@@ -1,7 +1,7 @@
 module Jout = Sim.Jout
 module Jin = Sim.Jin
 
-let schema_version = 2
+let schema_version = 3
 
 type perf = { wall_s : float; gc_minor_words : float; gc_major_words : float }
 
@@ -13,6 +13,8 @@ type scenario = {
   sc_virtual_end_us : float;
   sc_metrics_json : string;
   sc_perf : perf option;
+  sc_timeseries_json : string option;  (* v3: Sim.Timeseries.to_json *)
+  sc_alerts_json : string option;  (* v3: Sim.Slo.alerts_json *)
 }
 
 let on = ref false
@@ -22,8 +24,8 @@ let enable () = on := true
 let enabled () = !on
 let clear () = scenarios := []
 
-let add_scenario ~name ~seed ?(params = []) ?(summary = []) ?perf ~virtual_end_us ~metrics_json ()
-    =
+let add_scenario ~name ~seed ?(params = []) ?(summary = []) ?perf ?timeseries_json ?alerts_json
+    ~virtual_end_us ~metrics_json () =
   if !on then
     scenarios :=
       {
@@ -34,6 +36,8 @@ let add_scenario ~name ~seed ?(params = []) ?(summary = []) ?perf ~virtual_end_u
         sc_virtual_end_us = virtual_end_us;
         sc_metrics_json = metrics_json;
         sc_perf = perf;
+        sc_timeseries_json = timeseries_json;
+        sc_alerts_json = alerts_json;
       }
       :: !scenarios
 
@@ -66,6 +70,8 @@ let scenario_json sc =
          ];
          (match sc.sc_perf with None -> [] | Some p -> [ ("perf", perf_json p) ]);
          [ ("metrics", sc.sc_metrics_json) ];
+         (match sc.sc_timeseries_json with None -> [] | Some j -> [ ("timeseries", j) ]);
+         (match sc.sc_alerts_json with None -> [] | Some j -> [ ("alerts", j) ]);
        ])
 
 let to_json ?(tool = "tango-bench") () =
@@ -93,6 +99,8 @@ type parsed_scenario = {
   ps_seed : int;
   ps_summary : (string * float) list;
   ps_perf : perf option;
+  ps_has_timeseries : bool;
+  ps_alerts : int option;  (* number of alert transitions, when present *)
 }
 
 type parsed = { p_version : int; p_tool : string; p_scenarios : parsed_scenario list }
@@ -120,6 +128,10 @@ let parse s =
         | _ -> raise (Jin.Parse_error "Report.parse: summary must be an object"));
       (* v1 documents carry no "perf" member; v2 may omit it too. *)
       ps_perf = Option.map parse_perf (Jin.member_opt "perf" v);
+      (* v3 additions; absent from v1/v2 documents. *)
+      ps_has_timeseries = Option.is_some (Jin.member_opt "timeseries" v);
+      ps_alerts =
+        Option.map (fun a -> List.length (Jin.to_list a)) (Jin.member_opt "alerts" v);
     }
   in
   {

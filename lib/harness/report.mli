@@ -31,8 +31,10 @@
 
 (** Bumped on any incompatible change to the document layout.
     Version history: 1 = original; 2 = optional per-scenario ["perf"]
-    object. Version-2 readers accept version-1 documents (perf is
-    simply absent). *)
+    object; 3 = optional per-scenario ["timeseries"] (windowed
+    telemetry, {!Sim.Timeseries.to_json}) and ["alerts"] (SLO alert
+    transitions, {!Sim.Slo.alerts_json}) sections. Readers accept all
+    earlier versions (absent sections simply decode as absent). *)
 val schema_version : int
 
 (** Real-machine cost of one scenario run. *)
@@ -49,14 +51,18 @@ val enabled : unit -> bool
 
 (** [add_scenario ~name ~seed ... ()] appends one scenario record.
     [metrics_json] must be a complete JSON object (normally
-    [Sim.Metrics.to_json ()]); it is embedded unquoted. No-op while
-    the collector is disabled. *)
+    [Sim.Metrics.to_json ()]); it is embedded unquoted, as are
+    [timeseries_json] (a {!Sim.Timeseries.to_json} object) and
+    [alerts_json] (a {!Sim.Slo.alerts_json} array) when given. No-op
+    while the collector is disabled. *)
 val add_scenario :
   name:string ->
   seed:int ->
   ?params:(string * string) list ->
   ?summary:(string * float) list ->
   ?perf:perf ->
+  ?timeseries_json:string ->
+  ?alerts_json:string ->
   virtual_end_us:float ->
   metrics_json:string ->
   unit ->
@@ -74,14 +80,19 @@ val clear : unit -> unit
 (** {2 Decoding}
 
     The read side covers what the regression tooling needs: scenario
-    names, seeds, summaries, and perf. Params and embedded metrics are
-    skipped. Accepts schema versions 1 and 2. *)
+    names, seeds, summaries, perf, and the presence/shape of the v3
+    telemetry sections. Params and embedded metrics are skipped.
+    Accepts schema versions 1 through 3. *)
 
 type parsed_scenario = {
   ps_name : string;
   ps_seed : int;
   ps_summary : (string * float) list;
   ps_perf : perf option;  (** always [None] in version-1 documents *)
+  ps_has_timeseries : bool;  (** a ["timeseries"] section is present (v3) *)
+  ps_alerts : int option;
+      (** number of alert transitions when an ["alerts"] section is
+          present (v3); [None] otherwise *)
 }
 
 type parsed = { p_version : int; p_tool : string; p_scenarios : parsed_scenario list }

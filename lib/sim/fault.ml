@@ -99,6 +99,10 @@ let apply t action =
   let what = label action in
   Metrics.incr (Metrics.counter ?host:(host_of action) "fault.injected");
   t.log <- { ev_time = Engine.now (); ev_label = what } :: t.log;
+  if Flight.enabled () then
+    Flight.record
+      ~host:(match host_of action with Some h -> h | None -> "fault-plane")
+      Flight.Fault ~name:what ~value:0.;
   Trace.f ?host:(host_of action) "fault" "%s" what
 
 let crash t h = apply t (Crash h)

@@ -1,0 +1,77 @@
+(** Incident flight recorder: the black box of the simulation.
+
+    Every instrumented subsystem streams its most recent structured
+    events — span closes ({!Span}), metric writes ({!Metrics}),
+    fault-plane actions ({!Fault}), SLO alert transitions ({!Slo}) —
+    into a bounded per-host ring. Nothing is retained beyond the ring:
+    the recorder answers "what were the last N things this host did
+    right before the incident", not "what happened over the whole run"
+    (that is {!Metrics} / {!Span} / {!Timeseries}).
+
+    {!snapshot} freezes the rings into an incident-scoped JSON document
+    and a Chrome [trace_event] timeline. It is called automatically
+    when an {!Slo} monitor fires, and by the harness when a chaos
+    stall or a fuzz oracle violation is detected — so every failure
+    artifact ships with its last-N-events context.
+
+    Recording costs one branch when disabled and writes into
+    preallocated parallel arrays when enabled (the PR 6 allocation
+    discipline); it reads only the virtual clock, so arming the
+    recorder never changes simulation behavior and two same-seed runs
+    produce byte-identical snapshots. Like {!Metrics}, the store is
+    engine-reset but the enabled flag and ring configuration are
+    sticky across runs. *)
+
+type kind =
+  | Span_close  (** a {!Span} closed; value = duration µs *)
+  | Metric  (** a counter/gauge/histogram write; value = new value *)
+  | Fault  (** a {!Fault} action was applied *)
+  | Alert  (** an {!Slo} monitor transitioned; value = fast burn rate *)
+  | Note  (** free-form marker from a component or test *)
+
+(** [set_enabled b] arms or disarms the recorder (sticky across engine
+    resets; default off). *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [configure ?cap ?snapshots ()] sets the per-host ring capacity
+    (default 256 events) and the per-run snapshot budget (default 16).
+    Sticky; affects rings created after the call. *)
+val configure : ?cap:int -> ?snapshots:int -> unit -> unit
+
+(** [record ~host k ~name ~value] appends one event to [host]'s ring,
+    overwriting the oldest once full. No-op when disabled; must be
+    called inside {!Engine.run} when enabled. [name] should be a
+    preallocated string on hot paths. *)
+val record : host:string -> kind -> name:string -> value:float -> unit
+
+(** [note ~host name] = [record ~host Note ~name ~value:0.]. *)
+val note : host:string -> string -> unit
+
+(** Total events recorded this run across all hosts (including ones
+    that have rolled out of their rings). *)
+val events_recorded : unit -> int
+
+type snap = {
+  sn_reason : string;
+  sn_time : float;  (** virtual µs; 0. if taken after the run ended *)
+  sn_json : string;  (** incident document: per-host event rings *)
+  sn_trace : string;  (** Chrome trace_event instant-event timeline *)
+}
+
+(** [snapshot ~reason] freezes the current rings into a {!snap}.
+    No-op when disabled or once the snapshot budget is exhausted. *)
+val snapshot : reason:string -> unit
+
+(** All snapshots taken this run, oldest first. *)
+val snapshots : unit -> snap list
+
+val snapshot_count : unit -> int
+
+(** [{"snapshots": [...]}] — every snapshot document of the run, the
+    shape embedded in fuzz artifacts. *)
+val dump_json : unit -> string
+
+(** Clear the store immediately (tests). *)
+val reset : unit -> unit

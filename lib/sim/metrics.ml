@@ -19,11 +19,12 @@ let bucket_index v =
 
 type key = { k_name : string; k_host : string option }
 
-type counter = { c_key : key; mutable c_n : int }
-type gauge = { g_key : key; mutable g_v : float }
+type counter = { c_key : key; c_born : int; mutable c_n : int }
+type gauge = { g_key : key; g_born : int; mutable g_v : float }
 
 type histogram = {
   h_key : key;
+  h_born : int;
   buckets : int array;
   mutable n : int;
   mutable sum : float;
@@ -72,6 +73,25 @@ let state () =
 
 let reset () = current := fresh ~born:(Engine.run_count ())
 
+(* Stale-handle detection: a handle created in run N that is written in
+   run M > N lands in a dead generation and is invisible to snapshots.
+   Strict mode (tests) turns that silent loss into an exception. The
+   check is a single flag branch when off — cheap enough for the
+   zero-alloc hot paths that call [incr] per record. *)
+
+exception Stale_handle of string
+
+let strict = ref false
+let set_strict b = strict := b
+
+let handle_label key =
+  match key.k_host with None -> key.k_name | Some h -> h ^ "." ^ key.k_name
+
+let check_born born key =
+  if born <> (state ()).born then raise (Stale_handle (handle_label key))
+
+let host_string = function Some h -> h | None -> ""
+
 (* -- counters ---------------------------------------------------------- *)
 
 let counter ?host name =
@@ -80,12 +100,24 @@ let counter ?host name =
   match Hashtbl.find_opt st.counters key with
   | Some c -> c
   | None ->
-      let c = { c_key = key; c_n = 0 } in
+      let c = { c_key = key; c_born = st.born; c_n = 0 } in
       Hashtbl.replace st.counters key c;
       c
 
-let incr c = c.c_n <- c.c_n + 1
-let add c k = c.c_n <- c.c_n + k
+let incr c =
+  if !strict then check_born c.c_born c.c_key;
+  c.c_n <- c.c_n + 1;
+  if Flight.enabled () then
+    Flight.record ~host:(host_string c.c_key.k_host) Flight.Metric ~name:c.c_key.k_name
+      ~value:(float_of_int c.c_n)
+
+let add c k =
+  if !strict then check_born c.c_born c.c_key;
+  c.c_n <- c.c_n + k;
+  if Flight.enabled () then
+    Flight.record ~host:(host_string c.c_key.k_host) Flight.Metric ~name:c.c_key.k_name
+      ~value:(float_of_int c.c_n)
+
 let counter_value c = c.c_n
 
 (* -- gauges ------------------------------------------------------------ *)
@@ -96,11 +128,16 @@ let gauge ?host name =
   match Hashtbl.find_opt st.gauges key with
   | Some g -> g
   | None ->
-      let g = { g_key = key; g_v = 0. } in
+      let g = { g_key = key; g_born = st.born; g_v = 0. } in
       Hashtbl.replace st.gauges key g;
       g
 
-let set_gauge g v = g.g_v <- v
+let set_gauge g v =
+  if !strict then check_born g.g_born g.g_key;
+  g.g_v <- v;
+  if Flight.enabled () then
+    Flight.record ~host:(host_string g.g_key.k_host) Flight.Metric ~name:g.g_key.k_name ~value:v
+
 let gauge_value g = g.g_v
 
 (* -- histograms -------------------------------------------------------- *)
@@ -112,18 +149,29 @@ let histogram ?host name =
   | Some h -> h
   | None ->
       let h =
-        { h_key = key; buckets = Array.make n_buckets 0; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+        {
+          h_key = key;
+          h_born = st.born;
+          buckets = Array.make n_buckets 0;
+          n = 0;
+          sum = 0.;
+          vmin = infinity;
+          vmax = neg_infinity;
+        }
       in
       Hashtbl.replace st.hists key h;
       h
 
 let observe h v =
+  if !strict then check_born h.h_born h.h_key;
   let i = bucket_index v in
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
   if v < h.vmin then h.vmin <- v;
-  if v > h.vmax then h.vmax <- v
+  if v > h.vmax then h.vmax <- v;
+  if Flight.enabled () then
+    Flight.record ~host:(host_string h.h_key.k_host) Flight.Metric ~name:h.h_key.k_name ~value:v
 
 let time h f =
   let t0 = Engine.now () in
@@ -156,6 +204,57 @@ let hist_percentile h p =
     in
     Float.min h.vmax (Float.max h.vmin est)
   end
+
+(* -- registry introspection (Timeseries support) ----------------------- *)
+
+let counter_name c = c.c_key.k_name
+let counter_host c = c.c_key.k_host
+let gauge_name g = g.g_key.k_name
+let gauge_host g = g.g_key.k_host
+let hist_name h = h.h_key.k_name
+let hist_host h = h.h_key.k_host
+let num_buckets = n_buckets
+
+let hist_buckets_into h dst =
+  if Array.length dst <> n_buckets then invalid_arg "Metrics.hist_buckets_into: wrong length";
+  Array.blit h.buckets 0 dst 0 n_buckets
+
+(* Percentile over a raw bucket-count array (a window delta of two
+   [hist_buckets_into] snapshots). Same estimator as [hist_percentile]
+   but with no observed min/max to clamp to; nan on an empty window. *)
+let buckets_percentile counts ~total p =
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Metrics.buckets_percentile: p must be in [0, 100]";
+  if Array.length counts <> n_buckets then
+    invalid_arg "Metrics.buckets_percentile: wrong length";
+  if total <= 0 then Float.nan
+  else begin
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int total))) in
+    let cum = ref 0 in
+    let found = ref (n_buckets - 1) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + counts.(i);
+         if !cum >= target then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !found = 0 then bucket_lo
+    else if !found > n_log then bucket_bound n_log
+    else sqrt (bucket_bound (!found - 1) *. bucket_bound !found)
+  end
+
+let sorted_handles tbl key_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> compare (key_of a) (key_of b))
+
+let iter_handles ~on_counter ~on_gauge ~on_hist =
+  let st = state () in
+  List.iter on_counter (sorted_handles st.counters (fun c -> (c.c_key.k_name, c.c_key.k_host)));
+  List.iter on_gauge (sorted_handles st.gauges (fun g -> (g.g_key.k_name, g.g_key.k_host)));
+  List.iter on_hist (sorted_handles st.hists (fun h -> (h.h_key.k_name, h.h_key.k_host)))
 
 (* -- series + sampler -------------------------------------------------- *)
 

@@ -25,11 +25,24 @@
     but belong to the run in which they were created: a handle kept
     across an engine reset still accepts writes, but they land in the
     dead generation and are invisible to later snapshots. Re-acquire
-    handles inside each run. *)
+    handles inside each run — and enable {!set_strict} in tests to
+    turn such stale writes into a {!Stale_handle} exception instead of
+    silent loss. *)
 
 type counter
 type gauge
 type histogram
+
+(** Raised by {!incr} / {!add} / {!set_gauge} / {!observe} in strict
+    mode when the handle was created in an earlier engine generation.
+    The payload is the handle's [host.name] label. *)
+exception Stale_handle of string
+
+(** [set_strict b] enables (or disables) the stale-handle check on
+    every metric write. Off by default — the production hot path pays
+    only one flag branch. Sticky across engine resets; tests enable it
+    to catch handles cached across runs. *)
+val set_strict : bool -> unit
 
 (** [counter ?host name] gets or creates the counter registered under
     [(name, host)]. *)
@@ -63,6 +76,43 @@ val hist_mean : histogram -> float
     exact observed min/max; resolution is one bucket (≈ 26%).
     Returns 0.0 on an empty histogram. *)
 val hist_percentile : histogram -> float -> float
+
+(** {2 Registry introspection}
+
+    Read-only access to live handles, used by {!Timeseries} to build
+    windowed aggregates over the whole registry. *)
+
+val counter_name : counter -> string
+val counter_host : counter -> string option
+val gauge_name : gauge -> string
+val gauge_host : gauge -> string option
+val hist_name : histogram -> string
+val hist_host : histogram -> string option
+
+(** Number of histogram buckets (underflow + log buckets + overflow). *)
+val num_buckets : int
+
+(** [hist_buckets_into h dst] copies [h]'s raw bucket counts into
+    [dst], which must have length {!num_buckets}. Subtracting two
+    copies taken at different times gives a per-window sketch. *)
+val hist_buckets_into : histogram -> int array -> unit
+
+(** [buckets_percentile counts ~total p] estimates the [p]-th
+    percentile from a raw bucket-count array (typically a window
+    delta); [total] is the sum of [counts]. Same log-bucket estimator
+    as {!hist_percentile}, but with no observed min/max to clamp to.
+    Returns [nan] when [total <= 0]. *)
+val buckets_percentile : int array -> total:int -> float -> float
+
+(** [iter_handles ~on_counter ~on_gauge ~on_hist] visits every handle
+    registered in the current generation, each family in sorted
+    (name, host) order — the deterministic enumeration {!Timeseries}
+    uses to auto-track the registry. *)
+val iter_handles :
+  on_counter:(counter -> unit) ->
+  on_gauge:(gauge -> unit) ->
+  on_hist:(histogram -> unit) ->
+  unit
 
 (** [track_resource r] registers [r] for the sampler: each tick
     records utilization ([busy_time] delta / (interval × capacity))

@@ -16,7 +16,9 @@ type t = {
   net_fault : Fault.t option ref;
 }
 
-type ('req, 'resp) service = { shost : host; sname : string; serve : 'req -> 'resp }
+(* [sspan] is the precomputed span name "rpc.<sname>": building it per
+   call would allocate even with tracing disabled. *)
+type ('req, 'resp) service = { shost : host; sname : string; sspan : string; serve : 'req -> 'resp }
 
 type rpc_error = Rpc_timeout | Rpc_dead
 
@@ -50,7 +52,7 @@ let host_cpu h = h.cpu
 let nic_in h = h.nic_in_r
 let nic_out h = h.nic_out_r
 
-let service shost ~name serve = { shost; sname = name; serve }
+let service shost ~name serve = { shost; sname = name; sspan = "rpc." ^ name; serve }
 let service_name svc = svc.sname
 
 let propagation h =
@@ -72,11 +74,7 @@ let crashed fault name = match fault with Some f -> Fault.is_crashed f name | No
    without timeouts experiences). *)
 let park : unit -> 'a = fun () -> Engine.suspend (fun (_ : 'a Engine.resumer) -> ())
 
-let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
-  Span.with_span ~host:from.hname
-    ~args:[ ("dst", svc.shost.hname) ]
-    ("rpc." ^ svc.sname)
-  @@ fun () ->
+let call_inner ~req_bytes ~resp_bytes ~from svc req =
   match !(from.hfault) with
   | None ->
       if from == svc.shost then svc.serve req
@@ -110,19 +108,21 @@ let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
         resp
       end
 
+(* Tracing-disabled calls must not allocate span args (or a body
+   closure): branch before building either. *)
+let call ?(req_bytes = 64) ?(resp_bytes = 64) ~from svc req =
+  if Span.enabled () then
+    Span.with_span ~host:from.hname
+      ~args:[ ("dst", svc.shost.hname) ]
+      svc.sspan
+      (fun () -> call_inner ~req_bytes ~resp_bytes ~from svc req)
+  else call_inner ~req_bytes ~resp_bytes ~from svc req
+
 (* The result-typed RPC. Without an installed fault controller this is
    exactly [call] (same fiber, same event sequence), so fault-free runs
    stay byte-identical; with one, the exchange runs in a helper fiber
    and the caller waits for first-of(response, timeout). *)
-let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
-  let fault = !(from.hfault) in
-  match fault with
-  | None -> Ok (call ~req_bytes ~resp_bytes ~from svc req)
-  | Some f ->
-      Span.with_span ~host:from.hname
-        ~args:[ ("dst", svc.shost.hname) ]
-        ("rpc." ^ svc.sname)
-      @@ fun () ->
+let call_r_inner ~req_bytes ~resp_bytes ?timeout_us ~from svc req fault f =
       if crashed fault from.hname then Error Rpc_dead
       else if from == svc.shost then begin
         match svc.serve req with
@@ -172,6 +172,18 @@ let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
                             end
                       end
                 with Resource.Failed _ -> ()))
+
+let call_r ?(req_bytes = 64) ?(resp_bytes = 64) ?timeout_us ~from svc req =
+  let fault = !(from.hfault) in
+  match fault with
+  | None -> Ok (call ~req_bytes ~resp_bytes ~from svc req)
+  | Some f ->
+      if Span.enabled () then
+        Span.with_span ~host:from.hname
+          ~args:[ ("dst", svc.shost.hname) ]
+          svc.sspan
+          (fun () -> call_r_inner ~req_bytes ~resp_bytes ?timeout_us ~from svc req fault f)
+      else call_r_inner ~req_bytes ~resp_bytes ?timeout_us ~from svc req fault f
 
 let send ?(req_bytes = 64) ~from svc req =
   let span_parent = Span.current () in

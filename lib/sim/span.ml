@@ -72,6 +72,10 @@ let with_span ?host ?(args = []) name f =
     Fun.protect
       ~finally:(fun () ->
         r.st1 <- Engine.now ();
+        if Flight.enabled () then
+          Flight.record
+            ~host:(match r.shost with Some h -> h | None -> "")
+            Flight.Span_close ~name:r.sname ~value:(r.st1 -. r.st0);
         (* The stack may belong to a newer generation if a reset
            happened mid-span; only unwind our own generation. *)
         if !current_state == st then Hashtbl.replace st.stacks fid old_stack)

@@ -488,6 +488,70 @@ let test_report_v1_decode () =
   | _ -> Alcotest.fail "future schema must be rejected"
   | exception Sim.Jin.Parse_error _ -> ()
 
+let test_report_v3_telemetry_sections () =
+  let module R = Tango_harness.Report in
+  R.clear ();
+  R.enable ();
+  Fun.protect ~finally:R.clear @@ fun () ->
+  let ts = {|{"window_us":1000,"subticks":1,"windows":2,"from":0,"starts":[0,1000],"series":[]}|} in
+  let alerts = {|[{"time_us":2000,"monitor":"m","firing":true,"burn_fast":4,"burn_slow":4,"value":9}]|} in
+  R.add_scenario ~name:"with-telemetry" ~seed:1 ~virtual_end_us:2_000. ~metrics_json:"{}"
+    ~timeseries_json:ts ~alerts_json:alerts ();
+  R.add_scenario ~name:"plain" ~seed:2 ~virtual_end_us:0. ~metrics_json:"{}" ();
+  let doc = R.to_json () in
+  (* the sections embed unquoted — the document must stay parseable *)
+  let p = R.parse doc in
+  Alcotest.(check int) "version" 3 p.R.p_version;
+  let s1 = List.hd p.R.p_scenarios and s2 = List.nth p.R.p_scenarios 1 in
+  check_bool "timeseries section present" true s1.R.ps_has_timeseries;
+  Alcotest.(check (option int)) "one alert" (Some 1) s1.R.ps_alerts;
+  check_bool "plain scenario has no timeseries" false s2.R.ps_has_timeseries;
+  Alcotest.(check (option int)) "plain scenario has no alerts" None s2.R.ps_alerts;
+  (* v2 documents (no telemetry keys) still decode *)
+  let v2 =
+    {|{"schema_version": 2, "tool": "tango-bench", "scenarios": [
+        {"name": "fig5", "seed": 7, "params": {},
+         "summary": {"ops": 1.0}, "virtual_end_us": 10.0, "metrics": {}}]}|}
+  in
+  let p2 = R.parse v2 in
+  let s = List.hd p2.R.p_scenarios in
+  check_bool "v2 scenario: no timeseries" false s.R.ps_has_timeseries;
+  Alcotest.(check (option int)) "v2 scenario: no alerts" None s.R.ps_alerts
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: telemetry determinism end to end                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two same-seed runs of a small clustered workload with the whole
+   telemetry plane armed — timeseries ticker, burn-rate monitors, and
+   the flight recorder — must produce byte-identical dumps of all
+   three. This is the unit-scale version of the CI gate on
+   [tangoctl slo] output. *)
+let test_telemetry_determinism () =
+  let scenario () =
+    Sim.Flight.set_enabled true;
+    Fun.protect ~finally:(fun () -> Sim.Flight.set_enabled false) @@ fun () ->
+    Sim.Engine.run ~seed:11 (fun () ->
+        let cluster = Corfu.Cluster.create ~servers:4 () in
+        let client = Corfu.Cluster.new_client cluster ~name:"app" in
+        Sim.Timeseries.start ~window_us:5_000. ();
+        ignore
+          (Sim.Slo.monitor ~name:"append-p99" ~series:"hist:app.append.e2e_us" ~col:"p99"
+             ~threshold:200. ~objective:0.5 ~fast_windows:2 ~slow_windows:4 ~burn:1. ());
+        for i = 1 to 60 do
+          ignore (Corfu.Client.append client ~streams:[] (Bytes.of_string (string_of_int i)));
+          Sim.Engine.sleep 500.
+        done;
+        Sim.Flight.snapshot ~reason:"end");
+    (Sim.Timeseries.to_json (), Sim.Slo.alerts_json (), Sim.Flight.dump_json ())
+  in
+  let ts1, al1, fl1 = scenario () in
+  let ts2, al2, fl2 = scenario () in
+  check_bool "timeseries dump non-trivial" true (String.length ts1 > 500);
+  Alcotest.(check string) "timeseries byte-identical" ts1 ts2;
+  Alcotest.(check string) "alert stream byte-identical" al1 al2;
+  Alcotest.(check string) "flight dump byte-identical" fl1 fl2
+
 let () =
   Alcotest.run "harness"
     [
@@ -532,7 +596,10 @@ let () =
         [
           Alcotest.test_case "v2 round-trip with perf" `Quick test_report_v2_roundtrip;
           Alcotest.test_case "v1 documents still decode" `Quick test_report_v1_decode;
+          Alcotest.test_case "v3 telemetry sections" `Quick test_report_v3_telemetry_sections;
         ] );
+      ( "telemetry",
+        [ Alcotest.test_case "end-to-end determinism" `Quick test_telemetry_determinism ] );
       ( "fault-plane",
         [
           Alcotest.test_case "linearizable across sequencer failover" `Quick

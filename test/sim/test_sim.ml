@@ -711,6 +711,347 @@ let test_observability_determinism () =
   Alcotest.(check string) "span dump byte-identical" s1 s2
 
 (* ------------------------------------------------------------------ *)
+(* Metrics strict mode: stale handles across engine resets            *)
+(* ------------------------------------------------------------------ *)
+
+let with_strict_metrics f =
+  Metrics.set_strict true;
+  Fun.protect ~finally:(fun () -> Metrics.set_strict false) f
+
+(* A handle minted in one run silently writes into a fresh registry in
+   the next run unless strict mode is on — then it raises, naming the
+   metric, so tests catch accidentally cached handles. *)
+let test_metrics_stale_handle_raises () =
+  with_strict_metrics (fun () ->
+      let stale = Engine.run (fun () -> Metrics.counter ~host:"n" "ops") in
+      Engine.run (fun () ->
+          (match Metrics.incr stale with
+          | () -> Alcotest.fail "stale incr did not raise"
+          | exception Metrics.Stale_handle label ->
+              Alcotest.(check string) "label names the metric" "n.ops" label);
+          (* a handle minted in this run keeps working *)
+          let fresh = Metrics.counter ~host:"n" "ops" in
+          Metrics.incr fresh;
+          check_int "fresh handle counts" 1 (Metrics.counter_value fresh)))
+
+let test_metrics_stale_handle_all_kinds () =
+  with_strict_metrics (fun () ->
+      let g, h = Engine.run (fun () -> (Metrics.gauge "depth", Metrics.histogram "lat_us")) in
+      Engine.run (fun () ->
+          check_bool "stale gauge raises" true
+            (match Metrics.set_gauge g 1. with
+            | () -> false
+            | exception Metrics.Stale_handle _ -> true);
+          check_bool "stale histogram raises" true
+            (match Metrics.observe h 1. with
+            | () -> false
+            | exception Metrics.Stale_handle _ -> true)))
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The correctness tests below drive [tick] by hand instead of the
+   ticker fiber, pinning window boundaries exactly. With [subticks = 1]
+   the very first tick opens and seals a degenerate zero-length window
+   0; real windows start at 1. *)
+let test_timeseries_counter_rate () =
+  Engine.run (fun () ->
+      Timeseries.configure ~window_us:1_000. ~subticks:1 ();
+      let c = Metrics.counter ~host:"n" "ops" in
+      Timeseries.track_counter c;
+      Timeseries.tick ();
+      (* 10 increments in window 1, none in window 2 *)
+      for _ = 1 to 10 do
+        Metrics.incr c
+      done;
+      Engine.sleep 1_000.;
+      Timeseries.tick ();
+      Engine.sleep 1_000.;
+      Timeseries.tick ();
+      check_int "three windows sealed" 3 (Timeseries.windows ());
+      match Timeseries.find ~series:"counter:n.ops" ~col:"rate" with
+      | None -> Alcotest.fail "counter series missing"
+      | Some sel ->
+          check_float "degenerate window 0 rate" 0. (Timeseries.window_value sel 0);
+          check_float "window 1 rate: 10 ops / 1ms" 10_000. (Timeseries.window_value sel 1);
+          check_float "window 2 rate" 0. (Timeseries.window_value sel 2);
+          check_float "last = window 2" 0. (Timeseries.last sel))
+
+let test_timeseries_gauge_minmax_and_probe () =
+  Engine.run (fun () ->
+      Timeseries.configure ~window_us:1_000. ~subticks:4 ();
+      let g = Metrics.gauge ~host:"n" "depth" in
+      Timeseries.track_gauge g;
+      Timeseries.probe ~host:"n" "lag" (fun () -> Engine.now ());
+      (* four sub-samples at 250µs cadence seal one window *)
+      List.iter
+        (fun v ->
+          Metrics.set_gauge g v;
+          Timeseries.tick ();
+          Engine.sleep 250.)
+        [ 5.; 2.; 9.; 4. ];
+      check_int "one window sealed" 1 (Timeseries.windows ());
+      let value col series =
+        match Timeseries.find ~series ~col with
+        | Some sel -> Timeseries.window_value sel 0
+        | None -> Alcotest.fail ("missing " ^ series)
+      in
+      check_float "gauge min" 2. (value "min" "gauge:n.depth");
+      check_float "gauge max" 9. (value "max" "gauge:n.depth");
+      check_float "gauge last" 4. (value "last" "gauge:n.depth");
+      (* the probe sampled the clock at each sub-tick *)
+      check_float "probe min is the first sub-tick" 0. (value "min" "probe:n.lag");
+      check_float "probe max is the last sub-tick" 750. (value "max" "probe:n.lag");
+      check_float "probe last" 750. (value "last" "probe:n.lag"))
+
+let test_timeseries_hist_window_percentiles () =
+  Engine.run (fun () ->
+      Timeseries.configure ~window_us:1_000. ~subticks:1 ();
+      let h = Metrics.histogram ~host:"n" "lat_us" in
+      (* observations before tracking belong to no window *)
+      Metrics.observe h 10_000.;
+      Timeseries.track_histogram h;
+      Timeseries.tick ();
+      for _ = 1 to 100 do
+        Metrics.observe h 100.
+      done;
+      Engine.sleep 1_000.;
+      Timeseries.tick ();
+      Metrics.observe h 500.;
+      Engine.sleep 1_000.;
+      Timeseries.tick ();
+      let v col j =
+        match Timeseries.find ~series:"hist:n.lat_us" ~col with
+        | Some sel -> Timeseries.window_value sel j
+        | None -> Alcotest.fail "hist series missing"
+      in
+      check_float "pre-track observation excluded" 0. (v "count" 0);
+      check_float "window 1 count" 100. (v "count" 1);
+      check_bool "window 1 p99 near 100us" true (v "p99" 1 >= 80. && v "p99" 1 <= 130.);
+      check_float "window 2 count" 1. (v "count" 2);
+      check_bool "window 2 p50 near 500us, unpolluted by window 1" true
+        (v "p50" 2 >= 400. && v "p50" 2 <= 650.))
+
+let test_timeseries_ring_eviction () =
+  Engine.run (fun () ->
+      Timeseries.configure ~window_us:100. ~subticks:1 ~slots:4 ();
+      Timeseries.probe "const" (fun () -> 7.);
+      Timeseries.tick ();
+      for _ = 1 to 10 do
+        Engine.sleep 100.;
+        Timeseries.tick ()
+      done;
+      check_int "11 windows sealed" 11 (Timeseries.windows ());
+      match Timeseries.find ~series:"probe:const" ~col:"last" with
+      | None -> Alcotest.fail "probe series missing"
+      | Some sel ->
+          check_bool "window 6 evicted" true (Float.is_nan (Timeseries.window_value sel 6));
+          check_float "window 7 retained" 7. (Timeseries.window_value sel 7);
+          check_float "window 10 retained" 7. (Timeseries.window_value sel 10);
+          check_bool "start of evicted window is nan" true (Float.is_nan (Timeseries.window_start 6));
+          check_float "start of window 7" 600. (Timeseries.window_start 7))
+
+let test_timeseries_deterministic_dump () =
+  let scenario () =
+    Engine.run ~seed:7 (fun () ->
+        let net = make_net ~jitter:0.2 () in
+        let a = Net.add_host net "a" in
+        let b = Net.add_host net "b" in
+        let svc = Net.service b ~name:"echo" (fun x -> x) in
+        let h = Metrics.histogram ~host:"a" "echo_us" in
+        Timeseries.configure ~window_us:500. ~subticks:5 ();
+        Timeseries.start ();
+        for i = 1 to 40 do
+          ignore (Metrics.time h (fun () -> Net.call ~from:a svc i));
+          Engine.sleep 50.
+        done);
+    Timeseries.to_json ()
+  in
+  let d1 = scenario () in
+  let d2 = scenario () in
+  check_bool "dump non-trivial" true (String.length d1 > 200);
+  Alcotest.(check string) "timeseries dump byte-identical" d1 d2
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate monitors                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* objective 0.5 -> budget 0.5; fast=2 slow=4 burn=1.5: fires when
+   bad fraction >= 0.75 in both horizons. *)
+let test_slo_fire_and_resolve () =
+  Engine.run (fun () ->
+      let m =
+        Slo.monitor ~name:"lat" ~series:"none" ~col:"last" ~threshold:100. ~objective:0.5
+          ~fast_windows:2 ~slow_windows:4 ~burn:1.5 ()
+      in
+      List.iter (fun v -> Slo.feed m v) [ 50.; 200. ];
+      check_bool "one bad of two: not firing" false (Slo.firing m);
+      List.iter (fun v -> Slo.feed m v) [ 200.; 200. ];
+      (* window: [50 200 200 200] bad=3/4=0.75 slow burn 1.5; fast [200 200] = 2.0 *)
+      check_bool "sustained badness fires" true (Slo.firing m);
+      List.iter (fun v -> Slo.feed m v) [ 50.; 50. ];
+      check_bool "recovery resolves" false (Slo.firing m);
+      match Slo.alerts () with
+      | [ fired; resolved ] ->
+          check_bool "first is a fire" true fired.Slo.al_firing;
+          check_bool "second is a resolve" false resolved.Slo.al_firing;
+          Alcotest.(check string) "monitor named" "lat" fired.Slo.al_monitor;
+          check_float "firing value" 200. fired.Slo.al_value
+      | l -> Alcotest.fail (Printf.sprintf "expected 2 transitions, got %d" (List.length l)))
+
+let test_slo_nan_windows_are_good () =
+  Engine.run (fun () ->
+      let m =
+        Slo.monitor ~name:"lat" ~series:"none" ~col:"last" ~threshold:100. ~objective:0.5
+          ~fast_windows:2 ~slow_windows:2 ~burn:1. ()
+      in
+      List.iter (fun v -> Slo.feed m v) [ Float.nan; Float.nan; Float.nan; Float.nan ];
+      check_bool "nan never fires" false (Slo.firing m))
+
+let test_slo_below_kind () =
+  Engine.run (fun () ->
+      (* an availability-style monitor: bad when the value drops *)
+      let m =
+        Slo.monitor ~name:"tput" ~series:"none" ~col:"rate" ~kind:`Below ~threshold:10.
+          ~objective:0.5 ~fast_windows:2 ~slow_windows:2 ~burn:1. ()
+      in
+      List.iter (fun v -> Slo.feed m v) [ 50.; 3.; 2. ];
+      check_bool "sustained undershoot fires" true (Slo.firing m))
+
+let test_slo_evaluates_from_timeseries () =
+  Engine.run (fun () ->
+      Timeseries.configure ~window_us:1_000. ~subticks:1 ();
+      let flag = ref 0. in
+      Timeseries.probe "err" (fun () -> !flag);
+      Timeseries.start ~track_metrics:false ();
+      let m =
+        Slo.monitor ~name:"err" ~series:"probe:err" ~col:"last" ~threshold:0.5 ~objective:0.5
+          ~fast_windows:1 ~slow_windows:2 ~burn:1. ()
+      in
+      Engine.sleep 2_000.;
+      check_bool "quiet: not firing" false (Slo.firing m);
+      flag := 1.;
+      Engine.sleep 2_000.;
+      check_bool "raised flag fires via window close" true (Slo.firing m);
+      match Slo.alerts () with
+      | a :: _ ->
+          (* stamped at the end of the causing window, a multiple of
+             the window length — never the evaluation instant *)
+          check_float "alert time is a window boundary" 0.
+            (Float.rem a.Slo.al_time (Timeseries.window_us ()))
+      | [] -> Alcotest.fail "no alert recorded")
+
+let test_slo_alerts_json_deterministic () =
+  let scenario () =
+    Engine.run ~seed:5 (fun () ->
+        let m =
+          Slo.monitor ~name:"m" ~series:"none" ~col:"last" ~threshold:1. ~objective:0.8
+            ~fast_windows:2 ~slow_windows:3 ~burn:1. ()
+        in
+        List.iter (fun v -> Slo.feed m v) [ 0.; 2.; 2.; 2.; 0.; 0.; 2.; 2. ]);
+    Slo.alerts_json ()
+  in
+  let a1 = scenario () in
+  let a2 = scenario () in
+  check_bool "alert stream non-trivial" true (String.length a1 > 10);
+  Alcotest.(check string) "alerts byte-identical" a1 a2
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let str_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let with_flight_on f =
+  Flight.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_enabled false;
+      Flight.configure ~cap:256 ~snapshots:16 ())
+    f
+
+let test_flight_disabled_is_noop () =
+  Engine.run (fun () ->
+      Flight.record ~host:"n" Flight.Note ~name:"x" ~value:1.;
+      Flight.snapshot ~reason:"r";
+      check_int "nothing recorded" 0 (Flight.events_recorded ());
+      check_int "no snapshot" 0 (Flight.snapshot_count ()))
+
+let test_flight_ring_overwrites_oldest () =
+  with_flight_on (fun () ->
+      Flight.configure ~cap:4 ();
+      Engine.run (fun () ->
+          for i = 1 to 10 do
+            Flight.record ~host:"n" Flight.Note ~name:"e" ~value:(float_of_int i)
+          done;
+          check_int "all recorded" 10 (Flight.events_recorded ());
+          Flight.snapshot ~reason:"test";
+          match Flight.snapshots () with
+          | [ s ] ->
+              (* only the last 4 events survive, oldest first *)
+              check_bool "ring keeps the tail" true
+                (let j = s.Flight.sn_json in
+                 let has v = str_contains j (Printf.sprintf "\"value\":%d" v) in
+                 has 7 && has 10 && not (has 6))
+          | l -> Alcotest.fail (Printf.sprintf "expected 1 snapshot, got %d" (List.length l))))
+
+let test_flight_snapshot_budget () =
+  with_flight_on (fun () ->
+      Flight.configure ~snapshots:2 ();
+      Engine.run (fun () ->
+          Flight.note ~host:"n" "x";
+          for i = 1 to 5 do
+            Flight.snapshot ~reason:(Printf.sprintf "s%d" i)
+          done;
+          check_int "budget caps snapshots" 2 (Flight.snapshot_count ())))
+
+let test_flight_span_and_metric_capture () =
+  with_flight_on (fun () ->
+      Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Span.set_enabled false)
+        (fun () ->
+          Engine.run (fun () ->
+              let c = Metrics.counter ~host:"n" "ops" in
+              Metrics.incr c;
+              Span.with_span ~host:"n" "op" (fun () -> Engine.sleep 5.);
+              check_bool "metric and span close recorded" true (Flight.events_recorded () >= 2);
+              Flight.snapshot ~reason:"probe";
+              match Flight.snapshots () with
+              | [ s ] ->
+                  check_bool "span event in dump" true (str_contains s.Flight.sn_json "\"kind\":\"span\"");
+                  check_bool "metric event in dump" true
+                    (str_contains s.Flight.sn_json "\"kind\":\"metric\"");
+                  check_bool "chrome trace has instants" true
+                    (str_contains s.Flight.sn_trace "\"ph\":\"i\"")
+              | _ -> Alcotest.fail "expected exactly 1 snapshot")))
+
+let test_flight_deterministic_dump () =
+  let scenario () =
+    with_flight_on (fun () ->
+        Engine.run ~seed:13 (fun () ->
+            let net = make_net ~jitter:0.3 () in
+            let a = Net.add_host net "a" in
+            let b = Net.add_host net "b" in
+            let svc = Net.service b ~name:"echo" (fun x -> x) in
+            let c = Metrics.counter ~host:"a" "ops" in
+            for i = 1 to 30 do
+              ignore (Net.call ~from:a svc i);
+              Metrics.incr c
+            done;
+            Flight.snapshot ~reason:"end");
+        Flight.dump_json ())
+  in
+  let d1 = scenario () in
+  let d2 = scenario () in
+  check_bool "dump non-trivial" true (String.length d1 > 100);
+  Alcotest.(check string) "flight dump byte-identical" d1 d2
+
+(* ------------------------------------------------------------------ *)
 (* Rng properties                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1070,6 +1411,32 @@ let () =
           Alcotest.test_case "get-or-create handles" `Quick test_metrics_get_or_create;
           Alcotest.test_case "reset across runs" `Quick test_metrics_reset_across_runs;
           Alcotest.test_case "sampler records series" `Quick test_metrics_sampler_series;
+          Alcotest.test_case "strict mode: stale handle raises" `Quick test_metrics_stale_handle_raises;
+          Alcotest.test_case "strict mode: all handle kinds" `Quick test_metrics_stale_handle_all_kinds;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "counter rate per window" `Quick test_timeseries_counter_rate;
+          Alcotest.test_case "gauge min/max/last and probes" `Quick test_timeseries_gauge_minmax_and_probe;
+          Alcotest.test_case "histogram window percentiles" `Quick test_timeseries_hist_window_percentiles;
+          Alcotest.test_case "ring eviction" `Quick test_timeseries_ring_eviction;
+          Alcotest.test_case "deterministic dumps" `Quick test_timeseries_deterministic_dump;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "fire and resolve" `Quick test_slo_fire_and_resolve;
+          Alcotest.test_case "nan windows are good" `Quick test_slo_nan_windows_are_good;
+          Alcotest.test_case "below kind" `Quick test_slo_below_kind;
+          Alcotest.test_case "evaluates from timeseries" `Quick test_slo_evaluates_from_timeseries;
+          Alcotest.test_case "deterministic alert stream" `Quick test_slo_alerts_json_deterministic;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_flight_disabled_is_noop;
+          Alcotest.test_case "ring overwrites oldest" `Quick test_flight_ring_overwrites_oldest;
+          Alcotest.test_case "snapshot budget" `Quick test_flight_snapshot_budget;
+          Alcotest.test_case "captures spans and metrics" `Quick test_flight_span_and_metric_capture;
+          Alcotest.test_case "deterministic dumps" `Quick test_flight_deterministic_dump;
         ] );
       ( "span",
         [
