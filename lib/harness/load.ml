@@ -85,6 +85,223 @@ let open_loop ?(warmup_us = 200_000.) ?(measure_us = 1_000_000.) ?(max_outstandi
       generate ());
   run_window w ~warmup_us ~measure_us
 
+module Population = struct
+  type cfg = {
+    clients : int;
+    rate_per_client : float;
+    link_us : float;
+    service_us : float;
+    stations : int;
+    station_slots : int;
+    max_outstanding : int;
+    warmup_us : float;
+    measure_us : float;
+    drain_us : float;
+    seed : int;
+  }
+
+  let default_cfg =
+    {
+      clients = 10_000;
+      rate_per_client = 1.0;
+      link_us = 200.;
+      service_us = 50.;
+      stations = 8;
+      station_slots = 8;
+      max_outstanding = 4;
+      warmup_us = 100_000.;
+      measure_us = 500_000.;
+      drain_us = 10_000.;
+      seed = 1;
+    }
+
+  (* One driver's view: a contiguous block of modeled clients. All
+     fields are mutated only by the owning shard's events; shard 0
+     reads them after the completion signal (whose cross-shard
+     delivery provides the happens-before edge). *)
+  type driver = {
+    d_count : int;  (* clients in this block *)
+    d_out : int array;  (* per-client in-flight ops *)
+    d_rng : Sim.Rng.t;
+    mutable d_issued : int;
+    mutable d_dropped : int;
+    mutable d_completed : int;
+    mutable d_win_completed : int;  (* completions inside the window *)
+    d_lat : Sim.Stats.Series.t;  (* window latencies; frozen after m_end *)
+  }
+
+  (* A modeled service station: [st_free.(i)] is the virtual time slot
+     [i] frees up. Mutated only by its owning shard. *)
+  type station = { st_free : float array; st_rng : Sim.Rng.t }
+
+  type snapshot = { sn_issued : int; sn_dropped : int; sn_completed : int; sn_win : int }
+
+  type result = {
+    pop_report : report;
+    pop_issued : int;
+    pop_completed : int;
+    pop_dropped : int;
+    pop_inflight : int;  (* still unanswered at the drain deadline *)
+  }
+
+  type t = {
+    p_cfg : cfg;
+    p_shards : int;
+    p_drivers : driver array;  (* one per shard *)
+    p_stations : station array;
+    p_snaps : snapshot array;  (* written by each shard at its deadline *)
+    mutable p_arrived : int;  (* shard-0 state *)
+    mutable p_waiter : unit Sim.Engine.resumer option;
+  }
+
+  let create ?(shards = 1) cfg =
+    if shards < 1 then invalid_arg "Population.create: shards must be at least 1";
+    if cfg.clients < shards then invalid_arg "Population.create: need at least one client per shard";
+    if cfg.rate_per_client <= 0. then invalid_arg "Population.create: rate must be positive";
+    if cfg.stations < 1 || cfg.station_slots < 1 then
+      invalid_arg "Population.create: need at least one station and slot";
+    if cfg.max_outstanding < 1 then
+      invalid_arg "Population.create: max_outstanding must be at least 1";
+    let block = cfg.clients / shards and extra = cfg.clients mod shards in
+    {
+      p_cfg = cfg;
+      p_shards = shards;
+      p_drivers =
+        Array.init shards (fun k ->
+            {
+              d_count = (block + if k < extra then 1 else 0);
+              d_out = Array.make (block + if k < extra then 1 else 0) 0;
+              d_rng = Sim.Rng.create_stream cfg.seed ~stream:(101 + k);
+              d_issued = 0;
+              d_dropped = 0;
+              d_completed = 0;
+              d_win_completed = 0;
+              d_lat = Sim.Stats.Series.create ();
+            })
+        (* driver streams decorrelated from station streams below *);
+      p_stations =
+        Array.init cfg.stations (fun i ->
+            {
+              st_free = Array.make cfg.station_slots 0.;
+              st_rng = Sim.Rng.create_stream cfg.seed ~stream:(100_001 + i);
+            });
+      p_snaps = Array.make shards { sn_issued = 0; sn_dropped = 0; sn_completed = 0; sn_win = 0 };
+      p_arrived = 0;
+      p_waiter = None;
+    }
+
+  let station_shard p st = st mod p.p_shards
+
+  (* Runs on the client's shard when the modeled response lands. *)
+  let complete p ~shard ~client ~started =
+    let d = p.p_drivers.(shard) in
+    d.d_out.(client) <- d.d_out.(client) - 1;
+    d.d_completed <- d.d_completed + 1;
+    let now = Sim.Engine.now () in
+    let m_start = p.p_cfg.warmup_us and m_end = p.p_cfg.warmup_us +. p.p_cfg.measure_us in
+    if now >= m_start && now < m_end then begin
+      d.d_win_completed <- d.d_win_completed + 1;
+      Sim.Stats.Series.add d.d_lat (now -. started)
+    end
+
+  (* Runs on the station's shard: queue for the least-loaded slot, pay
+     an exponential service time, send the response home. *)
+  let station_arrive p ~st ~shard ~client ~started =
+    let s = p.p_stations.(st) in
+    let free = s.st_free in
+    let best = ref 0 in
+    for i = 1 to Array.length free - 1 do
+      if free.(i) < free.(!best) then best := i
+    done;
+    let now = Sim.Engine.now () in
+    let start = if free.(!best) > now then free.(!best) else now in
+    let fin = start +. Sim.Rng.exponential s.st_rng ~mean:p.p_cfg.service_us in
+    free.(!best) <- fin;
+    Sim.Engine.post ~shard ~after:(fin -. now +. p.p_cfg.link_us) (fun () ->
+        complete p ~shard ~client ~started)
+
+  let signal_done p shard =
+    let d = p.p_drivers.(shard) in
+    p.p_snaps.(shard) <-
+      {
+        sn_issued = d.d_issued;
+        sn_dropped = d.d_dropped;
+        sn_completed = d.d_completed;
+        sn_win = d.d_win_completed;
+      };
+    Sim.Engine.post ~shard:0 (fun () ->
+        p.p_arrived <- p.p_arrived + 1;
+        if p.p_arrived = p.p_shards then
+          match p.p_waiter with Some resume -> resume () | None -> ())
+
+  let shard_init p ~shard =
+    if shard < 0 || shard >= p.p_shards then invalid_arg "Population.shard_init: no such shard";
+    let cfg = p.p_cfg in
+    let d = p.p_drivers.(shard) in
+    let gen_end = cfg.warmup_us +. cfg.measure_us in
+    let deadline = gen_end +. cfg.drain_us in
+    (* One fiber drives the whole block: aggregate Poisson arrivals at
+       block-size × per-client rate, a uniform client pick per arrival
+       — statistically the superposition of per-client processes,
+       without a continuation per client. *)
+    let gap_mean = 1e6 /. (cfg.rate_per_client *. float_of_int d.d_count) in
+    Sim.Engine.spawn (fun () ->
+        let rec generate () =
+          Sim.Engine.sleep (Sim.Rng.exponential d.d_rng ~mean:gap_mean);
+          let now = Sim.Engine.now () in
+          if now < gen_end then begin
+            let client = Sim.Rng.int d.d_rng d.d_count in
+            if d.d_out.(client) >= cfg.max_outstanding then d.d_dropped <- d.d_dropped + 1
+            else begin
+              d.d_out.(client) <- d.d_out.(client) + 1;
+              d.d_issued <- d.d_issued + 1;
+              let st = Sim.Rng.int d.d_rng cfg.stations in
+              let started = now in
+              Sim.Engine.post ~shard:(station_shard p st) ~after:cfg.link_us (fun () ->
+                  station_arrive p ~st ~shard ~client ~started)
+            end;
+            generate ()
+          end
+        in
+        generate ();
+        let now = Sim.Engine.now () in
+        if deadline > now then Sim.Engine.sleep (deadline -. now);
+        signal_done p shard)
+
+  let await p =
+    (if p.p_arrived < p.p_shards then
+       Sim.Engine.suspend (fun resume -> p.p_waiter <- Some resume));
+    let issued = ref 0 and dropped = ref 0 and completed = ref 0 and win = ref 0 in
+    Array.iter
+      (fun s ->
+        issued := !issued + s.sn_issued;
+        dropped := !dropped + s.sn_dropped;
+        completed := !completed + s.sn_completed;
+        win := !win + s.sn_win)
+      p.p_snaps;
+    let merged = Sim.Stats.Series.create () in
+    Array.iter (fun d -> Sim.Stats.Series.iter d.d_lat (Sim.Stats.Series.add merged)) p.p_drivers;
+    let seconds = p.p_cfg.measure_us /. 1e6 in
+    let lat pct =
+      if Sim.Stats.Series.count merged = 0 then 0. else Sim.Stats.Series.percentile merged pct
+    in
+    {
+      pop_report =
+        {
+          throughput = float_of_int !win /. seconds;
+          goodput = float_of_int !win /. seconds;
+          latency_mean_us = Sim.Stats.Series.mean merged;
+          latency_p50_us = lat 50.;
+          latency_p99_us = lat 99.;
+          samples = !win;
+        };
+      pop_issued = !issued;
+      pop_completed = !completed;
+      pop_dropped = !dropped;
+      pop_inflight = !issued - !completed;
+    }
+end
+
 let measure_counter ?(warmup_us = 200_000.) ?(measure_us = 1_000_000.) get =
   Sim.Engine.sleep warmup_us;
   let before = get () in

@@ -14,6 +14,13 @@ val create : int -> t
     [t]. Useful to give each simulated client its own stream. *)
 val split : t -> t
 
+(** [create_stream seed ~stream] returns the [stream]-th decorrelated
+    generator for [seed] — deterministic in both arguments, with
+    [create_stream seed ~stream:0] equal to [create seed] bit-for-bit.
+    The sharded engine gives shard [k] stream [k], so the single-shard
+    world reproduces the unsharded RNG stream exactly. *)
+val create_stream : int -> stream:int -> t
+
 (** [int64 t] returns the next raw 64-bit output. *)
 val int64 : t -> int64
 

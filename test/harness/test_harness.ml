@@ -71,6 +71,155 @@ let test_open_loop_outstanding_cap () =
   in
   check_bool (Printf.sprintf "capped at 50, spawned %d" !spawned) true (!spawned <= 50)
 
+let test_open_loop_invalid_rate () =
+  Alcotest.check_raises "zero rate rejected"
+    (Invalid_argument "Load.open_loop: rate must be positive") (fun () ->
+      Sim.Engine.run (fun () ->
+          ignore (Load.open_loop ~rate:0. (fun () -> true))));
+  Alcotest.check_raises "negative rate rejected"
+    (Invalid_argument "Load.open_loop: rate must be positive") (fun () ->
+      Sim.Engine.run (fun () ->
+          ignore (Load.open_loop ~rate:(-5.) (fun () -> true))))
+
+let test_open_loop_rate_near_zero () =
+  (* A trickle — mean gap 20 ms against a 2 s window. The loop must
+     neither spin nor stall, and the handful of completions must all be
+     counted. *)
+  let completions = ref 0 in
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.open_loop ~warmup_us:0. ~measure_us:2_000_000. ~rate:50. (fun () ->
+            Sim.Engine.sleep 10.;
+            incr completions;
+            true))
+  in
+  check_bool
+    (Printf.sprintf "trickle rate ~50/s, got %.1f" r.Load.throughput)
+    true
+    (near ~tolerance:0.4 50. r.Load.throughput);
+  check_bool "samples match completions" true (r.Load.samples <= !completions)
+
+let test_open_loop_saturated_cap () =
+  (* Offered load far above capacity: with [max_outstanding] ops of a
+     fixed 50 ms service each, completions must pin at cap / service =
+     200/s regardless of the offered 1M/s. *)
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.open_loop ~warmup_us:100_000. ~measure_us:500_000. ~max_outstanding:10
+          ~rate:1_000_000. (fun () ->
+            Sim.Engine.sleep 50_000.;
+            true))
+  in
+  check_bool
+    (Printf.sprintf "saturated at 200/s, got %.1f" r.Load.throughput)
+    true
+    (near ~tolerance:0.05 200. r.Load.throughput)
+
+let test_open_loop_window_boundary () =
+  (* Only completions inside [warmup, warmup + measure) may count.
+     Every op takes exactly 10 ms, so completion times are arrival +
+     10 ms; compare the report's sample count against an external count
+     over the same window. *)
+  let warmup = 20_000. and measure = 50_000. in
+  let in_window = ref 0 in
+  let total = ref 0 in
+  let r =
+    Sim.Engine.run (fun () ->
+        Load.open_loop ~warmup_us:warmup ~measure_us:measure ~rate:2_000. (fun () ->
+            Sim.Engine.sleep 10_000.;
+            let t = Sim.Engine.now () in
+            incr total;
+            if t >= warmup && t < warmup +. measure then incr in_window;
+            true))
+  in
+  check_bool "ops completed outside the window too" true (!total > !in_window);
+  Alcotest.(check int) "window boundary exact" !in_window r.Load.samples
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate client population                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pop_cfg =
+  {
+    Load.Population.default_cfg with
+    Load.Population.clients = 2_000;
+    rate_per_client = 2.;
+    link_us = 200.;
+    service_us = 50.;
+    stations = 4;
+    station_slots = 4;
+    warmup_us = 20_000.;
+    measure_us = 100_000.;
+    drain_us = 5_000.;
+    seed = 9;
+  }
+
+let run_population ?(shards = 1) cfg =
+  let pop = Load.Population.create ~shards cfg in
+  let body () =
+    Load.Population.shard_init pop ~shard:0;
+    Load.Population.await pop
+  in
+  if shards = 1 then Sim.Engine.run body
+  else
+    Sim.Engine.run_sharded ~shards ~lookahead:cfg.Load.Population.link_us
+      ~init:(fun ~shard -> Load.Population.shard_init pop ~shard)
+      body
+
+let test_population_conservation () =
+  let r = run_population pop_cfg in
+  let open Load.Population in
+  (* 2000 clients × 2/s over the 120 ms generation span ≈ 480 arrivals. *)
+  check_bool "issued some load" true (r.pop_issued > 300);
+  Alcotest.(check int) "issued = completed + inflight" r.pop_issued
+    (r.pop_completed + r.pop_inflight);
+  check_bool "inflight small after drain" true (r.pop_inflight >= 0 && r.pop_inflight < 100);
+  check_bool "throughput positive" true (r.pop_report.Load.throughput > 0.);
+  (* ~2000 clients × 2/s over the 100 ms window = ~400 windowed ops. *)
+  check_bool
+    (Printf.sprintf "windowed throughput ~4000/s, got %.0f" r.pop_report.Load.throughput)
+    true
+    (near ~tolerance:0.25 4_000. r.pop_report.Load.throughput)
+
+let test_population_drops_under_cap () =
+  (* One outstanding op per client against a 100× service blowup: the
+     population must shed load via drops, not queue unboundedly. *)
+  let cfg =
+    { pop_cfg with Load.Population.max_outstanding = 1; service_us = 20_000.; stations = 1;
+      station_slots = 1 }
+  in
+  let r = run_population cfg in
+  let open Load.Population in
+  check_bool "drops happened" true (r.pop_dropped > 0);
+  Alcotest.(check int) "conservation under drops" r.pop_issued
+    (r.pop_completed + r.pop_inflight)
+
+let test_population_deterministic () =
+  let a = run_population pop_cfg and b = run_population pop_cfg in
+  check_bool "same-seed population runs identical" true (a = b)
+
+let test_population_sharded () =
+  (* Two domains: conservation and determinism must survive the
+     cross-shard client↔station traffic. *)
+  let a = run_population ~shards:2 pop_cfg in
+  let b = run_population ~shards:2 pop_cfg in
+  let open Load.Population in
+  Alcotest.(check int) "sharded conservation" a.pop_issued (a.pop_completed + a.pop_inflight);
+  check_bool "sharded issued some load" true (a.pop_issued > 300);
+  check_bool "sharded same-seed runs identical" true (a = b)
+
+let test_population_invalid_cfg () =
+  let open Load.Population in
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Population.create: rate must be positive") (fun () ->
+      ignore (create { pop_cfg with rate_per_client = 0. }));
+  Alcotest.check_raises "fewer clients than shards"
+    (Invalid_argument "Population.create: need at least one client per shard") (fun () ->
+      ignore (create ~shards:8 { pop_cfg with clients = 4 }));
+  Alcotest.check_raises "no stations"
+    (Invalid_argument "Population.create: need at least one station and slot") (fun () ->
+      ignore (create { pop_cfg with stations = 0 }))
+
 let test_measure_counter () =
   let rate =
     Sim.Engine.run (fun () ->
@@ -562,8 +711,21 @@ let () =
           Alcotest.test_case "warmup excluded" `Quick test_closed_loop_warmup_excluded;
           Alcotest.test_case "open loop rate" `Quick test_open_loop_rate;
           Alcotest.test_case "outstanding cap" `Quick test_open_loop_outstanding_cap;
+          Alcotest.test_case "open loop rejects bad rate" `Quick test_open_loop_invalid_rate;
+          Alcotest.test_case "open loop near-zero rate" `Quick test_open_loop_rate_near_zero;
+          Alcotest.test_case "open loop saturated cap" `Quick test_open_loop_saturated_cap;
+          Alcotest.test_case "open loop window boundary" `Quick test_open_loop_window_boundary;
           Alcotest.test_case "measure counter" `Quick test_measure_counter;
           Alcotest.test_case "report samples" `Quick test_report_samples;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "conservation" `Quick test_population_conservation;
+          Alcotest.test_case "drops under tight cap" `Quick test_population_drops_under_cap;
+          Alcotest.test_case "deterministic" `Quick test_population_deterministic;
+          Alcotest.test_case "sharded conservation and determinism" `Quick
+            test_population_sharded;
+          Alcotest.test_case "rejects bad config" `Quick test_population_invalid_cfg;
         ] );
       ( "linearizability",
         [
