@@ -956,19 +956,27 @@ let chaos_smoke () =
    report for trending. *)
 let fuzz_sweep () =
   let module Fuzz = Tango_harness.Fuzz in
-  section "Fuzz sweep: randomized fault plans vs. global invariant oracles";
+  let module Spec = Tango_harness.Spec in
+  section "Fuzz sweep: randomized fault plans vs. global invariant oracles + spec machines";
   let seeds = if quick then 3 else 8 in
   let config = Fuzz.default_config in
-  row "%6s %8s %8s %10s %10s %10s %11s" "seed" "events" "acked" "committed" "aborted" "end-ms"
-    "violations";
+  (* Half the seeds run with every online spec machine armed — the
+     monitors themselves must stay silent on a correct build, and
+     their probe traffic must not perturb the oracles. *)
+  row "%6s %6s %8s %8s %10s %10s %10s %9s %11s" "seed" "specs" "events" "acked" "committed"
+    "aborted" "end-ms" "firings" "violations";
   let bad = ref 0 in
   for seed = 1 to seeds do
+    let specs = if seed mod 2 = 0 then Spec.all else [] in
     let plan = Fuzz.gen_plan ~seed config in
-    let oc = Fuzz.run ~seed config ~plan in
+    let oc = Fuzz.run ~specs ~seed config ~plan in
     let nv = List.length oc.Fuzz.oc_violations in
+    let nf = List.length oc.Fuzz.oc_spec_firings in
     bad := !bad + nv;
-    row "%6d %8d %8d %10d %10d %10.1f %11d" seed oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked
-      oc.Fuzz.oc_committed oc.Fuzz.oc_aborted (oc.Fuzz.oc_end_us /. 1e3) nv;
+    row "%6d %6s %8d %8d %10d %10d %10.1f %9d %11d" seed
+      (if specs = [] then "off" else "all")
+      oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed oc.Fuzz.oc_aborted
+      (oc.Fuzz.oc_end_us /. 1e3) nf nv;
     List.iter
       (fun v -> row "    %s" (Format.asprintf "%a" Tango_harness.Verifier.pp_violation v))
       oc.Fuzz.oc_violations;
@@ -978,10 +986,12 @@ let fuzz_sweep () =
           ("servers", string_of_int config.Fuzz.f_servers);
           ("clients", string_of_int config.Fuzz.f_clients);
           ("events", string_of_int config.Fuzz.f_events);
+          ("specs", if specs = [] then "off" else "all");
         ]
       ~summary:
         [
           ("violations", float_of_int nv);
+          ("spec_firings", float_of_int nf);
           ("acked_appends", float_of_int oc.Fuzz.oc_acked);
           ("committed_txs", float_of_int oc.Fuzz.oc_committed);
           ("fault_events", float_of_int oc.Fuzz.oc_fault_events);
@@ -990,6 +1000,44 @@ let fuzz_sweep () =
   done;
   if !bad > 0 then begin
     Printf.eprintf "fuzz-sweep FAILED: %d violation(s)\n" !bad;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scenario sweep: the config-driven driver's built-in matrix         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every built-in scenario (DESIGN.md §12) runs with its spec machines
+   armed; a correct build sails through all of them. *)
+let scenario_sweep () =
+  let module Fuzz = Tango_harness.Fuzz in
+  let module Scenario = Tango_harness.Scenario in
+  section "Scenario sweep: built-in scenarios with spec machines armed";
+  row "%-38s %6s %8s %10s %9s %11s" "scenario" "seed" "acked" "committed" "firings" "violations";
+  let bad = ref 0 in
+  List.iter
+    (fun sc ->
+      let oc = Scenario.run sc in
+      let nv = List.length oc.Fuzz.oc_violations in
+      bad := !bad + nv;
+      row "%-38s %6d %8d %10d %9d %11d" sc.Scenario.sc_name sc.Scenario.sc_seed oc.Fuzz.oc_acked
+        oc.Fuzz.oc_committed
+        (List.length oc.Fuzz.oc_spec_firings)
+        nv;
+      Report.add_scenario
+        ~name:("scenario-" ^ sc.Scenario.sc_name)
+        ~seed:sc.Scenario.sc_seed
+        ~params:[ ("specs", string_of_int (List.length sc.Scenario.sc_specs)) ]
+        ~summary:
+          [
+            ("violations", float_of_int nv);
+            ("spec_firings", float_of_int (List.length oc.Fuzz.oc_spec_firings));
+            ("acked_appends", float_of_int oc.Fuzz.oc_acked);
+          ]
+        ~virtual_end_us:oc.Fuzz.oc_end_us ~metrics_json:oc.Fuzz.oc_metrics_json ())
+    Scenario.builtins;
+  if !bad > 0 then begin
+    Printf.eprintf "scenario-sweep FAILED: %d violation(s)\n" !bad;
     exit 1
   end
 
@@ -1766,6 +1814,7 @@ let experiments =
     ("chaos-crash", chaos_crash);
     ("chaos-smoke", chaos_smoke);
     ("fuzz-sweep", fuzz_sweep);
+    ("scenario-sweep", scenario_sweep);
     ("scale-out", scale_out_bench);
     ("scale-up", scale_up);
   ]

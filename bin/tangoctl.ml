@@ -539,6 +539,27 @@ let projection servers add_servers seed =
 
 module Fuzz = Tango_harness.Fuzz
 module Verifier = Tango_harness.Verifier
+module Spec = Tango_harness.Spec
+module Scenario = Tango_harness.Scenario
+
+(* Exit contract shared by fuzz and scenario subcommands: 0 = clean,
+   1 = an oracle (or spec machine) fired, 2 = the harness itself
+   failed — unreadable artifact, unknown spec name, I/O error. CI
+   gates on the distinction: a 1 is a finding, a 2 is a broken test. *)
+let harness_errors f =
+  try f () with
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e ->
+      say "harness error: %s" (Printexc.to_string e);
+      exit 2
+
+let parse_specs = function
+  | None -> []
+  | Some "all" -> Spec.all
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter (fun x -> String.trim x <> "")
+      |> List.map (fun x -> Spec.of_name (String.trim x))
 
 let fuzz_config servers clients events appends txs =
   {
@@ -572,8 +593,21 @@ let dump_outcome ~metrics_out ~spans_out ~flight_out (oc : Fuzz.outcome) =
    to [report]. Metrics/span dumps of the first case support the CI
    determinism gate: a replay of the same artifact must reproduce them
    byte for byte. *)
+let say_outcome ~label (oc : Fuzz.outcome) =
+  say "%s: %d fault events, %d acked appends, %d/%d txs committed, %d spec firings, %d violations"
+    label oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
+    (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
+    (List.length oc.Fuzz.oc_spec_firings)
+    (List.length oc.Fuzz.oc_violations);
+  List.iter
+    (fun (f : Spec.firing) -> say "  spec %s fired at %.0fus: %s" f.sp_spec f.sp_time_us f.sp_detail)
+    oc.Fuzz.oc_spec_firings;
+  print_violations oc.Fuzz.oc_violations
+
 let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out spans_out
-    flight_out report failpoint =
+    flight_out report failpoint specs_str =
+  harness_errors @@ fun () ->
+  let specs = parse_specs specs_str in
   let config = fuzz_config servers clients events appends txs in
   let capture = Option.is_some spans_out in
   let runs = ref [] in
@@ -581,17 +615,15 @@ let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out 
   let s = ref seed in
   while Option.is_none !failed && !s < seed + seeds do
     let plan = Fuzz.gen_plan ~seed:!s config in
-    let oc = Fuzz.run ?failpoint ~capture_spans:(capture && !s = seed) ~seed:!s config ~plan in
+    let oc =
+      Fuzz.run ?failpoint ~capture_spans:(capture && !s = seed) ~specs ~seed:!s config ~plan
+    in
     runs := (!s, oc) :: !runs;
     if !s = seed then dump_outcome ~metrics_out ~spans_out ~flight_out:None oc;
     (* the flight artifact belongs to the violating case, not the first *)
     if !failed = None && oc.Fuzz.oc_violations <> [] then
       dump_outcome ~metrics_out:None ~spans_out:None ~flight_out oc;
-    say "seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations" !s
-      oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
-      (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
-      (List.length oc.Fuzz.oc_violations);
-    print_violations oc.Fuzz.oc_violations;
+    say_outcome ~label:(Printf.sprintf "seed %d" !s) oc;
     (match oc.Fuzz.oc_violations with
     | [] -> ()
     | v :: _ -> failed := Some (!s, plan, v.Verifier.v_oracle));
@@ -604,7 +636,7 @@ let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out 
       `Ok ()
   | Some (seed, plan, oracle) ->
       say "shrinking the seed-%d reproducer (oracle: %s)..." seed oracle;
-      let sh = Fuzz.shrink ?failpoint ~seed config plan ~oracle in
+      let sh = Fuzz.shrink ?failpoint ~specs ~seed config plan ~oracle in
       say "minimal plan after %d re-runs (%d -> %d events):" sh.Fuzz.sh_runs (List.length plan)
         (List.length sh.Fuzz.sh_plan);
       say "%s" (Format.asprintf "%a" Sim.Fault.pp_plan sh.Fuzz.sh_plan);
@@ -615,18 +647,20 @@ let fuzz_run seed seeds servers clients events appends txs plan_out metrics_out 
         plan_out;
       exit 1
 
-let fuzz_replay plan_file metrics_out spans_out flight_out failpoint =
+let fuzz_replay plan_file metrics_out spans_out flight_out failpoint specs_str =
+  harness_errors @@ fun () ->
+  let specs = parse_specs specs_str in
   let seed, config, plan = Fuzz.decode_artifact (read_file plan_file) in
-  let oc = Fuzz.run ?failpoint ~capture_spans:(Option.is_some spans_out) ~seed config ~plan in
+  let oc =
+    Fuzz.run ?failpoint ~capture_spans:(Option.is_some spans_out) ~specs ~seed config ~plan
+  in
   dump_outcome ~metrics_out ~spans_out ~flight_out oc;
-  say "replayed seed %d: %d fault events, %d acked appends, %d/%d txs committed, %d violations"
-    seed oc.Fuzz.oc_fault_events oc.Fuzz.oc_acked oc.Fuzz.oc_committed
-    (oc.Fuzz.oc_committed + oc.Fuzz.oc_aborted)
-    (List.length oc.Fuzz.oc_violations);
-  print_violations oc.Fuzz.oc_violations;
+  say_outcome ~label:(Printf.sprintf "replayed seed %d" seed) oc;
   if oc.Fuzz.oc_violations = [] then `Ok () else exit 1
 
-let fuzz_shrink plan_file out oracle failpoint =
+let fuzz_shrink plan_file out oracle failpoint specs_str =
+  harness_errors @@ fun () ->
+  let specs = parse_specs specs_str in
   let seed, config, plan = Fuzz.decode_artifact (read_file plan_file) in
   let oracle =
     match oracle with
@@ -634,20 +668,96 @@ let fuzz_shrink plan_file out oracle failpoint =
     | None -> (
         (* no oracle named: re-run the artifact and minimize against
            whatever fires first *)
-        let oc = Fuzz.run ?failpoint ~seed config ~plan in
+        let oc = Fuzz.run ?failpoint ~specs ~seed config ~plan in
         match oc.Fuzz.oc_violations with
         | [] ->
             say "artifact no longer reproduces any violation; nothing to shrink";
             exit 1
         | v :: _ -> v.Verifier.v_oracle)
   in
-  let sh = Fuzz.shrink ?failpoint ~seed config plan ~oracle in
+  let sh = Fuzz.shrink ?failpoint ~specs ~seed config plan ~oracle in
   say "minimal plan after %d re-runs (%d -> %d events), oracle %s:" sh.Fuzz.sh_runs
     (List.length plan) (List.length sh.Fuzz.sh_plan) sh.Fuzz.sh_oracle;
   say "%s" (Format.asprintf "%a" Sim.Fault.pp_plan sh.Fuzz.sh_plan);
   write_file out (Fuzz.encode_artifact ~seed config sh.Fuzz.sh_plan);
   say "shrunk artifact -> %s" out;
   `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* spec / scenario                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spec_doc = function
+  | Spec.Commit_liveness ->
+      "every acked append becomes stream-readable within the repair-then-deadline window"
+  | Spec.Read_committed ->
+      "playback never applies a transaction whose commit decision is still unrecorded"
+  | Spec.Reconfig_termination ->
+      "every seal/scale/replace that starts installs a new projection epoch"
+
+let spec_list json =
+  if json then
+    say "%s"
+      (Sim.Jout.arr
+         (List.map
+            (fun s ->
+              Sim.Jout.obj
+                [ ("name", Sim.Jout.str (Spec.name s)); ("doc", Sim.Jout.str (spec_doc s)) ])
+            Spec.all))
+  else begin
+    say "online spec machines (arm with --specs NAME[,NAME..] or --specs all):";
+    List.iter (fun s -> say "  %-22s %s" (Spec.name s) (spec_doc s)) Spec.all
+  end;
+  `Ok ()
+
+let load_scenario name file =
+  match (name, file) with
+  | Some n, None -> (
+      match Scenario.find n with
+      | Some sc -> sc
+      | None ->
+          say "unknown built-in scenario %S; available:" n;
+          List.iter (fun sc -> say "  %s" sc.Scenario.sc_name) Scenario.builtins;
+          exit 2)
+  | None, Some f -> Scenario.decode (read_file f)
+  | _ ->
+      say "scenario: pass exactly one of --name or --file";
+      exit 2
+
+let scenario_list json =
+  if json then
+    say "%s"
+      (Sim.Jout.arr
+         (List.map (fun sc -> Sim.Jout.str sc.Scenario.sc_name) Scenario.builtins))
+  else begin
+    say "built-in scenarios:";
+    List.iter
+      (fun sc ->
+        say "  %-36s seed %d, %d fault events, %d specs" sc.Scenario.sc_name sc.Scenario.sc_seed
+          (List.length sc.Scenario.sc_plan)
+          (List.length sc.Scenario.sc_specs))
+      Scenario.builtins
+  end;
+  `Ok ()
+
+let scenario_show name file =
+  harness_errors @@ fun () ->
+  say "%s" (Scenario.encode (load_scenario name file));
+  `Ok ()
+
+let scenario_run name file report flight_out =
+  harness_errors @@ fun () ->
+  let sc = load_scenario name file in
+  let oc = Scenario.run sc in
+  dump_outcome ~metrics_out:None ~spans_out:None ~flight_out oc;
+  say_outcome ~label:(Printf.sprintf "scenario %s (seed %d)" sc.Scenario.sc_name sc.Scenario.sc_seed)
+    oc;
+  Option.iter
+    (fun path ->
+      write_file path (Fuzz.report_json ~runs:[ (sc.Scenario.sc_seed, oc) ]);
+      say "report -> %s" path)
+    report;
+  if oc.Fuzz.oc_violations = [] then `Ok () else exit 1
 
 (* ------------------------------------------------------------------ *)
 (* command line                                                       *)
@@ -830,7 +940,16 @@ let failpoint_arg =
     & info [ "failpoint" ] ~docv:"NAME"
         ~doc:
           "Enable a cluster failpoint for every run (sensitivity testing): skip-rebuild-scan, \
-           forget-seal-tail or skip-storage-seal.")
+           forget-seal-tail, skip-storage-seal, blind-commit-apply or stall-reconfig.")
+
+let specs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "specs" ] ~docv:"NAMES"
+        ~doc:
+          "Arm online spec machines for every run: a comma-separated list of names (see \
+           $(b,tangoctl spec)) or $(b,all).")
 
 let plan_arg =
   Arg.(
@@ -858,7 +977,7 @@ let fuzz_run_cmd =
       ret
         (const fuzz_run $ seed_arg $ fuzz_seeds_arg $ fuzz_servers_arg $ fuzz_clients_arg
        $ fuzz_events_arg $ fuzz_appends_arg $ fuzz_txs_arg $ plan_out_arg $ metrics_out_arg
-       $ spans_out_arg $ flight_out_arg $ report_arg $ failpoint_arg))
+       $ spans_out_arg $ flight_out_arg $ report_arg $ failpoint_arg $ specs_arg))
 
 let fuzz_replay_cmd =
   Cmd.v
@@ -866,12 +985,13 @@ let fuzz_replay_cmd =
     Term.(
       ret
         (const fuzz_replay $ plan_arg $ metrics_out_arg $ spans_out_arg $ flight_out_arg
-       $ failpoint_arg))
+       $ failpoint_arg $ specs_arg))
 
 let fuzz_shrink_cmd =
   Cmd.v
     (Cmd.info "shrink" ~doc:"Minimize a saved fuzz artifact while its oracle keeps firing.")
-    Term.(ret (const fuzz_shrink $ plan_arg $ shrink_out_arg $ oracle_arg $ failpoint_arg))
+    Term.(
+      ret (const fuzz_shrink $ plan_arg $ shrink_out_arg $ oracle_arg $ failpoint_arg $ specs_arg))
 
 let fuzz_cmd =
   Cmd.group
@@ -880,6 +1000,52 @@ let fuzz_cmd =
          "Simulation fuzzer: randomized fault plans, global invariant oracles, automatic plan \
           shrinking (DESIGN.md §9).")
     [ fuzz_run_cmd; fuzz_replay_cmd; fuzz_shrink_cmd ]
+
+let spec_cmd =
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:"List the online temporal spec machines the fuzzer can arm (DESIGN.md §12).")
+    Term.(ret (const spec_list $ json_arg))
+
+let scenario_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME" ~doc:"Built-in scenario to load (see $(b,scenario list)).")
+
+let scenario_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"FILE" ~doc:"Scenario JSON file to load instead of a built-in.")
+
+let scenario_list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in scenarios.")
+    Term.(ret (const scenario_list $ json_arg))
+
+let scenario_show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a scenario as its versioned JSON document (edit it, then run with --file).")
+    Term.(ret (const scenario_show $ scenario_name_arg $ scenario_file_arg))
+
+let scenario_run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute one scenario with its spec machines armed. Exits 0 when clean, 1 when an oracle \
+          or spec fired, 2 on a harness error.")
+    Term.(
+      ret (const scenario_run $ scenario_name_arg $ scenario_file_arg $ report_arg $ flight_out_arg))
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Config-driven scenario driver: named, versioned fuzz cases with spec machines armed \
+          (DESIGN.md §12).")
+    [ scenario_list_cmd; scenario_show_cmd; scenario_run_cmd ]
 
 let () =
   let info = Cmd.info "tangoctl" ~doc:"Operational demos for the Tango reproduction." in
@@ -898,4 +1064,6 @@ let () =
             trace_cmd;
             projection_cmd;
             fuzz_cmd;
+            spec_cmd;
+            scenario_cmd;
           ]))

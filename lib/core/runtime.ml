@@ -248,6 +248,20 @@ let involved_hosted t (c : Record.commit) =
   in
   List.sort_uniq Int.compare oids |> List.filter_map (Hashtbl.find_opt t.objects)
 
+(* Spec-plane milestones (Sim.Announce): decision recorded, commit
+   writes applied, transaction boundaries. Every emission is guarded,
+   so runs without subscribed monitors pay one branch and allocate
+   nothing. *)
+let announce_host t = Sim.Net.host_name (Corfu.Client.host t.cl)
+
+let announce_decided t pos committed =
+  if Sim.Announce.active () then
+    Sim.Announce.emit (Sim.Announce.Commit_decided { client = announce_host t; pos; committed })
+
+let announce_applied t pos =
+  if Sim.Announce.active () then
+    Sim.Announce.emit (Sim.Announce.Commit_applied { client = announce_host t; pos })
+
 (* Forward reference: [eager_outcome] needs the resolution machinery's
    types but is more readable next to [handle_commit]. *)
 let eager_outcome_ref : (t -> int -> Record.commit -> bool option) ref =
@@ -263,6 +277,7 @@ let rec resolve t target committed =
       target
       (if committed then "commit" else "abort");
     Hashtbl.replace t.decided target committed;
+    announce_decided t target committed;
     match Hashtbl.find_opt t.undecided target with
     | None -> ()
     | Some c ->
@@ -294,10 +309,12 @@ and drain t ho =
         match Hashtbl.find_opt t.decided cpos with
         | Some committed ->
             ignore (Queue.pop ho.waiting);
-            if committed then
+            if committed then begin
+              announce_applied t cpos;
               List.iter
                 (fun (u : Record.update) -> if u.Record.u_oid = ho.oid then apply_now t ho cpos u)
-                writes;
+                writes
+            end;
             drain t ho
         | None ->
             (* Frozen again at the next undecided commit. *)
@@ -604,16 +621,33 @@ let () = eager_outcome_ref := eager_outcome
    CPU). *)
 let handle_commit t pos ~involved (c : Record.commit) =
   match Hashtbl.find_opt t.decided pos with
-  | Some committed -> if committed then List.iter (deliver_update t pos) c.c_writes
+  | Some committed ->
+      if committed then begin
+        announce_applied t pos;
+        List.iter (deliver_update t pos) c.c_writes
+      end
   | None -> (
       List.iter refresh_gap involved;
+      (* Failpoint: apply the writes while the verdict is still
+         unknown — the §3c discipline (decide, then apply) is broken
+         on purpose so the ReadCommitted spec machine has a live
+         sensitivity gate. The normal decision machinery still runs
+         below, so the run proceeds (and later re-applies). *)
+      if Corfu.Cluster.failpoints.Corfu.Cluster.fp_blind_commit_apply then begin
+        announce_applied t pos;
+        List.iter (deliver_update t pos) c.c_writes
+      end;
       match eager_outcome t pos c with
       | Some committed ->
           (* Merged-order playback guarantees every hosted view is at
              exactly [pos] (frozen queues included), so this decision
              matches the generator's. *)
           Hashtbl.replace t.decided pos committed;
-          if committed then List.iter (deliver_update t pos) c.c_writes;
+          announce_decided t pos committed;
+          if committed then begin
+            announce_applied t pos;
+            List.iter (deliver_update t pos) c.c_writes
+          end;
           (* If waiters elsewhere rely on a decision record and the
              generator cannot produce it (collaborative commits), any
              full-read-set host publishes — the verdict is the same
@@ -857,7 +891,9 @@ let begin_tx t =
   let tail = sync_all t in
   play_to t tail;
   Hashtbl.replace t.txs fid
-    { tx_reads = []; tx_writes = []; tx_remote_reads = false; tx_t0 = Sim.Engine.now () }
+    { tx_reads = []; tx_writes = []; tx_remote_reads = false; tx_t0 = Sim.Engine.now () };
+  if Sim.Announce.active () then
+    Sim.Announce.emit (Sim.Announce.Tx_begin { client = announce_host t })
 
 let abort_tx t =
   let fid = Sim.Engine.fiber_id () in
@@ -950,6 +986,9 @@ let end_tx ?(stale = false) t =
         t.stats_aborts <- t.stats_aborts + 1;
         Sim.Metrics.incr t.aborts_c);
     Sim.Metrics.observe t.tx_h (Sim.Engine.now () -. ctx.tx_t0);
+    if Sim.Announce.active () then
+      Sim.Announce.emit
+        (Sim.Announce.Tx_finish { client = announce_host t; committed = status = Committed });
     status
   in
   match (List.rev ctx.tx_reads, List.rev ctx.tx_writes) with
@@ -1007,6 +1046,7 @@ let end_tx ?(stale = false) t =
         if reads = [] then begin
           (* Write-only: commits immediately, no playback (§3.2). *)
           Hashtbl.replace t.decided cpos true;
+          announce_decided t cpos true;
           true
         end
         else if collaborative then begin
@@ -1035,7 +1075,9 @@ let end_tx ?(stale = false) t =
                 | Some _ -> ()
                 | None -> (
                     match eager_outcome t cpos commit with
-                    | Some outcome -> Hashtbl.replace t.decided cpos outcome
+                    | Some outcome ->
+                        Hashtbl.replace t.decided cpos outcome;
+                        announce_decided t cpos outcome
                     | None -> park_commit t cpos commit ~involved:(involved_hosted t commit)));
             await_decided t cpos
           end

@@ -201,8 +201,11 @@ let probe_stale_grant t off entry =
 let seq_grant t f =
   Sim.Span.with_span ~host:(hname t) "sequencer.grant" @@ fun () -> Sim.Metrics.time t.grant_h f
 
-let commit_marker t f =
-  Sim.Span.with_span ~host:(hname t) "commit" @@ fun () -> f ()
+let commit_marker t ~streams ~off f =
+  Sim.Span.with_span ~host:(hname t) "commit" @@ fun () ->
+  f ();
+  if Sim.Announce.active () then
+    Sim.Announce.emit (Sim.Announce.Append_acked { client = hname t; offset = off; streams })
 
 (* Remember our own appends per stream so probing appends (below) can
    chain onto them if the sequencer disappears. *)
@@ -257,7 +260,7 @@ and append_at t ~seq ~streams ~payload off entry =
     else
       match write_chain t off (Types.Data entry) with
       | Chain_ok ->
-          commit_marker t (fun () ->
+          commit_marker t ~streams ~off (fun () ->
               (* Our own playback will want this entry next; save the
                  round trip. *)
               cache_insert t off entry;
@@ -373,7 +376,7 @@ let write_granted_inner t g ~index payload =
     else
       match write_chain t off (Types.Data entry) with
       | Chain_ok ->
-          commit_marker t (fun () ->
+          commit_marker t ~streams:g.g_streams ~off (fun () ->
               cache_insert t off entry;
               note_own_append t ~streams:g.g_streams off);
           off
@@ -550,7 +553,7 @@ let append_probing t ~streams payload =
     let entry = { Types.headers; payload } in
     match write_chain t guess (Types.Data entry) with
     | Chain_ok ->
-        commit_marker t (fun () ->
+        commit_marker t ~streams ~off:guess (fun () ->
             cache_insert t guess entry;
             record_probe guess);
         guess
@@ -653,7 +656,11 @@ let read_resolved t off =
   let deadline = Sim.Engine.now () +. t.p.fill_timeout_us in
   let rec poll backoff =
     match read t off with
-    | (Data _ | Junk | Trimmed) as r -> r
+    | Data _ as r ->
+        if Sim.Announce.active () then
+          Sim.Announce.emit (Sim.Announce.Offset_readable { client = hname t; offset = off });
+        r
+    | (Junk | Trimmed) as r -> r
     | Unwritten ->
         if Sim.Engine.now () >= deadline then begin
           match fill t off with

@@ -42,21 +42,43 @@ type failpoints = {
   mutable fp_skip_rebuild_scan : bool;
   mutable fp_forget_seal_tail : bool;
   mutable fp_skip_storage_seal : bool;
+  mutable fp_blind_commit_apply : bool;
+  mutable fp_stall_reconfig : bool;
 }
 
 let failpoints =
-  { fp_skip_rebuild_scan = false; fp_forget_seal_tail = false; fp_skip_storage_seal = false }
+  {
+    fp_skip_rebuild_scan = false;
+    fp_forget_seal_tail = false;
+    fp_skip_storage_seal = false;
+    fp_blind_commit_apply = false;
+    fp_stall_reconfig = false;
+  }
 
 let reset_failpoints () =
   failpoints.fp_skip_rebuild_scan <- false;
   failpoints.fp_forget_seal_tail <- false;
-  failpoints.fp_skip_storage_seal <- false
+  failpoints.fp_skip_storage_seal <- false;
+  failpoints.fp_blind_commit_apply <- false;
+  failpoints.fp_stall_reconfig <- false
 
 let enable_failpoint = function
   | "skip-rebuild-scan" -> failpoints.fp_skip_rebuild_scan <- true
   | "forget-seal-tail" -> failpoints.fp_forget_seal_tail <- true
   | "skip-storage-seal" -> failpoints.fp_skip_storage_seal <- true
+  | "blind-commit-apply" -> failpoints.fp_blind_commit_apply <- true
+  | "stall-reconfig" -> failpoints.fp_stall_reconfig <- true
   | name -> invalid_arg (Printf.sprintf "Cluster.enable_failpoint: unknown failpoint %S" name)
+
+(* Reconfiguration milestones for the temporal spec plane
+   (ReconfigTermination): a started/installed pair brackets every
+   epoch change. Guarded, so runs without monitors pay one branch. *)
+let announce_started kind =
+  if Sim.Announce.active () then Sim.Announce.emit (Sim.Announce.Reconfig_started { kind })
+
+let announce_installed kind epoch =
+  if Sim.Announce.active () then
+    Sim.Announce.emit (Sim.Announce.Reconfig_installed { kind; epoch })
 
 (* Reconfiguration operations are serialized per cluster: the failure
    monitor, scheduled fault-plan actions, and explicit operator calls
@@ -313,6 +335,10 @@ let replace_sequencer t =
   Sim.Span.with_span ~host:"reconfig-agent" "recovery.sequencer"
   @@ fun () ->
   Sim.Metrics.incr (Sim.Metrics.counter "cluster.seq_replacements");
+  announce_started "sequencer";
+  (* Failpoint: wedge the takeover right after it starts — the epoch
+     never installs, so ReconfigTermination's deadline fires. *)
+  if failpoints.fp_stall_reconfig then Sim.Engine.sleep 60_000_000.;
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
   (* 1. Seal the old sequencer so no stale backpointers escape. Its
@@ -404,6 +430,7 @@ let replace_sequencer t =
    with
   | Auxiliary.Installed -> ()
   | Auxiliary.Conflict _ -> failwith "Cluster.replace_sequencer: concurrent reconfiguration");
+  announce_installed "sequencer" epoch;
   epoch
 
 (* ------------------------------------------------------------------ *)
@@ -447,6 +474,7 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
     "recovery"
   @@ fun () ->
   let started = Sim.Engine.now () in
+  announce_started "storage";
   Sim.Trace.f ~host:(Storage_node.name dead) "reconfig"
     "replacing a member of %d segment chain(s) at epoch %d" (List.length slots) epoch;
   (* 1. Seal the sequencer at the new epoch. It stays in the next
@@ -610,6 +638,7 @@ let replace_storage_node ?(copy_window = 16) t ~dead =
   Sim.Trace.f ~host:spare_name "reconfig"
     "epoch %d installed: %s -> %s, copied %d cells (%d bytes) in %.0f us" epoch
     (Storage_node.name dead) spare_name !copied_entries !copied_bytes (installed -. started);
+  announce_installed "storage" epoch;
   epoch
 
 (* ------------------------------------------------------------------ *)
@@ -647,6 +676,8 @@ let next_local_base segments ~seal_tail =
    segment over [new_sets], and propose. No data moves: old offsets
    keep resolving through the segment that wrote them. *)
 let reseal_with_tail t ~kind ~started new_sets_of =
+  let kind_name = match kind with Scale_in -> "scale-in" | _ -> "scale-out" in
+  announce_started kind_name;
   let old_proj = Auxiliary.latest t.aux in
   let epoch = old_proj.Projection.epoch + 1 in
   let servers_before = Projection.num_servers old_proj in
@@ -707,6 +738,7 @@ let reseal_with_tail t ~kind ~started new_sets_of =
   t.scale_events <- event :: t.scale_events;
   Sim.Trace.f "reconfig" "epoch %d: tail segment sealed at %d, %d -> %d servers, %d segments"
     epoch boundary servers_before event.sc_servers_after event.sc_segments;
+  announce_installed kind_name epoch;
   epoch
 
 let scale_out ?chain_length ?chains t ~add_servers =
@@ -805,6 +837,7 @@ let retire_trimmed_segments t =
   else begin
     Sim.Span.with_span ~host:"reconfig-agent" "scale.retire"
     @@ fun () ->
+    announce_started "retire";
     let started = Sim.Engine.now () in
     let epoch = old_proj.Projection.epoch + 1 in
     let servers_before = Projection.num_servers old_proj in
@@ -843,6 +876,7 @@ let retire_trimmed_segments t =
     Sim.Metrics.incr (Sim.Metrics.counter "cluster.segment_retirements");
     Sim.Trace.f "reconfig" "epoch %d: retired %d segment(s) below %d, released [%s]" epoch
       !retire event.sc_boundary (String.concat "; " released);
+    announce_installed "retire" epoch;
     Some epoch
   end
 

@@ -193,6 +193,14 @@ type failpoints = {
   mutable fp_skip_storage_seal : bool;
       (** reconfigurations collect tails without sealing, leaving
           stale-epoch clients able to write through the old view *)
+  mutable fp_blind_commit_apply : bool;
+      (** runtime playback applies commit writes without waiting for
+          (or recording) the commit/abort decision — the isolation
+          leak the ReadCommitted spec machine exists to catch *)
+  mutable fp_stall_reconfig : bool;
+      (** {!replace_sequencer} wedges right after starting: the seal
+          happens but no new epoch ever installs, so the
+          ReconfigTermination spec machine's deadline fires *)
 }
 
 val failpoints : failpoints
@@ -200,7 +208,8 @@ val reset_failpoints : unit -> unit
 
 (** [enable_failpoint name] sets one flag by its kebab-case name
     (["skip-rebuild-scan"], ["forget-seal-tail"],
-    ["skip-storage-seal"]) — the [tangoctl fuzz --failpoint] hook.
+    ["skip-storage-seal"], ["blind-commit-apply"],
+    ["stall-reconfig"]) — the [tangoctl fuzz --failpoint] hook.
     @raise Invalid_argument on an unknown name. *)
 val enable_failpoint : string -> unit
 

@@ -20,6 +20,7 @@ type config = {
   f_fault_at_us : float;  (* first fault no earlier than this *)
   f_fault_window_us : float;  (* faults land inside this window *)
   f_deadline_us : float;  (* workload must finish by then *)
+  f_repair_margin_us : float;  (* make-whole runs this long after the last planned fault *)
   f_settle_us : float;  (* quiesce before the oracle phase *)
   f_horizon_us : float;  (* hard virtual-time ceiling for one run *)
   f_shrink_runs : int;  (* shrink budget, counted in re-runs *)
@@ -35,6 +36,7 @@ let default_config =
     f_fault_at_us = 15_000.;
     f_fault_window_us = 130_000.;
     f_deadline_us = 3_000_000.;
+    f_repair_margin_us = 50_000.;
     f_settle_us = 400_000.;
     f_horizon_us = 10_000_000.;
     f_shrink_runs = 250;
@@ -247,13 +249,14 @@ type outcome = {
   oc_committed : int;
   oc_aborted : int;
   oc_fault_events : int;  (* fault actions actually applied *)
+  oc_spec_firings : Spec.firing list;  (* online spec-machine firings, oldest first *)
   oc_end_us : float;  (* virtual time when the oracle phase finished *)
   oc_metrics_json : string;  (* canonical dump; byte-identical on replay *)
   oc_spans_json : string option;  (* when capture_spans *)
   oc_flight_json : string option;  (* flight snapshots, when any fired *)
 }
 
-let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
+let run ?failpoint ?(capture_spans = false) ?(specs = []) ?spec_deadline_us ~seed config ~plan =
   Cluster.reset_failpoints ();
   (match failpoint with Some n -> Cluster.enable_failpoint n | None -> ());
   (* Arm the flight recorder so any oracle violation ships with its
@@ -280,12 +283,55 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
   let end_us = ref 0. in
   let metrics_json = ref "" in
   let oracle_violations = ref [] in
+  let spec_plane = ref None in
   let main () =
     let cluster = Cluster.create ~servers:config.f_servers () in
     Cluster.start_failure_monitor cluster;
     let fault = Sim.Fault.create ~seed () in
     Sim.Net.install_fault (Cluster.net cluster) fault;
     Sim.Fault.plan fault (List.map (fun (at, a) -> (at, rebind cluster a)) plan);
+    (* -------- online spec machines: a dedicated follower client
+       discharges readability obligations by stream visibility (raw
+       offset reads would miss broken backpointer chains) *)
+    if specs <> [] then begin
+      let pc = Cluster.new_client cluster ~name:"fz-spec-probe" in
+      let followers =
+        Array.to_list workload_streams |> List.map (fun sid -> (sid, Stream.attach pc sid))
+      in
+      let follow () =
+        List.concat_map
+          (fun (sid, s) ->
+            ignore (Stream.sync s);
+            let rec fetch acc =
+              match Stream.readnext s with
+              | Some (off, _) -> fetch ((sid, off) :: acc)
+              | None -> List.rev acc
+            in
+            fetch [])
+          followers
+      in
+      (* Second-chance probe for a past-due obligation: a from-scratch
+         walk of the whole chain (fresh attach, same client cache). The
+         incremental follower above can hold a stale junk verdict for a
+         slot whose fill raced a partition-delayed write and lost to
+         the rebuild; a fresh walk sees the repaired chain, while a
+         genuinely broken chain (skip-rebuild-scan) stays invisible. *)
+      let confirm ~stream ~offset =
+        let s = Stream.attach pc stream in
+        ignore (Stream.sync s);
+        let rec scan () =
+          match Stream.readnext s with
+          | Some (off, _) -> off = offset || scan ()
+          | None -> false
+        in
+        scan ()
+      in
+      spec_plane :=
+        Some
+          (Spec.arm ~specs ?commit_deadline_us:spec_deadline_us
+             ?reconfig_deadline_us:spec_deadline_us
+             ~streams:(Array.to_list workload_streams) ~follow ~confirm ())
+    end;
     (* -------- workload: per client, one appender + one transactor *)
     let total_fibers = 2 * config.f_clients in
     let done_count = ref 0 in
@@ -358,7 +404,7 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
     in
     let whole_at =
       let last = List.fold_left (fun acc (at, _) -> Float.max acc at) config.f_fault_at_us plan in
-      Float.min (last +. 50_000.) config.f_deadline_us
+      Float.min (last +. config.f_repair_margin_us) config.f_deadline_us
     in
     await whole_at;
     make_whole fault cluster plan;
@@ -368,6 +414,9 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
         total_fibers config.f_deadline_us;
     (* -------- let the repaired system settle *)
     Sim.Engine.sleep config.f_settle_us;
+    (* -------- give every pending spec obligation its deadline: a
+       wedge fires here at the latest, always before [oc_end_us] *)
+    (match !spec_plane with Some sp -> Spec.drain sp | None -> ());
     (* -------- oracle phase: fresh observers *)
     let obs = Cluster.new_client cluster ~name:"fz-observer" in
     let tail = Client.check obs in
@@ -476,19 +525,26 @@ let run ?failpoint ?(capture_spans = false) ~seed config ~plan =
       blame "liveness" "virtual-time horizon %.0fus reached before the oracle phase finished" h
   | Sim.Engine.Deadlock -> blame "liveness" "simulation deadlocked"
   | e -> blame "exception" "%s" (Printexc.to_string e));
+  let spec_firings = match !spec_plane with Some sp -> Spec.firings sp | None -> [] in
+  let spec_violations = match !spec_plane with Some sp -> Spec.violations sp | None -> [] in
   (* Horizon overruns, deadlocks, and escaped exceptions unwind before
      the in-run snapshot; capture what the rings held at the abort. *)
-  if (!violations <> [] || !oracle_violations <> []) && Sim.Flight.snapshot_count () = 0 then
-    Sim.Flight.snapshot ~reason:"fuzz-abort";
+  if
+    (!violations <> [] || !oracle_violations <> [] || spec_violations <> [])
+    && Sim.Flight.snapshot_count () = 0
+  then Sim.Flight.snapshot ~reason:"fuzz-abort";
   let flight_json =
     if Sim.Flight.snapshot_count () > 0 then Some (Sim.Flight.dump_json ()) else None
   in
   {
-    oc_violations = List.rev !violations @ !oracle_violations;
+    (* spec firings lead: they carry the mid-run timestamp and are the
+       preferred shrink target when several oracles condemn one run *)
+    oc_violations = spec_violations @ List.rev !violations @ !oracle_violations;
     oc_acked = List.length !acked;
     oc_committed = !committed;
     oc_aborted = !aborted;
     oc_fault_events = !fault_events;
+    oc_spec_firings = spec_firings;
     oc_end_us = !end_us;
     oc_metrics_json = !metrics_json;
     oc_spans_json = !spans_json;
@@ -513,13 +569,13 @@ let sort_plan p = List.sort (fun (a, _) (b, _) -> Float.compare a b) p
    oracle still fires" — a candidate that merely trips a different
    invariant is rejected, so the reproducer explains the original
    failure, not a new one. Budgeted in re-runs ([f_shrink_runs]). *)
-let shrink ?failpoint ~seed config plan ~oracle =
+let shrink ?failpoint ?(specs = []) ?spec_deadline_us ~seed config plan ~oracle =
   let runs = ref 0 in
   let fails p =
     !runs < config.f_shrink_runs
     && begin
          incr runs;
-         let oc = run ?failpoint ~seed config ~plan:p in
+         let oc = run ?failpoint ~specs ?spec_deadline_us ~seed config ~plan:p in
          List.exists (fun v -> String.equal v.Verifier.v_oracle oracle) oc.oc_violations
        end
   in
@@ -596,7 +652,7 @@ let shrink ?failpoint ~seed config plan ~oracle =
 (* Replayable artifacts and run reports                               *)
 (* ------------------------------------------------------------------ *)
 
-let artifact_version = 1
+let artifact_version = 2
 
 (* Exact numerals, same contract as the plan encoder: a decoded
    artifact reruns the byte-identical scenario. *)
@@ -615,6 +671,7 @@ let encode_config c =
       ("fault_at_us", num c.f_fault_at_us);
       ("fault_window_us", num c.f_fault_window_us);
       ("deadline_us", num c.f_deadline_us);
+      ("repair_margin_us", num c.f_repair_margin_us);
       ("settle_us", num c.f_settle_us);
       ("horizon_us", num c.f_horizon_us);
       ("shrink_runs", string_of_int c.f_shrink_runs);
@@ -632,6 +689,7 @@ let decode_config v =
     f_fault_at_us = flt "fault_at_us";
     f_fault_window_us = flt "fault_window_us";
     f_deadline_us = flt "deadline_us";
+    f_repair_margin_us = flt "repair_margin_us";
     f_settle_us = flt "settle_us";
     f_horizon_us = flt "horizon_us";
     f_shrink_runs = int "shrink_runs";
@@ -685,6 +743,7 @@ let report_json ~runs =
                    ("committed", string_of_int oc.oc_committed);
                    ("aborted", string_of_int oc.oc_aborted);
                    ("fault_events", string_of_int oc.oc_fault_events);
+                   ("spec_firings", Sim.Jout.arr (List.map Spec.firing_json oc.oc_spec_firings));
                    ("end_us", Sim.Jout.flt oc.oc_end_us);
                  ])
              runs) );

@@ -12,7 +12,21 @@
     Generated plans are {e make-whole}: every fault carries a recovery
     partner, and storage faults are serialized onto disjoint chains, so
     a correct build produces zero violations on every seed. Any
-    violation is a bug. *)
+    violation is a bug.
+
+    {b Liveness semantics (repair-then-deadline).} Workload liveness
+    is judged against a {e whole} system, in two steps: at
+    [f_repair_margin_us] after the last planned fault event, {!run}
+    re-applies every missing recovery partner (restarts for crashes,
+    heal for partitions, edge clears, SSD repairs) — shrinking
+    routinely drops them — and only a workload that {e still} cannot
+    finish by [f_deadline_us] is a ["liveness"] violation. Without
+    the repair step, any shrunk plan that leaves a projection member
+    permanently unreachable would stall fundamentally, and the
+    shrinker would converge on that stall instead of the original
+    failure. The online spec machines ({!Spec}) use the same clock
+    convention: their deadlines are suspended while a repairable
+    fault is outstanding and restart from the last repair. *)
 
 type config = {
   f_servers : int;  (** storage nodes at boot, arranged in chains of 2 *)
@@ -23,6 +37,9 @@ type config = {
   f_fault_at_us : float;  (** first fault no earlier than this *)
   f_fault_window_us : float;  (** faults land inside this window *)
   f_deadline_us : float;  (** workload must finish by this virtual time *)
+  f_repair_margin_us : float;
+      (** make-whole repairs run this long after the last planned
+          fault event (the repair-then-deadline rule above) *)
   f_settle_us : float;  (** quiesce time before the oracle phase *)
   f_horizon_us : float;  (** hard virtual-time ceiling for one run *)
   f_shrink_runs : int;  (** shrink budget, counted in re-runs *)
@@ -44,6 +61,9 @@ type outcome = {
   oc_committed : int;
   oc_aborted : int;
   oc_fault_events : int;  (** fault actions actually applied *)
+  oc_spec_firings : Spec.firing list;
+      (** online spec-machine firings, oldest first; each carries the
+          virtual timestamp at which the property broke mid-run *)
   oc_end_us : float;  (** virtual time when the oracle phase finished *)
   oc_metrics_json : string;  (** canonical; byte-identical on replay *)
   oc_spans_json : string option;  (** present when [capture_spans] *)
@@ -61,10 +81,20 @@ type outcome = {
     enables a {!Corfu.Cluster} failpoint for the duration (sensitivity
     testing); failpoints are reset on exit even on exceptions. Engine
     deadlock or horizon overrun is reported as a ["liveness"]
-    violation, an escaped exception as ["exception"]. *)
+    violation, an escaped exception as ["exception"].
+
+    [specs] arms the named {!Spec} machines for the run: a dedicated
+    follower client discharges readability obligations, the machines
+    fire mid-run, and their firings are folded into [oc_violations]
+    with oracle [spec:<name>] — first-class shrink targets.
+    [spec_deadline_us] overrides both spec deadlines (default 400 ms
+    virtual). Arming specs changes the event schedule, so traces are
+    only comparable between runs armed with the same [specs]. *)
 val run :
   ?failpoint:string ->
   ?capture_spans:bool ->
+  ?specs:Spec.spec list ->
+  ?spec_deadline_us:float ->
   seed:int ->
   config ->
   plan:(float * Sim.Fault.action) list ->
@@ -81,9 +111,13 @@ type shrink_result = {
     fixpoint, per-event time bisection toward the window start, then
     partition-component narrowing. A candidate that trips only a
     {e different} oracle is rejected — the reproducer explains the
-    original failure. Bounded by [config.f_shrink_runs] re-runs. *)
+    original failure. Bounded by [config.f_shrink_runs] re-runs.
+    [specs] re-arms the same spec machines on every candidate run, so
+    [spec:<name>] oracles shrink like any other. *)
 val shrink :
   ?failpoint:string ->
+  ?specs:Spec.spec list ->
+  ?spec_deadline_us:float ->
   seed:int ->
   config ->
   (float * Sim.Fault.action) list ->
@@ -107,6 +141,7 @@ val encode_artifact : seed:int -> config -> (float * Sim.Fault.action) list -> s
 val decode_artifact : string -> int * config * (float * Sim.Fault.action) list
 
 (** [report_json ~runs] renders a machine-readable campaign report
-    ([schema_version] 1): per-seed violation counts, oracle names, and
-    workload totals, plus the campaign-wide violation total. *)
+    ([schema_version] 1): per-seed violation counts, oracle names,
+    spec firings with virtual timestamps, and workload totals, plus
+    the campaign-wide violation total. *)
 val report_json : runs:(int * outcome) list -> string

@@ -1,0 +1,40 @@
+(** Config-driven scenario driver (DESIGN.md §12).
+
+    A scenario names everything one fuzz case needs: seed, topology
+    and workload mix ({!Fuzz.config}), an explicit fault plan, the
+    {!Spec} machines to arm, and optionally a failpoint. Scenarios
+    serialize to a versioned JSON document, so the interesting test
+    matrix lives in files and CI steps, not in code — the [logConfig]
+    pattern from the verified-distributed-log exemplar. *)
+
+type t = {
+  sc_name : string;
+  sc_seed : int;
+  sc_config : Fuzz.config;
+  sc_plan : (float * Sim.Fault.action) list;
+  sc_specs : Spec.spec list;
+  sc_spec_deadline_us : float option;  (** overrides both spec deadlines *)
+  sc_failpoint : string option;  (** {!Corfu.Cluster} failpoint, if any *)
+}
+
+(** Bumped on any incompatible change to the scenario JSON layout. *)
+val version : int
+
+val encode : t -> string
+
+(** @raise Sim.Jin.Parse_error on malformed JSON.
+    @raise Invalid_argument on an unknown version or spec name. *)
+val decode : string -> t
+
+(** [run sc] executes the scenario as one fuzz case ({!Fuzz.run}) with
+    its specs armed. Determinism contract is {!Fuzz.run}'s: same
+    scenario, byte-identical trace. *)
+val run : t -> Fuzz.outcome
+
+(** Built-in scenarios, including
+    ["sequencer-takeover-under-partition"] — a sequencer replacement
+    racing a storage-node partition, the repo's analog of the
+    exemplar's producer takeover — and ["crash-restart-baseline"]. *)
+val builtins : t list
+
+val find : string -> t option

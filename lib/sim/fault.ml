@@ -97,6 +97,17 @@ let apply t action =
   | Clear_edge (s, d) -> Hashtbl.remove t.edges (s, d)
   | Custom (_, run) -> run ());
   let what = label action in
+  if Announce.active () then
+    Announce.emit
+      (match action with
+      | Crash h -> Announce.Fault_injected { key = "crash:" ^ h }
+      | Restart h -> Announce.Fault_repaired { key = "crash:" ^ h }
+      | Partition _ -> Announce.Fault_injected { key = "partition" }
+      | Heal -> Announce.Fault_repaired { key = "partition" }
+      | Degrade { d_src; d_dst; _ } ->
+          Announce.Fault_injected { key = "edge:" ^ d_src ^ ">" ^ d_dst }
+      | Clear_edge (s, d) -> Announce.Fault_repaired { key = "edge:" ^ s ^ ">" ^ d }
+      | Custom (name, _) -> Announce.Custom_fault { name });
   Metrics.incr (Metrics.counter ?host:(host_of action) "fault.injected");
   t.log <- { ev_time = Engine.now (); ev_label = what } :: t.log;
   if Flight.enabled () then

@@ -398,6 +398,54 @@ let test_verifier_convergence_and_atomicity () =
   Alcotest.(check (list string)) "leaked abort" [ "atomicity" ]
     (oracle_names (Verifier.atomicity ~txs:[ probe "t4" false true true ]))
 
+(* Pathological observation shapes the normal fuzz path never builds:
+   the oracles must degrade to "nothing to say", not crash or
+   fabricate violations. *)
+let test_verifier_pathological_histories () =
+  (* Empty acked set: durability has no obligations. *)
+  Alcotest.(check (list string)) "empty acked set" []
+    (oracle_names (Verifier.durability ~acked:[] ~read:(fun _ -> None)));
+  (* The same acked offset reported twice (an at-least-once ack path):
+     one readable copy satisfies both records, and a mismatch still
+     fires once per record. *)
+  let dup = [ (3, Bytes.of_string "a"); (3, Bytes.of_string "a") ] in
+  let read = function 3 -> Some (Bytes.of_string "a") | _ -> None in
+  Alcotest.(check (list string)) "duplicate acked offsets, consistent" []
+    (oracle_names (Verifier.durability ~acked:dup ~read));
+  Alcotest.(check (list string)) "duplicate acked offsets, lost -> one summary violation"
+    [ "durability" ]
+    (oracle_names
+       (Verifier.durability
+          ~acked:[ (9, Bytes.of_string "x"); (9, Bytes.of_string "x") ]
+          ~read));
+  (* Duplicate acked (stream, offset) pairs must not demand duplicate
+     playback entries. *)
+  Alcotest.(check (list string)) "duplicate acked stream members" []
+    (oracle_names
+       (Verifier.stream_order ~acked:[ (1, 4); (1, 4) ]
+          ~views:[ ("a", [ (1, [ 0; 4 ]) ]); ("b", [ (1, [ 0; 4 ]) ]) ]));
+  (* A single client's view: no peer to diverge from, but ordering and
+     acked-coverage still apply. *)
+  Alcotest.(check (list string)) "single view, clean" []
+    (oracle_names (Verifier.stream_order ~acked:[ (1, 4) ] ~views:[ ("solo", [ (1, [ 0; 4 ]) ]) ]));
+  check_bool "single view, non-ascending still caught" true
+    (List.mem "stream-order"
+       (oracle_names (Verifier.stream_order ~acked:[] ~views:[ ("solo", [ (1, [ 4; 0 ]) ]) ])));
+  check_bool "single view, missing acked entry still caught" true
+    (List.mem "stream-order"
+       (oracle_names (Verifier.stream_order ~acked:[ (1, 9) ] ~views:[ ("solo", [ (1, [ 0 ]) ]) ])));
+  (* An aborted tx whose marker is only partially visible is a leak,
+     not a tear: every partial-visibility shape must fire. *)
+  let probe committed in_map in_set =
+    { Verifier.t_tag = "t"; t_committed = committed; t_in_map = in_map; t_in_set = in_set }
+  in
+  Alcotest.(check (list string)) "aborted tx partially visible (map only)" [ "atomicity" ]
+    (oracle_names (Verifier.atomicity ~txs:[ probe false true false ]));
+  Alcotest.(check (list string)) "aborted tx partially visible (set only)" [ "atomicity" ]
+    (oracle_names (Verifier.atomicity ~txs:[ probe false false true ]));
+  Alcotest.(check (list string)) "empty tx set" []
+    (oracle_names (Verifier.atomicity ~txs:[]))
+
 (* ------------------------------------------------------------------ *)
 (* Fuzzer: clean smoke, determinism, artifact codec, sensitivity       *)
 (* ------------------------------------------------------------------ *)
@@ -475,6 +523,148 @@ let test_fuzz_finds_injected_bug () =
   let clean = Fuzz.run ~seed small_config ~plan:sh.Fuzz.sh_plan in
   Alcotest.(check (list string)) "clean build passes the reproducer" []
     (oracle_names clean.Fuzz.oc_violations)
+
+(* ------------------------------------------------------------------ *)
+(* Spec plane: online temporal monitors (DESIGN.md §12)               *)
+(* ------------------------------------------------------------------ *)
+
+module Spec = Tango_harness.Spec
+module Scenario = Tango_harness.Scenario
+
+let spec_oracles oc =
+  List.filter (fun o -> String.length o > 5 && String.sub o 0 5 = "spec:")
+    (oracle_names oc.Fuzz.oc_violations)
+
+(* A fault-free-build campaign with every machine armed must stay
+   silent, and arming the machines must not break determinism: the
+   checker fiber and probe client are part of the schedule, so two
+   same-seed runs still produce byte-identical dumps. *)
+let test_spec_clean_and_deterministic () =
+  let plan = Fuzz.gen_plan ~seed:46 small_config in
+  let a = Fuzz.run ~specs:Spec.all ~seed:46 small_config ~plan in
+  let b = Fuzz.run ~specs:Spec.all ~seed:46 small_config ~plan in
+  Alcotest.(check (list string)) "no firings on a clean build" [] (spec_oracles a);
+  Alcotest.(check (list string)) "no violations at all" [] (oracle_names a.Fuzz.oc_violations);
+  check_bool "no spec firings recorded" true (a.Fuzz.oc_spec_firings = []);
+  Alcotest.(check string) "metrics byte-identical with specs armed" a.Fuzz.oc_metrics_json
+    b.Fuzz.oc_metrics_json
+
+(* Each spec machine must catch its tailored injected bug while the
+   run executes — the firing's virtual timestamp is strictly earlier
+   than the campaign end — and the firing must shrink like any other
+   oracle, to a <=5 event reproducer. *)
+let check_spec_fires ~failpoint ~specs ~spec_name ~seed ~plan ?(shrink = true) () =
+  let oracle = "spec:" ^ spec_name in
+  let oc = Fuzz.run ~failpoint ~specs ~seed small_config ~plan in
+  check_bool (oracle ^ " among violations") true
+    (List.mem oracle (oracle_names oc.Fuzz.oc_violations));
+  let f =
+    match List.find_opt (fun f -> f.Spec.sp_spec = spec_name) oc.Fuzz.oc_spec_firings with
+    | Some f -> f
+    | None -> Alcotest.fail (spec_name ^ " has no recorded firing")
+  in
+  check_bool
+    (Printf.sprintf "fired mid-run (t=%.0fus < end=%.0fus)" f.Spec.sp_time_us oc.Fuzz.oc_end_us)
+    true
+    (f.Spec.sp_time_us < oc.Fuzz.oc_end_us);
+  check_bool "flight recorder captured the firing" true (oc.Fuzz.oc_flight_json <> None);
+  if shrink then begin
+    let sh = Fuzz.shrink ~failpoint ~specs ~seed small_config plan ~oracle in
+    check_bool
+      (Printf.sprintf "shrunk to %d events (<=5)" (List.length sh.Fuzz.sh_plan))
+      true
+      (List.length sh.Fuzz.sh_plan <= 5);
+    Alcotest.(check string) "shrink preserved the spec oracle" oracle sh.Fuzz.sh_oracle
+  end
+
+let test_spec_commit_liveness_fires () =
+  (* The lost rebuild scan needs a takeover racing live appends: an
+     append acked between two probe syncs is only reachable through
+     the old sequencer's stream tails, which the failpoint discards.
+     The takeover time is swept across the append burst because the
+     exact ack/sync interleaving is seed-dependent. *)
+  let failpoint = "skip-rebuild-scan" and specs = [ Spec.Commit_liveness ] in
+  let takeover at = [ (at, Sim.Fault.Custom ("replace-sequencer", fun () -> ())) ] in
+  let rec hunt = function
+    | [] -> Alcotest.fail "commit-liveness never fired across the takeover sweep"
+    | at :: rest ->
+        let oc = Fuzz.run ~failpoint ~specs ~seed:1 small_config ~plan:(takeover at) in
+        if List.mem "spec:commit-liveness" (oracle_names oc.Fuzz.oc_violations) then takeover at
+        else hunt rest
+  in
+  let plan = hunt [ 15_000.; 12_000.; 18_000.; 9_000.; 21_000.; 6_000. ] in
+  check_spec_fires ~failpoint ~specs ~spec_name:"commit-liveness" ~seed:1 ~plan ()
+
+let test_spec_read_committed_fires () =
+  (* Blind commit application is workload-triggered; no fault plan
+     needed at all, which also makes the shrink trivially minimal. *)
+  check_spec_fires ~failpoint:"blind-commit-apply" ~specs:[ Spec.Read_committed ]
+    ~spec_name:"read-committed" ~seed:1 ~plan:[] ()
+
+let test_spec_reconfig_termination_fires () =
+  check_spec_fires ~failpoint:"stall-reconfig" ~specs:[ Spec.Reconfig_termination ]
+    ~spec_name:"reconfig-termination" ~seed:1
+    ~plan:[ (30_000., Sim.Fault.Custom ("replace-sequencer", fun () -> ())) ]
+    ()
+
+let test_spec_names_roundtrip () =
+  List.iter (fun s -> check_bool (Spec.name s) true (Spec.of_name (Spec.name s) = s)) Spec.all;
+  match Spec.of_name "nonsense" with
+  | _ -> Alcotest.fail "unknown spec name accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scenario driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_roundtrip () =
+  let sc =
+    {
+      Scenario.sc_name = "rt";
+      sc_seed = 5;
+      sc_config = small_config;
+      sc_plan =
+        [
+          (10_000., Sim.Fault.Crash "storage-1");
+          (20_000., Sim.Fault.Custom ("replace-sequencer", fun () -> ()));
+          (30_000., Sim.Fault.Restart "storage-1");
+        ];
+      sc_specs = [ Spec.Commit_liveness; Spec.Reconfig_termination ];
+      sc_spec_deadline_us = Some 250_000.;
+      sc_failpoint = Some "skip-rebuild-scan";
+    }
+  in
+  let sc' = Scenario.decode (Scenario.encode sc) in
+  Alcotest.(check string) "name" sc.Scenario.sc_name sc'.Scenario.sc_name;
+  Alcotest.(check int) "seed" sc.Scenario.sc_seed sc'.Scenario.sc_seed;
+  check_bool "config" true (sc'.Scenario.sc_config = small_config);
+  check_bool "plan" true (Sim.Fault.equal_plan sc.Scenario.sc_plan sc'.Scenario.sc_plan);
+  check_bool "specs" true (sc'.Scenario.sc_specs = sc.Scenario.sc_specs);
+  Alcotest.(check (option (float 1e-9))) "deadline" sc.Scenario.sc_spec_deadline_us
+    sc'.Scenario.sc_spec_deadline_us;
+  Alcotest.(check (option string)) "failpoint" sc.Scenario.sc_failpoint sc'.Scenario.sc_failpoint;
+  (* Optional fields omitted from the document decode as None. *)
+  let bare =
+    Scenario.decode
+      (Scenario.encode { sc with Scenario.sc_spec_deadline_us = None; sc_failpoint = None })
+  in
+  check_bool "no deadline" true (bare.Scenario.sc_spec_deadline_us = None);
+  check_bool "no failpoint" true (bare.Scenario.sc_failpoint = None);
+  match Scenario.decode "{\"version\":99,\"tool\":\"tango-scenario\"}" with
+  | _ -> Alcotest.fail "unknown scenario version accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_scenario_builtins_run_clean () =
+  check_bool "takeover scenario registered" true
+    (Scenario.find "sequencer-takeover-under-partition" <> None);
+  check_bool "unknown name" true (Scenario.find "no-such-scenario" = None);
+  List.iter
+    (fun sc ->
+      let oc = Scenario.run sc in
+      Alcotest.(check (list string)) (sc.Scenario.sc_name ^ " clean") []
+        (oracle_names oc.Fuzz.oc_violations);
+      check_bool (sc.Scenario.sc_name ^ " did work") true (oc.Fuzz.oc_acked > 0))
+    Scenario.builtins
 
 let test_fuzz_report_schema () =
   let plan = Fuzz.gen_plan ~seed:45 small_config in
@@ -745,6 +935,7 @@ let () =
           Alcotest.test_case "stream order" `Quick test_verifier_stream_order;
           Alcotest.test_case "convergence and atomicity" `Quick
             test_verifier_convergence_and_atomicity;
+          Alcotest.test_case "pathological histories" `Quick test_verifier_pathological_histories;
         ] );
       ( "fuzz",
         [
@@ -753,6 +944,23 @@ let () =
           Alcotest.test_case "artifact round-trip" `Quick test_fuzz_artifact_roundtrip;
           Alcotest.test_case "finds and shrinks injected bug" `Slow test_fuzz_finds_injected_bug;
           Alcotest.test_case "report schema" `Quick test_fuzz_report_schema;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "clean and deterministic with specs armed" `Quick
+            test_spec_clean_and_deterministic;
+          Alcotest.test_case "commit-liveness fires on lost rebuild scan" `Slow
+            test_spec_commit_liveness_fires;
+          Alcotest.test_case "read-committed fires on blind commit apply" `Quick
+            test_spec_read_committed_fires;
+          Alcotest.test_case "reconfig-termination fires on stalled takeover" `Quick
+            test_spec_reconfig_termination_fires;
+          Alcotest.test_case "names round-trip" `Quick test_spec_names_roundtrip;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_scenario_roundtrip;
+          Alcotest.test_case "built-ins run clean" `Slow test_scenario_builtins_run_clean;
         ] );
       ( "report",
         [
